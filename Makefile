@@ -1,0 +1,37 @@
+# Convenience targets for the msweb reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench experiments csv clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the live-cluster (wall-clock) validation tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/httpcluster/ ./internal/replay/ ./cmd/msload/
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every table and figure (minutes; table3 replays in real time).
+experiments:
+	$(GO) run ./cmd/msbench -experiment all
+
+# Same, with machine-readable CSV next to the text output.
+csv:
+	$(GO) run ./cmd/msbench -experiment all -csv results/csv
+
+clean:
+	$(GO) clean ./...

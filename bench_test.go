@@ -1,0 +1,339 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// microbenchmarks of the substrates. Each BenchmarkTableN/BenchmarkFigN
+// runs the corresponding experiment end-to-end at reduced fidelity (use
+// cmd/msbench for full-fidelity output); the experiment's rows are the
+// same ones the paper reports.
+//
+// Run with: go test -bench=. -benchmem
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"msweb/internal/cluster"
+	"msweb/internal/core"
+	"msweb/internal/dyncache"
+	"msweb/internal/experiments"
+	"msweb/internal/queuemodel"
+	"msweb/internal/report"
+	"msweb/internal/rng"
+	"msweb/internal/sim"
+	"msweb/internal/simos"
+	"msweb/internal/trace"
+	"msweb/internal/workload"
+)
+
+// ---- Paper artifacts -------------------------------------------------
+
+func BenchmarkTable1TraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1(3000, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("short table")
+		}
+	}
+}
+
+func BenchmarkFig3Analytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves := experiments.RunFig3()
+		if len(curves) != 3 {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
+func BenchmarkTable2Parameters(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunTable2(opts)
+		if len(rows) != 6 {
+			b.Fatal("short table")
+		}
+	}
+}
+
+func benchmarkFig4(b *testing.B, p int) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		opts.Seeds = []int64{int64(i + 1)}
+		rows, err := experiments.RunFig4(p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig4aSimulation(b *testing.B) { benchmarkFig4(b, 32) }
+func BenchmarkFig4bSimulation(b *testing.B) { benchmarkFig4(b, 128) }
+
+func BenchmarkFig5Sensitivity(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		opts.Seeds = []int64{int64(i + 1)}
+		res, err := experiments.RunFig5(32, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 12 {
+			b.Fatal("short figure")
+		}
+	}
+}
+
+func BenchmarkTable3Validation(b *testing.B) {
+	opts := experiments.QuickTable3Options()
+	opts.Duration = 3
+	opts.TimeScale = 0.25
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		rows, err := experiments.RunTable3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// ---- Ablations (design choices called out in DESIGN.md) -------------
+
+// benchmarkPolicyStretch replays one fixed workload under a policy and
+// reports the measured stretch factor as a custom metric, so ablation
+// deltas are visible directly in the bench output.
+func benchmarkPolicyStretch(b *testing.B, masters int, mk func(core.WTable, int64) core.Policy, tune func(*cluster.Config)) {
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile: trace.KSU, Lambda: 700, Requests: 8000, MuH: 1200, R: 1.0 / 40, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wt := core.SampleW(tr, 16)
+	sum := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig(16, masters)
+		cfg.WarmupFraction = 0.1
+		if tune != nil {
+			tune(&cfg)
+		}
+		res, err := cluster.Simulate(cfg, mk(wt, int64(i+1)), tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += res.StretchFactor
+	}
+	b.ReportMetric(sum/float64(b.N), "stretch")
+}
+
+func BenchmarkAblationMS(b *testing.B) {
+	benchmarkPolicyStretch(b, 3, func(wt core.WTable, s int64) core.Policy {
+		return core.NewMS(wt, s)
+	}, nil)
+}
+
+func BenchmarkAblationNoSampling(b *testing.B) {
+	benchmarkPolicyStretch(b, 3, func(wt core.WTable, s int64) core.Policy {
+		return core.NewMS(wt, s, core.WithoutSampling())
+	}, nil)
+}
+
+func BenchmarkAblationNoReservation(b *testing.B) {
+	benchmarkPolicyStretch(b, 3, func(wt core.WTable, s int64) core.Policy {
+		return core.NewMS(wt, s, core.WithoutReservation())
+	}, nil)
+}
+
+func BenchmarkAblationAllMasters(b *testing.B) {
+	benchmarkPolicyStretch(b, 16, func(wt core.WTable, s int64) core.Policy {
+		return core.NewMS(wt, s)
+	}, nil)
+}
+
+func BenchmarkAblationNoBooking(b *testing.B) {
+	benchmarkPolicyStretch(b, 3, func(wt core.WTable, s int64) core.Policy {
+		return core.NewMS(wt, s, core.WithPlacementImpact(0))
+	}, nil)
+}
+
+func BenchmarkAblationStaleLoadInfo(b *testing.B) {
+	benchmarkPolicyStretch(b, 3, func(wt core.WTable, s int64) core.Policy {
+		return core.NewMS(wt, s)
+	}, func(cfg *cluster.Config) { cfg.LoadRefresh = 1.0 })
+}
+
+// ---- Substrate microbenchmarks ---------------------------------------
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(1, func() {})
+		eng.Step()
+	}
+}
+
+func BenchmarkNodeJobThroughput(b *testing.B) {
+	eng := sim.NewEngine()
+	node, err := simos.NewNode(eng, 0, simos.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node.Submit(simos.Job{CPUTime: 0.001, IOTime: 0.002, MemPages: 4})
+		eng.Run()
+	}
+}
+
+func BenchmarkMSPlace(b *testing.B) {
+	v := &core.View{
+		Masters: []int{0, 1},
+		Slaves:  []int{2, 3, 4, 5, 6, 7},
+		Load:    make([]core.Load, 8),
+	}
+	s := rng.New(1)
+	for i := range v.Load {
+		v.Load[i] = core.Load{CPUIdle: s.Float64(), DiskAvail: s.Float64(), Speed: 1}
+	}
+	ms := core.NewMS(core.WTable{1: 0.9}, 1)
+	ms.Tick(0, v)
+	req := core.Request{Class: trace.Dynamic, Script: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms.Place(req, 0, v)
+	}
+}
+
+func BenchmarkOptimalPlan(b *testing.B) {
+	p := queuemodel.NewParams(128, 4000, 0.41, 1200, 1.0/40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.OptimalPlan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := trace.Generate(trace.GenConfig{
+			Profile: trace.ADL, Lambda: 500, Requests: 10000,
+			MuH: 1200, R: 1.0 / 40, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSimulation(b *testing.B) {
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile: trace.KSU, Lambda: 700, Requests: 10000, MuH: 1200, R: 1.0 / 40, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wt := core.SampleW(tr, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Simulate(cluster.DefaultConfig(16, 3), core.NewMS(wt, 1), tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events)/float64(res.Summary.Count+1), "events/req")
+	}
+}
+
+// ---- Extension benchmarks --------------------------------------------
+
+func BenchmarkClosedLoopSimulation(b *testing.B) {
+	sessions, err := workload.Generate(workload.Config{
+		Profile: trace.KSU, Sessions: 300, SessionRate: 40,
+		MeanRequests: 6, MeanThink: 0.2, MuH: 1200, R: 1.0 / 40, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		c, err := cluster.New(eng, cluster.DefaultConfig(8, 2), core.NewMS(nil, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.RunClosedLoop(sessions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMMPPTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := trace.Generate(trace.GenConfig{
+			Profile: trace.KSU, Lambda: 500, Requests: 10000,
+			MuH: 1200, R: 1.0 / 40, Seed: int64(i),
+			Arrival: trace.MMPPArrivals, BurstFactor: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCLFParse(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "h - - [02/Jun/1999:04:%02d:%02d -0700] \"GET /cgi-bin/q?x=%d HTTP/1.0\" 200 %d\n",
+			i/60%60, i%60, i, 1000+i)
+	}
+	log := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := trace.ReadCLF(strings.NewReader(log), trace.CLFOptions{MuH: 1200, R: 1.0 / 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Trace.Requests) != 5000 {
+			b.Fatal("short parse")
+		}
+	}
+}
+
+func BenchmarkCacheOps(b *testing.B) {
+	c, err := dyncache.New(1024, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := dyncache.Key{Script: i % 7, Param: int64(i % 2048)}
+		now := float64(i) / 1000
+		if !c.Lookup(k, now) {
+			c.Insert(k, 1000, now)
+		}
+	}
+}
+
+func BenchmarkReportCSV(b *testing.B) {
+	tbl := &report.Table{Columns: []string{"a", "b", "c"}}
+	for i := 0; i < 1000; i++ {
+		tbl.AddRow(i, float64(i)*1.5, "label")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.WriteCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

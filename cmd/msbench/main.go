@@ -1,0 +1,233 @@
+// Command msbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	msbench -experiment all                # everything (several minutes)
+//	msbench -experiment fig3a              # one artifact
+//	msbench -experiment fig4a -quick       # reduced fidelity
+//
+// Experiments: table1, table2, table3, fig3a, fig3b, fig4a, fig4b,
+// fig5 (the paper's artifacts); cachesweep, failover, flashcrowd,
+// hetero (extension studies); wsense, staleness (ablations). "all" runs
+// everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"msweb/internal/experiments"
+	"msweb/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "msbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes the selected experiments. Split from
+// main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("msbench", flag.ContinueOnError)
+	exp := fs.String("experiment", "all", "which artifact to regenerate (table1|table2|table3|fig3a|fig3b|fig4a|fig4b|fig5|cachesweep|failover|flashcrowd|hetero|all)")
+	quick := fs.Bool("quick", false, "reduced fidelity: fewer seeds, shorter replays")
+	seeds := fs.Int("seeds", 0, "override the number of seeds averaged per cell")
+	rho := fs.Float64("rho", 0, "override the target flat utilization (0 = default 0.65)")
+	csvDir := fs.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	emit := func(t *report.Table) error { return nil }
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		emit = func(t *report.Table) error {
+			path := filepath.Join(*csvDir, report.Slug(t.Title)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := t.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+			return nil
+		}
+	}
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *seeds > 0 {
+		opts.Seeds = opts.Seeds[:0]
+		for i := 1; i <= *seeds; i++ {
+			opts.Seeds = append(opts.Seeds, int64(i))
+		}
+	}
+	if *rho > 0 && *rho < 1 {
+		opts.TargetRho = *rho
+	}
+
+	runners := map[string]func() error{
+		"table1": func() error {
+			n := 20000
+			if *quick {
+				n = 3000
+			}
+			rows, err := experiments.RunTable1(n, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatTable1(rows))
+			return emit(experiments.Table1Table(rows))
+		},
+		"table2": func() error {
+			rows := experiments.RunTable2(opts)
+			fmt.Fprintln(stdout, experiments.FormatTable2(rows))
+			return emit(experiments.Table2Table(rows))
+		},
+		"fig3a": func() error {
+			curves := experiments.RunFig3()
+			fmt.Fprintln(stdout, experiments.FormatFig3a(curves))
+			return emit(experiments.Fig3Table(curves))
+		},
+		"fig3b": func() error {
+			curves := experiments.RunFig3()
+			fmt.Fprintln(stdout, experiments.FormatFig3b(curves))
+			return emit(experiments.Fig3Table(curves))
+		},
+		"fig4a": func() error {
+			rows, err := experiments.RunFig4(32, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatFig4(32, rows))
+			tbl := experiments.Fig4Table(32, rows)
+			tbl.Title += " p32"
+			return emit(tbl)
+		},
+		"fig4b": func() error {
+			rows, err := experiments.RunFig4(128, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatFig4(128, rows))
+			tbl := experiments.Fig4Table(128, rows)
+			tbl.Title += " p128"
+			return emit(tbl)
+		},
+		"fig5": func() error {
+			res, err := experiments.RunFig5(32, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatFig5(res))
+			return emit(experiments.Fig5Table(res))
+		},
+		"cachesweep": func() error {
+			rows, err := experiments.RunCacheSweep(16, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatCacheSweep(16, rows))
+			return emit(experiments.CacheSweepTable(rows))
+		},
+		"failover": func() error {
+			rows, err := experiments.RunFailoverStudy(16, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatFailoverStudy(16, rows))
+			return emit(experiments.FailoverTable(rows))
+		},
+		"flashcrowd": func() error {
+			rows, err := experiments.RunFlashCrowd(16, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatFlashCrowd(16, rows))
+			return emit(experiments.FlashCrowdTable(rows))
+		},
+		"hetero": func() error {
+			rows, err := experiments.RunHeteroStudy(16, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatHeteroStudy(16, rows))
+			return emit(experiments.HeteroTable(rows))
+		},
+		"discipline": func() error {
+			rows, err := experiments.RunDiscipline(32, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatDiscipline(32, rows))
+			return emit(experiments.DisciplineTable(rows))
+		},
+		"openclosed": func() error {
+			rows, err := experiments.RunOpenClosed(16, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatOpenClosed(16, rows))
+			return emit(experiments.OpenClosedTable(rows))
+		},
+		"wsense": func() error {
+			rows, err := experiments.RunWSensitivity(16, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatWSensitivity(16, rows))
+			return emit(experiments.WSensitivityTable(rows))
+		},
+		"staleness": func() error {
+			rows, err := experiments.RunStaleness(16, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatStaleness(16, rows))
+			return emit(experiments.StalenessTable(rows))
+		},
+		"table3": func() error {
+			t3 := experiments.DefaultTable3Options()
+			if *quick {
+				t3 = experiments.QuickTable3Options()
+			}
+			rows, err := experiments.RunTable3(t3)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatTable3(rows))
+			return emit(experiments.Table3Table(rows))
+		},
+	}
+
+	order := []string{"table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "cachesweep", "failover", "flashcrowd", "hetero", "discipline", "openclosed", "wsense", "staleness", "table3"}
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else if _, ok := runners[*exp]; ok {
+		selected = []string{*exp}
+	} else {
+		return fmt.Errorf("unknown experiment %q; choose from %v or all", *exp, order)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		if err := runners[name](); err != nil {
+			return fmt.Errorf("%s failed: %w", name, err)
+		}
+		fmt.Fprintf(stdout, "[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+	return nil
+}

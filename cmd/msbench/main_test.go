@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunFastExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "table2", "fig3a", "fig3b"} {
+		var out bytes.Buffer
+		if err := run([]string{"-experiment", exp, "-quick"}, &out); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out.String(), "completed in") {
+			t.Fatalf("%s: no completion marker:\n%s", exp, out.String())
+		}
+	}
+}
+
+func TestRunSimulatedExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment skipped in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "flashcrowd", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flash-crowd") {
+		t.Fatalf("missing output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestSeedAndRhoOverrides(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "table2", "-quick", "-seeds", "1", "-rho", "0.5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0.50") {
+		t.Fatalf("rho override not reflected:\n%s", out.String())
+	}
+}
+
+func TestCSVEmission(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "table2", "-quick", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !strings.HasSuffix(entries[0].Name(), ".csv") {
+		t.Fatalf("csv dir contents: %v", entries)
+	}
+	data, err := os.ReadFile(dir + "/" + entries[0].Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "trace,a,p,target_rho,inv_r,lambda_req_s") {
+		t.Fatalf("csv header wrong:\n%s", string(data)[:80])
+	}
+}

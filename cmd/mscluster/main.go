@@ -1,0 +1,100 @@
+// Command mscluster boots a live master/slave Web cluster on loopback
+// and prints the master URLs. Drive it with cmd/msload.
+//
+// Usage:
+//
+//	mscluster -nodes 6 -masters 3 -policy ms
+//
+// The process serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"msweb/internal/core"
+	"msweb/internal/httpcluster"
+)
+
+func main() {
+	cfg, err := buildConfig(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mscluster:", err)
+		os.Exit(2)
+	}
+	c, err := httpcluster.Start(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mscluster:", err)
+		os.Exit(1)
+	}
+	defer c.Shutdown()
+	printBanner(os.Stdout, cfg, c)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+}
+
+// buildConfig turns command-line flags into a cluster configuration.
+// Split from main for testability.
+func buildConfig(args []string) (httpcluster.Config, error) {
+	fs := flag.NewFlagSet("mscluster", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 6, "cluster size")
+	masters := fs.Int("masters", 2, "number of master nodes")
+	policy := fs.String("policy", "ms", "scheduling policy: ms, ms-ns, ms-nr, msprime, rr, leastloaded")
+	scale := fs.Float64("timescale", 1, "duration scale factor (1 = real time)")
+	refresh := fs.Duration("refresh", 100*time.Millisecond, "load polling period")
+	seed := fs.Int64("seed", 1, "policy randomization seed")
+	if err := fs.Parse(args); err != nil {
+		return httpcluster.Config{}, err
+	}
+
+	mk, err := policyFactory(*policy, *seed)
+	if err != nil {
+		return httpcluster.Config{}, err
+	}
+	cfg := httpcluster.DefaultConfig(*masters, mk)
+	cfg.Nodes = *nodes
+	cfg.TimeScale = *scale
+	cfg.LoadRefresh = *refresh
+	return cfg, cfg.Validate()
+}
+
+// policyFactory maps a policy name to a per-master constructor.
+func policyFactory(name string, seed int64) (func(int) core.Policy, error) {
+	switch name {
+	case "ms":
+		return func(id int) core.Policy { return core.NewMS(nil, seed+int64(id)) }, nil
+	case "ms-ns":
+		return func(id int) core.Policy {
+			return core.NewMS(nil, seed+int64(id), core.WithoutSampling(), core.WithName("M/S-ns"))
+		}, nil
+	case "ms-nr":
+		return func(id int) core.Policy {
+			return core.NewMS(nil, seed+int64(id), core.WithoutReservation(), core.WithName("M/S-nr"))
+		}, nil
+	case "msprime":
+		return func(id int) core.Policy { return core.NewMSPrime(seed + int64(id)) }, nil
+	case "rr":
+		return func(int) core.Policy { return core.NewRoundRobin() }, nil
+	case "leastloaded":
+		return func(id int) core.Policy { return core.NewLeastLoaded(seed + int64(id)) }, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (ms, ms-ns, ms-nr, msprime, rr, leastloaded)", name)
+	}
+}
+
+// printBanner announces the running cluster.
+func printBanner(w io.Writer, cfg httpcluster.Config, c *httpcluster.Cluster) {
+	fmt.Fprintf(w, "cluster up: %d nodes, %d masters\n", cfg.Nodes, cfg.Masters)
+	for i, url := range c.MasterURLs() {
+		fmt.Fprintf(w, "master %d: %s\n", i, url)
+	}
+	fmt.Fprintln(w, "send traffic with: msload -masters <url,url,...> -trace <file>")
+}

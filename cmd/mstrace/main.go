@@ -1,0 +1,131 @@
+// Command mstrace generates and inspects synthetic Web traces.
+//
+// Usage:
+//
+//	mstrace -profile KSU -lambda 500 -n 20000 -r 0.025 > ksu.trace
+//	mstrace -inspect ksu.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"msweb/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mstrace:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes the tool, writing the trace or report to
+// stdout. Split from main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mstrace", flag.ContinueOnError)
+	profile := fs.String("profile", "KSU", "trace profile: UCB, KSU, ADL or DEC")
+	lambda := fs.Float64("lambda", 500, "total arrival rate, requests/second")
+	n := fs.Int("n", 10000, "number of requests")
+	r := fs.Float64("r", 1.0/40, "service ratio μ_c/μ_h")
+	muH := fs.Float64("muh", 1200, "static service rate per node, requests/second")
+	seed := fs.Int64("seed", 1, "generation seed")
+	demand := fs.String("demand", "exp", "demand distribution: exp, pareto or det")
+	arrival := fs.String("arrival", "poisson", "arrival process: poisson, mmpp or diurnal")
+	inspect := fs.String("inspect", "", "instead of generating, report a trace file's characteristics")
+	clf := fs.String("clf", "", "instead of generating, convert a Common Log Format access log to a trace")
+	markers := fs.String("dynamic-markers", "", "comma-separated extra URL substrings classified as dynamic (with -clf)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *clf != "" {
+		f, err := os.Open(*clf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var extra []string
+		if *markers != "" {
+			extra = strings.Split(*markers, ",")
+		}
+		res, err := trace.ReadCLF(f, trace.CLFOptions{
+			MuH: *muH, R: *r, Seed: *seed, SkipErrors: true, DynamicMarkers: extra,
+		})
+		if err != nil {
+			return err
+		}
+		if res.Malformed > 0 {
+			fmt.Fprintf(os.Stderr, "mstrace: skipped %d malformed of %d lines\n", res.Malformed, res.Lines)
+		}
+		return trace.Write(stdout, res.Trace)
+	}
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		return report(stdout, tr)
+	}
+
+	prof, ok := trace.ProfileByName(*profile)
+	if !ok {
+		return fmt.Errorf("unknown profile %q (UCB, KSU, ADL, DEC)", *profile)
+	}
+	var dm trace.DemandModel
+	switch *demand {
+	case "exp":
+		dm = trace.ExponentialDemand
+	case "pareto":
+		dm = trace.ParetoDemand
+	case "det":
+		dm = trace.DeterministicDemand
+	default:
+		return fmt.Errorf("unknown demand model %q (exp, pareto, det)", *demand)
+	}
+	var am trace.ArrivalModel
+	switch *arrival {
+	case "poisson":
+		am = trace.PoissonArrivals
+	case "mmpp":
+		am = trace.MMPPArrivals
+	case "diurnal":
+		am = trace.DiurnalArrivals
+	default:
+		return fmt.Errorf("unknown arrival model %q (poisson, mmpp, diurnal)", *arrival)
+	}
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile: prof, Lambda: *lambda, Requests: *n, MuH: *muH, R: *r,
+		Demand: dm, Arrival: am, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	return trace.Write(stdout, tr)
+}
+
+// report prints a trace's Table 1-style characteristics.
+func report(w io.Writer, tr *trace.Trace) error {
+	c := trace.Characterize(tr)
+	fmt.Fprintf(w, "name:           %s\n", c.Name)
+	fmt.Fprintf(w, "requests:       %d\n", c.Requests)
+	fmt.Fprintf(w, "%% CGI:          %.1f\n", c.PctCGI)
+	if c.MeanInterval > 0 {
+		fmt.Fprintf(w, "mean interval:  %.4f s (rate %.1f req/s)\n", c.MeanInterval, 1/c.MeanInterval)
+	}
+	fmt.Fprintf(w, "mean HTML size: %.0f bytes\n", c.MeanHTMLSize)
+	fmt.Fprintf(w, "mean CGI size:  %.0f bytes\n", c.MeanCGISize)
+	fmt.Fprintf(w, "arrival ratio a: %.3f\n", c.ArrivalRatio)
+	fmt.Fprintf(w, "mean demands:   static %.4f s, dynamic %.4f s (r ≈ %.4f)\n",
+		c.MeanDemandH, c.MeanDemandC, c.R())
+	return nil
+}

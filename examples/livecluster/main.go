@@ -1,0 +1,73 @@
+// Livecluster: end-to-end run of the real (loopback HTTP) master/slave
+// cluster — the substrate behind the Table 3 validation. Boots six
+// nodes with one master, replays a short ADL-like trace over real TCP,
+// and prints the measured stretch factor and per-node request counts.
+//
+// Run with: go run ./examples/livecluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"msweb/internal/core"
+	"msweb/internal/httpcluster"
+	"msweb/internal/replay"
+	"msweb/internal/trace"
+)
+
+func main() {
+	// Sun-Ultra-1 calibration: 110 static requests/second per node.
+	const (
+		muH       = 110
+		r         = 1.0 / 40
+		lambda    = 25
+		seconds   = 8
+		timeScale = 0.5 // replay twice as fast as real time
+	)
+
+	cfg := httpcluster.DefaultConfig(1, func(id int) core.Policy {
+		return core.NewMS(nil, int64(id)+1)
+	})
+	cfg.Nodes = 6
+	cfg.TimeScale = timeScale
+	c, err := httpcluster.Start(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	fmt.Printf("live cluster up: 6 nodes, 1 master at %s\n", c.MasterURLs()[0])
+
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile: trace.ADL, Lambda: lambda, Requests: lambda * seconds,
+		MuH: muH, R: r, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d ADL-like requests at %d req/s (%.1fx real time)...\n",
+		len(tr.Requests), lambda, 1/timeScale)
+
+	start := time.Now()
+	res, err := replay.Run(context.Background(), c.MasterURLs(), tr, replay.Options{
+		TimeScale: timeScale,
+		Timeout:   time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ndone in %.1fs wall clock (%d sent, %d failed)\n",
+		time.Since(start).Seconds(), res.Sent, res.Failed)
+	s := res.Summary
+	fmt.Printf("stretch factor %.2f (static %.2f, dynamic %.2f)\n",
+		s.StretchFactor,
+		s.ByClass["static"].StretchFactor,
+		s.ByClass["dynamic"].StretchFactor)
+	fmt.Println("\nper-node executed requests (node 0 is the master):")
+	for id, n := range c.NodeExecuted() {
+		fmt.Printf("  node %d: %d\n", id, n)
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: size a master/slave Web cluster with the paper's analytic
+// model, simulate it against a synthetic CGI-heavy trace, and compare
+// the stretch factor with a flat cluster of the same hardware.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"msweb/internal/cluster"
+	"msweb/internal/core"
+	"msweb/internal/queuemodel"
+	"msweb/internal/trace"
+)
+
+func main() {
+	const (
+		nodes  = 16
+		lambda = 800 // requests/second offered to the whole cluster
+		r      = 1.0 / 40
+		muH    = 1200
+	)
+
+	// 1. Plan the master tier with Theorem 1.
+	params := queuemodel.NewParams(nodes, lambda, trace.KSU.ArrivalRatio(), muH, r)
+	plan, err := params.OptimalPlan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic plan: %d masters of %d nodes, reservation cap θ₂=%.3f\n", plan.M, nodes, plan.Theta2)
+	fmt.Printf("predicted stretch: M/S %.2f vs flat %.2f (%.0f%% better)\n\n",
+		plan.Stretch, plan.Flat, plan.Improvement())
+
+	// 2. Generate a KSU-like trace (29% CGI, search scripts ≈90% CPU).
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile: trace.KSU, Lambda: lambda, Requests: 20000, MuH: muH, R: r, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Off-line sample the CGI scripts' CPU weights, then simulate.
+	wt := core.SampleW(tr, 16)
+	msCfg := cluster.DefaultConfig(nodes, plan.M)
+	msCfg.WarmupFraction = 0.1
+	ms, err := cluster.Simulate(msCfg, core.NewMS(wt, 1), tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flatCfg := cluster.DefaultConfig(nodes, nodes)
+	flatCfg.WarmupFraction = 0.1
+	flat, err := cluster.Simulate(flatCfg, core.NewFlat(), tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %d requests over %.0f virtual seconds\n",
+		ms.Summary.Count, ms.SimulatedSeconds)
+	fmt.Printf("M/S   stretch factor: %6.2f  (static %.2f, dynamic %.2f)\n",
+		ms.StretchFactor,
+		ms.Summary.ByClass["static"].StretchFactor,
+		ms.Summary.ByClass["dynamic"].StretchFactor)
+	fmt.Printf("Flat  stretch factor: %6.2f  (static %.2f, dynamic %.2f)\n",
+		flat.StretchFactor,
+		flat.Summary.ByClass["static"].StretchFactor,
+		flat.Summary.ByClass["dynamic"].StretchFactor)
+	fmt.Printf("measured improvement: %.0f%%\n", (flat.StretchFactor/ms.StretchFactor-1)*100)
+	fmt.Printf("\nM/S placed %d/%d dynamics at masters (%d dispatched remotely)\n",
+		ms.MasterDynamics, ms.TotalDynamics, ms.RemoteDynamics)
+}

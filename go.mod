@@ -1,0 +1,3 @@
+module msweb
+
+go 1.22

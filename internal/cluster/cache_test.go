@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+
+	"msweb/internal/core"
+	"msweb/internal/trace"
+)
+
+func TestCacheServesRepeatInvocations(t *testing.T) {
+	tr := genTrace(t, trace.KSU, 300, 5000, 1.0/40, 31)
+	cfg := DefaultConfig(6, 2)
+	cfg.Cache = &CacheConfig{Capacity: 512, TTL: 60}
+	res, err := Simulate(cfg, core.NewMS(core.SampleW(tr, 16), 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.CacheStats
+	if st.Hits == 0 {
+		t.Fatal("no cache hits on the KSU workload (70 percent cacheable)")
+	}
+	if st.Inserts == 0 {
+		t.Fatal("no inserts recorded")
+	}
+	if res.Summary.Count != 5000 {
+		t.Fatalf("completed %d/5000 with caching", res.Summary.Count)
+	}
+	// Hits are sampled under the "cached" class.
+	if _, ok := res.Summary.ByClass["cached"]; !ok {
+		t.Fatal("no cached-class samples recorded")
+	}
+}
+
+func TestCacheImprovesPerformance(t *testing.T) {
+	tr := genTrace(t, trace.KSU, 450, 7000, 1.0/40, 32)
+	base := DefaultConfig(6, 2)
+	base.WarmupFraction = 0.1
+	noCacheRes, err := Simulate(base, core.NewMS(core.SampleW(tr, 16), 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := base
+	cached.Cache = &CacheConfig{Capacity: 1024, TTL: 120}
+	cachedRes, err := Simulate(cached, core.NewMS(core.SampleW(tr, 16), 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offloading repeated CGIs must reduce the mean response time of
+	// the remaining dynamics (less contention) — compare dynamic-class
+	// means, which exclude the trivially-fast cached responses.
+	baseDyn := noCacheRes.Summary.ByClass["dynamic"].MeanResponse
+	cachedDyn := cachedRes.Summary.ByClass["dynamic"].MeanResponse
+	if cachedDyn >= baseDyn {
+		t.Fatalf("cache did not relieve dynamics: %.4fs vs %.4fs", cachedDyn, baseDyn)
+	}
+}
+
+func TestCacheDisabledForUncacheableProfile(t *testing.T) {
+	// UCB generates unique documents (CacheableFrac 0): a cache must
+	// see zero hits.
+	tr := genTrace(t, trace.UCB, 300, 3000, 1.0/40, 33)
+	cfg := DefaultConfig(6, 2)
+	cfg.Cache = &CacheConfig{Capacity: 512, TTL: 60}
+	res, err := Simulate(cfg, core.NewMS(core.SampleW(tr, 16), 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheStats.Hits != 0 || res.CacheStats.Inserts != 0 {
+		t.Fatalf("UCB workload touched the cache: %+v", res.CacheStats)
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(4, 1)
+	cfg.Cache = &CacheConfig{Capacity: 0, TTL: 10}
+	if cfg.Validate() == nil {
+		t.Fatal("zero-capacity cache accepted")
+	}
+	cfg.Cache = &CacheConfig{Capacity: 10, TTL: 0}
+	if cfg.Validate() == nil {
+		t.Fatal("zero-TTL cache accepted")
+	}
+	cfg.Cache = &CacheConfig{Capacity: 10, TTL: 10, HitDemand: -1}
+	if cfg.Validate() == nil {
+		t.Fatal("negative hit demand accepted")
+	}
+}
+
+func TestGeneratedParamsFollowProfile(t *testing.T) {
+	tr := genTrace(t, trace.KSU, 300, 8000, 1.0/40, 34)
+	cacheable, dynamics := 0, 0
+	for _, r := range tr.Requests {
+		if r.Class != trace.Dynamic {
+			if r.Param != 0 {
+				t.Fatal("static request carries a cache parameter")
+			}
+			continue
+		}
+		dynamics++
+		if r.Param != 0 {
+			cacheable++
+			if r.Param < 1 || r.Param > int64(trace.KSU.ParamCardinality) {
+				t.Fatalf("param %d outside cardinality", r.Param)
+			}
+		}
+	}
+	frac := float64(cacheable) / float64(dynamics)
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("cacheable fraction %.2f, profile wants 0.7", frac)
+	}
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"msweb/internal/core"
+	"msweb/internal/trace"
+)
+
+// The chaos property: with every feature enabled at once — caching,
+// affinity, failures, recruitment, adaptation, heterogeneous speeds —
+// the cluster must still complete every request exactly once and return
+// a sane stretch factor.
+func TestEverythingAtOnceProperty(t *testing.T) {
+	f := func(seed int64, crashNodeRaw, crashTimeRaw uint8) bool {
+		const p = 8
+		tr, err := trace.Generate(trace.GenConfig{
+			Profile: trace.KSU, Lambda: 250, Requests: 1500,
+			MuH: 1200, R: 1.0 / 40, Seed: seed,
+			Arrival: trace.MMPPArrivals, BurstFactor: 3,
+			BurstDuration: 1, NormalDuration: 3,
+		})
+		if err != nil {
+			return false
+		}
+		span := tr.Duration()
+
+		cfg := DefaultConfig(p, 2)
+		cfg.Speeds = []float64{1, 1, 1, 2, 1, 2, 1, 1}
+		cfg.Cache = &CacheConfig{Capacity: 128, TTL: 30}
+		cfg.Affinity = core.ScriptAffinity{1: {3, 5}}
+		cfg.InitiallyDown = []int{7}
+		cfg.Adaptive = &AdaptiveMasters{Period: 2}
+		cfg.AutoRecruit = &AutoRecruit{Spares: []int{7}, Period: 0.5, HighRate: 300, LowRate: 200}
+		// A random mid-run crash and recovery of a non-spare slave.
+		crashNode := 2 + int(crashNodeRaw)%4 // nodes 2..5
+		crashAt := 0.1*span + 0.6*span*float64(crashTimeRaw)/255
+		cfg.Events = []AvailabilityEvent{
+			{Node: crashNode, At: crashAt, Available: false},
+			{Node: crashNode, At: crashAt + 0.2*span, Available: true},
+		}
+
+		res, err := Simulate(cfg, core.NewMS(core.SampleW(tr, 16), seed), tr)
+		if err != nil {
+			return false
+		}
+		if res.Summary.Count != 1500 {
+			return false
+		}
+		if res.StretchFactor < 1 || res.StretchFactor > 1e5 {
+			return false
+		}
+		// Per-node conservation.
+		for _, st := range res.NodeStats {
+			if st.Completed+st.Aborted != st.Submitted {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

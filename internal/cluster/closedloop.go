@@ -1,0 +1,62 @@
+package cluster
+
+// Closed-loop session driving. The paper's replay methodology is
+// open-loop: requests arrive on the trace's schedule regardless of how
+// slowly the cluster responds, so an overloaded system's queues grow
+// without bound. Real users are closed-loop — a browsing session does
+// not issue its next request until the previous response arrived — and
+// overload manifests as throughput ceiling and longer sessions instead
+// of unbounded queues. RunClosedLoop drives the same simulated cluster
+// with workload.Sessions so both methodologies can be compared on
+// identical hardware and policies.
+
+import (
+	"fmt"
+
+	"msweb/internal/workload"
+)
+
+// RunClosedLoop executes the sessions to completion and returns the
+// usual result summary. Every request is counted (sessions have no
+// trace span for the warmup fraction to apply to).
+func (c *Cluster) RunClosedLoop(sessions []workload.Session) (*Result, error) {
+	total := 0
+	for i, s := range sessions {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: session %d: %w", i, err)
+		}
+		total += len(s.Requests)
+	}
+	c.total = total
+	c.completed = 0
+
+	var issue func(s workload.Session, i int)
+	issue = func(s workload.Session, i int) {
+		req := s.Requests[i]
+		onDone := func(now float64) {
+			if i+1 < len(s.Requests) {
+				c.eng.After(s.Thinks[i], func() { issue(s, i+1) })
+			}
+		}
+		c.dispatchFull(req, true, c.eng.Now(), onDone)
+	}
+	for _, s := range sessions {
+		s := s
+		c.eng.Schedule(s.Start, func() { issue(s, 0) })
+	}
+	for _, e := range c.cfg.Events {
+		e := e
+		c.eng.Schedule(e.At, func() { c.applyAvailability(e) })
+	}
+
+	c.startTickers()
+	c.policy.Tick(c.eng.Now(), &c.view)
+
+	for c.completed < c.total {
+		if !c.eng.Step() {
+			return nil, fmt.Errorf("cluster: closed loop drained with %d/%d requests outstanding", c.total-c.completed, c.total)
+		}
+	}
+	c.stopTickers()
+	return c.buildResult(), nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+
+	"msweb/internal/core"
+	"msweb/internal/trace"
+	"msweb/internal/workload"
+)
+
+func genSessions(t *testing.T, n int, rate, think float64, seed int64) []workload.Session {
+	t.Helper()
+	sessions, err := workload.Generate(workload.Config{
+		Profile:      trace.KSU,
+		Sessions:     n,
+		SessionRate:  rate,
+		MeanRequests: 6,
+		MeanThink:    think,
+		MuH:          1200,
+		R:            1.0 / 40,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sessions
+}
+
+func TestClosedLoopCompletesAllRequests(t *testing.T) {
+	sessions := genSessions(t, 300, 30, 0.2, 51)
+	eng, c := newClusterForTest(t, DefaultConfig(6, 2))
+	res, err := c.RunClosedLoop(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Count != workload.TotalRequests(sessions) {
+		t.Fatalf("counted %d of %d requests", res.Summary.Count, workload.TotalRequests(sessions))
+	}
+	if res.StretchFactor < 1 {
+		t.Fatalf("stretch %v < 1", res.StretchFactor)
+	}
+	_ = eng
+}
+
+func TestClosedLoopRejectsBadSessions(t *testing.T) {
+	_, c := newClusterForTest(t, DefaultConfig(4, 1))
+	bad := []workload.Session{{Start: 0}}
+	if _, err := c.RunClosedLoop(bad); err == nil {
+		t.Fatal("empty session accepted")
+	}
+}
+
+func TestClosedLoopOrdering(t *testing.T) {
+	// One session, long demands, zero think: requests execute strictly
+	// sequentially, so the cluster never holds two of its requests
+	// concurrently and total time ≈ sum of demands.
+	sess := workload.Session{
+		Start: 0,
+		Requests: []trace.Request{
+			{Class: trace.Static, Demand: 0.010, CPUWeight: 0.5},
+			{Class: trace.Static, Demand: 0.010, CPUWeight: 0.5},
+			{Class: trace.Static, Demand: 0.010, CPUWeight: 0.5},
+		},
+		Thinks: []float64{0.005, 0.005},
+	}
+	_, c := newClusterForTest(t, DefaultConfig(2, 1))
+	res, err := c.RunClosedLoop([]workload.Session{sess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 × 10 ms service + 2 × 5 ms think = 40 ms minimum.
+	if res.SimulatedSeconds < 0.040-1e-9 {
+		t.Fatalf("closed loop finished in %v, below the sequential minimum", res.SimulatedSeconds)
+	}
+	if res.Summary.Count != 3 {
+		t.Fatalf("count %d", res.Summary.Count)
+	}
+}
+
+// The methodological point: under overload, open-loop stretch explodes
+// while closed-loop sessions self-throttle to the service capacity.
+func TestClosedLoopSelfThrottlesUnderOverload(t *testing.T) {
+	// Offered load ~2x capacity for a 2-node cluster if users ignored
+	// responses; closed loop keeps it sane.
+	sessions := genSessions(t, 400, 100, 0.05, 52)
+	_, c := newClusterForTest(t, DefaultConfig(2, 1))
+	closed, err := c.RunClosedLoop(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The open-loop equivalent: same requests at the sessions' natural
+	// pace with think times but no response feedback.
+	var open trace.Trace
+	now := 0.0
+	for _, s := range sessions {
+		at := s.Start
+		for i, r := range s.Requests {
+			r.Arrival = at
+			open.Requests = append(open.Requests, r)
+			if i < len(s.Thinks) {
+				at += s.Thinks[i] + r.Demand
+			}
+		}
+	}
+	// Arrivals must be sorted for a trace replay.
+	for i := range open.Requests {
+		if open.Requests[i].Arrival < now {
+			open.Requests[i].Arrival = now
+		}
+		now = open.Requests[i].Arrival
+	}
+	openRes, err := Simulate(DefaultConfig(2, 1), core.NewMS(nil, 1), &open)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if closed.StretchFactor >= openRes.StretchFactor {
+		t.Fatalf("closed loop (%v) did not self-throttle below open loop (%v)",
+			closed.StretchFactor, openRes.StretchFactor)
+	}
+}

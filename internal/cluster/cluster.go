@@ -1,0 +1,671 @@
+// Package cluster assembles the trace-driven cluster simulation: p
+// simos.Node machines, a front end that spreads incoming requests
+// uniformly over the master tier (DNS rotation / switch behaviour), a
+// core.Policy that picks the execution node, periodically refreshed
+// rstat()-style load information, and the 1 ms remote-CGI dispatch
+// latency of the paper's prototype.
+//
+// A Run replays a trace.Trace to completion and reports the stretch
+// factor and per-class statistics the paper's experiments compare.
+package cluster
+
+import (
+	"fmt"
+
+	"msweb/internal/core"
+	"msweb/internal/dyncache"
+	"msweb/internal/metrics"
+	"msweb/internal/queuemodel"
+	"msweb/internal/rng"
+	"msweb/internal/sim"
+	"msweb/internal/simos"
+	"msweb/internal/trace"
+)
+
+// CacheConfig sizes the shared dynamic-content cache.
+type CacheConfig struct {
+	// Capacity is the number of cached responses.
+	Capacity int
+	// TTL is each entry's freshness lifetime in seconds.
+	TTL float64
+	// HitDemand is the service demand of answering from the cache — a
+	// buffer copy plus protocol work, comparable to a small static
+	// fetch (default 1/2400 s, half the mean static demand).
+	HitDemand float64
+}
+
+// AutoRecruit reacts to load peaks: when the measured arrival rate
+// crosses HighRate, the listed non-dedicated spare nodes (which must be
+// in InitiallyDown) are brought into the slave tier; when it falls below
+// LowRate they are released again — the paper's "dynamically recruit
+// idle resources in handling peak load".
+type AutoRecruit struct {
+	Spares   []int
+	Period   float64
+	HighRate float64
+	LowRate  float64
+}
+
+// AdaptiveMasters reconfigures the master-tier size on-line: every
+// Period the cluster re-estimates λ, a, μ_h and μ_c from the completed
+// window and applies Theorem 1's numeric minimization. Figure 5
+// compares this against a fixed configuration.
+type AdaptiveMasters struct {
+	// Period between reconfigurations in seconds.
+	Period float64
+	// MinM/MaxM clamp the chosen master count (defaults 1 and p−1).
+	MinM, MaxM int
+}
+
+// Config describes one simulated cluster.
+type Config struct {
+	// Nodes is the cluster size p.
+	Nodes int
+	// Masters is the initial master-tier size m; masters are nodes
+	// 0..m−1. Use Nodes for an all-master (flat / M/S-1) topology.
+	Masters int
+	// OS configures every node (per-node overrides via Speeds).
+	OS simos.Config
+	// Speeds optionally assigns per-node CPU speed factors for the
+	// heterogeneous extension; nil means homogeneous.
+	Speeds []float64
+	// LoadRefresh is the load-information period (rstat polling).
+	LoadRefresh float64
+	// PolicyTick is the reservation-recompute period.
+	PolicyTick float64
+	// RemoteLatency is the remote CGI dispatch latency (paper: 1 ms,
+	// the TCP connection time; fork is charged separately by the node).
+	RemoteLatency float64
+	// WarmupFraction drops samples of requests arriving in the first
+	// fraction of the trace span from the reported statistics, so
+	// steady-state stretch is not diluted by the empty-system start.
+	WarmupFraction float64
+	// Affinity pins CGI scripts to node subsets (partial replication).
+	Affinity core.ScriptAffinity
+	// Cache enables the Swala-style dynamic-content cache at the
+	// master tier: repeat invocations of a cacheable script (same
+	// script, same parameters) are answered without content generation
+	// while the cached response is fresh.
+	Cache *CacheConfig
+	// Adaptive enables on-line master-count adaptation.
+	Adaptive *AdaptiveMasters
+	// AutoRecruit enables reactive recruitment of non-dedicated nodes
+	// at peak load (see AutoRecruit).
+	AutoRecruit *AutoRecruit
+	// SampleHook, when set, observes every counted sample with the
+	// request's arrival time — the feed for time-series analyses.
+	SampleHook func(arrival float64, sample metrics.Sample)
+	// Events is an optional availability schedule: node crashes,
+	// recoveries and dynamic recruitment (see AvailabilityEvent).
+	Events []AvailabilityEvent
+	// InitiallyDown lists nodes that start outside the cluster
+	// (non-dedicated machines recruited later by an Up event).
+	InitiallyDown []int
+	// RetryDelay is the failover-detection delay before requests lost
+	// to a node failure are restarted elsewhere (paper: switches give
+	// "sub-second failure detection").
+	RetryDelay float64
+	// Seed drives the front end's random master selection.
+	Seed int64
+}
+
+// DefaultConfig returns a cluster configured with the paper's constants.
+func DefaultConfig(nodes, masters int) Config {
+	return Config{
+		Nodes:         nodes,
+		Masters:       masters,
+		OS:            simos.DefaultConfig(),
+		LoadRefresh:   0.200,
+		PolicyTick:    0.500,
+		RemoteLatency: 0.001,
+		RetryDelay:    0.100,
+		Seed:          1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("cluster: need at least one node")
+	case c.Masters < 1 || c.Masters > c.Nodes:
+		return fmt.Errorf("cluster: masters %d outside [1, %d]", c.Masters, c.Nodes)
+	case c.LoadRefresh <= 0:
+		return fmt.Errorf("cluster: load refresh period must be positive")
+	case c.PolicyTick <= 0:
+		return fmt.Errorf("cluster: policy tick period must be positive")
+	case c.RemoteLatency < 0:
+		return fmt.Errorf("cluster: negative remote latency")
+	case c.WarmupFraction < 0 || c.WarmupFraction >= 1:
+		return fmt.Errorf("cluster: warmup fraction %v outside [0, 1)", c.WarmupFraction)
+	case c.Speeds != nil && len(c.Speeds) != c.Nodes:
+		return fmt.Errorf("cluster: %d speeds for %d nodes", len(c.Speeds), c.Nodes)
+	case c.Adaptive != nil && c.Adaptive.Period <= 0:
+		return fmt.Errorf("cluster: adaptive period must be positive")
+	case c.AutoRecruit != nil && (c.AutoRecruit.Period <= 0 || c.AutoRecruit.HighRate <= 0 ||
+		c.AutoRecruit.LowRate < 0 || c.AutoRecruit.LowRate >= c.AutoRecruit.HighRate):
+		return fmt.Errorf("cluster: auto-recruit needs positive period and LowRate < HighRate")
+	case c.RetryDelay < 0:
+		return fmt.Errorf("cluster: negative retry delay")
+	}
+	if c.Cache != nil {
+		if c.Cache.Capacity <= 0 || c.Cache.TTL <= 0 {
+			return fmt.Errorf("cluster: cache needs positive capacity and TTL")
+		}
+		if c.Cache.HitDemand < 0 {
+			return fmt.Errorf("cluster: negative cache hit demand")
+		}
+	}
+	if c.AutoRecruit != nil {
+		for _, id := range c.AutoRecruit.Spares {
+			if id < 0 || id >= c.Nodes {
+				return fmt.Errorf("cluster: auto-recruit spare %d of %d", id, c.Nodes)
+			}
+		}
+	}
+	for script, nodes := range c.Affinity {
+		for _, id := range nodes {
+			if id < 0 || id >= c.Nodes {
+				return fmt.Errorf("cluster: affinity for script %d names node %d of %d", script, id, c.Nodes)
+			}
+		}
+	}
+	if err := validateEvents(c.Events, c.Nodes); err != nil {
+		return err
+	}
+	for _, id := range c.InitiallyDown {
+		if id < 0 || id >= c.Nodes {
+			return fmt.Errorf("cluster: initially-down node %d of %d", id, c.Nodes)
+		}
+	}
+	return c.OS.Validate()
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Policy  string
+	Summary metrics.Summary
+	// StretchFactor is the headline metric (== Summary.StretchFactor).
+	StretchFactor float64
+	// TotalDynamics counts dynamic requests; MasterDynamics those
+	// executed at masters; RemoteDynamics those dispatched off the
+	// receiving master.
+	TotalDynamics  int64
+	MasterDynamics int64
+	RemoteDynamics int64
+	// FinalMasters is the master count at the end (≠ initial under
+	// adaptation); MasterHistory records each adaptation decision.
+	FinalMasters  int
+	MasterHistory []int
+	// Failovers counts requests restarted after a node failure.
+	Failovers int64
+	// CacheStats reports dynamic-content cache activity (zero value
+	// when caching is disabled).
+	CacheStats dyncache.Stats
+	// Recruitments and Releases count auto-recruit transitions.
+	Recruitments, Releases int64
+	// NodeStats carries per-node OS counters.
+	NodeStats []simos.Stats
+	// NodeUtilization carries per-node lifetime CPU and disk busy
+	// fractions, for load-balance inspection.
+	NodeUtilization []ResourceUtilization
+	// SimulatedSeconds is the virtual time at which the run drained.
+	SimulatedSeconds float64
+	// Events is the number of simulation events fired.
+	Events uint64
+}
+
+// ResourceUtilization is one node's lifetime busy fractions.
+type ResourceUtilization struct {
+	CPU  float64
+	Disk float64
+}
+
+// Cluster is a configured simulation instance.
+type Cluster struct {
+	cfg    Config
+	eng    *sim.Engine
+	nodes  []*simos.Node
+	policy core.Policy
+	view   core.View
+	front  *rng.Stream
+
+	collector *metrics.Collector
+	completed int
+	total     int
+
+	totalDyn  int64
+	masterDyn int64
+	remoteDyn int64
+	history   []int
+
+	roleMasters int
+	available   []bool
+	inflight    map[int64]*pendingRequest
+	nextReqID   int64
+	failovers   int64
+
+	cache          *dyncache.Cache
+	cacheHitDemand float64
+
+	winArrivals  int64 // arrivals since the last auto-recruit check
+	recruitments int64
+	releases     int64
+	sparesActive bool
+
+	// windowed estimators for adaptive reconfiguration
+	winStatic, winDynamic  int64
+	winDemandH, winDemandC float64
+	winDoneH, winDoneC     int64
+	tickers                []*sim.Ticker
+}
+
+// New builds a cluster around an existing engine.
+func New(eng *sim.Engine, cfg Config, policy core.Policy) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		eng:       eng,
+		policy:    policy,
+		front:     rng.New(cfg.Seed),
+		collector: metrics.NewCollector(),
+		inflight:  make(map[int64]*pendingRequest),
+	}
+	c.available = make([]bool, cfg.Nodes)
+	for i := range c.available {
+		c.available[i] = true
+	}
+	for _, id := range cfg.InitiallyDown {
+		c.available[id] = false
+	}
+	if cfg.Cache != nil {
+		hit := cfg.Cache.HitDemand
+		if hit == 0 {
+			hit = 1.0 / 2400
+		}
+		cache, err := dyncache.New(cfg.Cache.Capacity, cfg.Cache.TTL)
+		if err != nil {
+			return nil, err
+		}
+		c.cache = cache
+		c.cacheHitDemand = hit
+	}
+	c.nodes = make([]*simos.Node, cfg.Nodes)
+	for i := range c.nodes {
+		oscfg := cfg.OS
+		if cfg.Speeds != nil {
+			oscfg.SpeedFactor = cfg.Speeds[i]
+		}
+		n, err := simos.NewNode(eng, i, oscfg)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[i] = n
+	}
+	c.view = core.View{Load: make([]core.Load, cfg.Nodes), Affinity: cfg.Affinity}
+	for i := range c.view.Load {
+		speed := 1.0
+		if cfg.Speeds != nil {
+			speed = cfg.Speeds[i]
+		}
+		c.view.Load[i] = core.Load{CPUIdle: 1, DiskAvail: 1, Speed: speed}
+	}
+	c.setMasters(cfg.Masters)
+	return c, nil
+}
+
+// setMasters assigns the master role to nodes 0..m−1; the effective
+// tiers are the role filtered by current availability.
+func (c *Cluster) setMasters(m int) {
+	if m < 1 {
+		m = 1
+	}
+	if m > c.cfg.Nodes {
+		m = c.cfg.Nodes
+	}
+	c.roleMasters = m
+	c.view.Masters = make([]int, 0, m)
+	c.view.Slaves = make([]int, 0, c.cfg.Nodes-m)
+	c.recomputeView()
+	c.history = append(c.history, m)
+}
+
+// Masters returns the current master count.
+func (c *Cluster) Masters() int { return len(c.view.Masters) }
+
+// refreshLoad polls every node's load counters into the shared view.
+func (c *Cluster) refreshLoad() {
+	c.view.Now = c.eng.Now()
+	for i, n := range c.nodes {
+		cpuQ, diskQ := n.QueueLengths()
+		c.view.Load[i].CPUIdle = n.CPUIdleRatio()
+		c.view.Load[i].DiskAvail = n.DiskAvailRatio()
+		c.view.Load[i].CPUQueue = cpuQ
+		c.view.Load[i].DiskQueue = diskQ
+	}
+}
+
+// adapt re-plans the master count from the last window's measurements.
+func (c *Cluster) adapt() {
+	period := c.cfg.Adaptive.Period
+	stat, dyn := c.winStatic, c.winDynamic
+	c.winStatic, c.winDynamic = 0, 0
+	doneH, doneC := c.winDoneH, c.winDoneC
+	demH, demC := c.winDemandH, c.winDemandC
+	c.winDoneH, c.winDoneC, c.winDemandH, c.winDemandC = 0, 0, 0, 0
+
+	if stat == 0 || dyn == 0 || doneH == 0 || doneC == 0 {
+		return // not enough signal this window
+	}
+	params := queuemodel.Params{
+		P:       c.cfg.Nodes,
+		LambdaH: float64(stat) / period,
+		LambdaC: float64(dyn) / period,
+		MuH:     float64(doneH) / demH,
+		MuC:     float64(doneC) / demC,
+	}
+	plan, err := params.OptimalPlan()
+	if err != nil {
+		return // saturated or degenerate window; keep configuration
+	}
+	m := plan.M
+	if min := c.cfg.Adaptive.MinM; min > 0 && m < min {
+		m = min
+	}
+	max := c.cfg.Adaptive.MaxM
+	if max <= 0 {
+		max = c.cfg.Nodes - 1
+	}
+	if m > max {
+		m = max
+	}
+	if m != c.Masters() {
+		c.setMasters(m)
+	}
+}
+
+// dispatch routes one trace request at its arrival time.
+func (c *Cluster) dispatch(req trace.Request, countSample bool) {
+	c.dispatchAt(req, countSample, c.eng.Now())
+}
+
+// dispatchAt routes a request whose logical arrival time may lie in the
+// past (failover restarts keep the original arrival so the lost time
+// counts against the response).
+func (c *Cluster) dispatchAt(req trace.Request, countSample bool, arrival float64) {
+	c.dispatchFull(req, countSample, arrival, nil)
+}
+
+// dispatchFull additionally notifies onDone at completion — the hook the
+// closed-loop driver uses to issue a session's next request.
+func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival float64, onDone func(now float64)) {
+	if len(c.view.Masters) == 0 {
+		// Whole cluster down: retry once capacity returns.
+		c.eng.After(c.cfg.RetryDelay, func() { c.dispatchFull(req, countSample, arrival, onDone) })
+		return
+	}
+	c.winArrivals++
+	master := c.view.Masters[c.front.Intn(len(c.view.Masters))]
+
+	// Swala extension: a fresh cached response short-circuits content
+	// generation — the master serves it like a small static fetch.
+	if c.cache != nil && req.Class == trace.Dynamic && req.Param != 0 {
+		key := dyncache.Key{Script: req.Script, Param: req.Param}
+		if c.cache.Lookup(key, c.eng.Now()) {
+			hit := req
+			hit.Class = trace.Static // served without a CGI process
+			hit.Demand = c.cacheHitDemand
+			hit.CPUWeight = 0.5
+			hit.MemPages = int(req.Size / c.cfg.OS.PageSize)
+			c.runCacheHit(hit, countSample, arrival, master, onDone)
+			return
+		}
+	}
+
+	target := c.policy.Place(core.Request{Class: req.Class, Script: req.Script}, master, &c.view)
+
+	if req.Class == trace.Dynamic {
+		c.totalDyn++
+		c.winDynamic++
+		if isMaster(target, c.view.Masters) {
+			c.masterDyn++
+		}
+	} else {
+		c.winStatic++
+	}
+
+	latency := 0.0
+	if target != master && req.Class == trace.Dynamic {
+		latency = c.cfg.RemoteLatency
+		c.remoteDyn++
+	}
+
+	reqID := c.nextReqID
+	c.nextReqID++
+	c.inflight[reqID] = &pendingRequest{req: req, node: target, arrival: arrival, count: countSample, onDone: onDone}
+
+	job := simos.Job{
+		CPUTime:  req.Demand * req.CPUWeight,
+		IOTime:   req.Demand * (1 - req.CPUWeight),
+		MemPages: req.MemPages,
+		Fork:     req.Class == trace.Dynamic,
+		Done: func(now float64) {
+			delete(c.inflight, reqID)
+			if c.cache != nil && req.Class == trace.Dynamic && req.Param != 0 {
+				c.cache.Insert(dyncache.Key{Script: req.Script, Param: req.Param}, req.Size, now)
+			}
+			response := now - arrival
+			c.policy.ObserveCompletion(req.Class, response, req.Demand)
+			if req.Class == trace.Dynamic {
+				c.winDoneC++
+				c.winDemandC += req.Demand
+			} else {
+				c.winDoneH++
+				c.winDemandH += req.Demand
+			}
+			if countSample {
+				sample := metrics.Sample{
+					Demand:   req.Demand,
+					Response: response,
+					Class:    req.Class.String(),
+				}
+				c.collector.Add(sample)
+				if c.cfg.SampleHook != nil {
+					c.cfg.SampleHook(arrival, sample)
+				}
+			}
+			c.completed++
+			if onDone != nil {
+				onDone(now)
+			}
+		},
+	}
+	submit := func() {
+		if _, ok := c.inflight[reqID]; !ok {
+			// A node-failure handler already took ownership of this
+			// request (it was in the dispatch-latency window when its
+			// target crashed) and restarted it; submitting now would
+			// duplicate the work and corrupt completion accounting.
+			return
+		}
+		if !c.available[target] {
+			// The target failed inside the dispatch latency window;
+			// the failure handler has not seen this request, so
+			// re-place it ourselves.
+			delete(c.inflight, reqID)
+			c.failovers++
+			c.eng.After(c.cfg.RetryDelay, func() { c.dispatchFull(req, countSample, arrival, onDone) })
+			return
+		}
+		c.nodes[target].Submit(job)
+	}
+	if latency > 0 {
+		c.eng.After(latency, submit)
+	} else {
+		submit()
+	}
+}
+
+// runCacheHit serves a cached dynamic response at the master as a
+// lightweight job. The sample records the actual (tiny) demand so the
+// stretch metric stays consistent; the benefit appears in response time
+// and in the load the cluster no longer carries.
+func (c *Cluster) runCacheHit(req trace.Request, countSample bool, arrival float64, master int, onDone func(now float64)) {
+	c.nodes[master].Submit(simos.Job{
+		CPUTime:  req.Demand * req.CPUWeight,
+		IOTime:   req.Demand * (1 - req.CPUWeight),
+		MemPages: req.MemPages,
+		Done: func(now float64) {
+			if countSample {
+				sample := metrics.Sample{
+					Demand:   req.Demand,
+					Response: now - arrival,
+					Class:    "cached",
+				}
+				c.collector.Add(sample)
+				if c.cfg.SampleHook != nil {
+					c.cfg.SampleHook(arrival, sample)
+				}
+			}
+			c.completed++
+			if onDone != nil {
+				onDone(now)
+			}
+		},
+	})
+}
+
+// autoRecruit reacts to the measured arrival rate: spares join the
+// cluster above HighRate and leave below LowRate.
+func (c *Cluster) autoRecruit() {
+	ar := c.cfg.AutoRecruit
+	rate := float64(c.winArrivals) / ar.Period
+	c.winArrivals = 0
+	switch {
+	case !c.sparesActive && rate >= ar.HighRate:
+		for _, id := range ar.Spares {
+			c.applyAvailability(AvailabilityEvent{Node: id, At: c.eng.Now(), Available: true})
+		}
+		c.sparesActive = true
+		c.recruitments++
+	case c.sparesActive && rate <= ar.LowRate:
+		for _, id := range ar.Spares {
+			c.applyAvailability(AvailabilityEvent{Node: id, At: c.eng.Now(), Available: false})
+		}
+		c.sparesActive = false
+		c.releases++
+	}
+}
+
+func isMaster(id int, masters []int) bool {
+	for _, m := range masters {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Run replays the trace to completion and returns the result summary.
+func (c *Cluster) Run(tr *trace.Trace) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	c.total = len(tr.Requests)
+	c.completed = 0
+
+	warmupUntil := 0.0
+	if c.cfg.WarmupFraction > 0 && len(tr.Requests) > 0 {
+		start := tr.Requests[0].Arrival
+		warmupUntil = start + c.cfg.WarmupFraction*tr.Duration()
+	}
+
+	for _, req := range tr.Requests {
+		req := req
+		count := req.Arrival >= warmupUntil
+		c.eng.Schedule(req.Arrival, func() { c.dispatch(req, count) })
+	}
+	for _, e := range c.cfg.Events {
+		e := e
+		c.eng.Schedule(e.At, func() { c.applyAvailability(e) })
+	}
+
+	c.startTickers()
+	// Prime the policy so θ starts from the configured topology rather
+	// than the controller's placeholder.
+	c.policy.Tick(c.eng.Now(), &c.view)
+
+	for c.completed < c.total {
+		if !c.eng.Step() {
+			return nil, fmt.Errorf("cluster: simulation drained with %d/%d requests outstanding", c.total-c.completed, c.total)
+		}
+	}
+	c.stopTickers()
+	return c.buildResult(), nil
+}
+
+// startTickers arms the periodic activities: load polling, policy
+// adaptation, master re-planning, auto-recruitment.
+func (c *Cluster) startTickers() {
+	c.tickers = append(c.tickers, c.eng.Every(c.cfg.LoadRefresh, c.refreshLoad))
+	c.tickers = append(c.tickers, c.eng.Every(c.cfg.PolicyTick, func() {
+		c.policy.Tick(c.eng.Now(), &c.view)
+	}))
+	if c.cfg.Adaptive != nil {
+		c.tickers = append(c.tickers, c.eng.Every(c.cfg.Adaptive.Period, c.adapt))
+	}
+	if c.cfg.AutoRecruit != nil {
+		c.tickers = append(c.tickers, c.eng.Every(c.cfg.AutoRecruit.Period, c.autoRecruit))
+	}
+}
+
+// stopTickers cancels the periodic activities so the engine can drain.
+func (c *Cluster) stopTickers() {
+	for _, t := range c.tickers {
+		t.Stop()
+	}
+	c.tickers = nil
+}
+
+// buildResult snapshots the run's statistics.
+func (c *Cluster) buildResult() *Result {
+	res := &Result{
+		Policy:           c.policy.Name(),
+		Summary:          c.collector.Summarize(),
+		TotalDynamics:    c.totalDyn,
+		MasterDynamics:   c.masterDyn,
+		RemoteDynamics:   c.remoteDyn,
+		FinalMasters:     c.Masters(),
+		MasterHistory:    append([]int(nil), c.history...),
+		Failovers:        c.failovers,
+		SimulatedSeconds: c.eng.Now(),
+		Events:           c.eng.Fired(),
+	}
+	if c.cache != nil {
+		res.CacheStats = c.cache.Stats()
+	}
+	res.Recruitments = c.recruitments
+	res.Releases = c.releases
+	res.StretchFactor = res.Summary.StretchFactor
+	res.NodeStats = make([]simos.Stats, len(c.nodes))
+	res.NodeUtilization = make([]ResourceUtilization, len(c.nodes))
+	for i, n := range c.nodes {
+		res.NodeStats[i] = n.Stats()
+		cpu, disk := n.BusyFractions()
+		res.NodeUtilization[i] = ResourceUtilization{CPU: cpu, Disk: disk}
+	}
+	return res
+}
+
+// Simulate is the one-call convenience: build an engine and cluster,
+// replay the trace, return the result.
+func Simulate(cfg Config, policy core.Policy, tr *trace.Trace) (*Result, error) {
+	eng := sim.NewEngine()
+	c, err := New(eng, cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(tr)
+}

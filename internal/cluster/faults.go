@@ -1,0 +1,109 @@
+package cluster
+
+// Fault tolerance and dynamic resource recruitment. The paper motivates
+// the master/slave architecture with exactly these abilities: slave
+// nodes "may be non-dedicated and recruited dynamically when they become
+// idle", and "if a slave node fails, a master node may need to restart a
+// dynamic content process on another node". This file adds both to the
+// simulated cluster: an availability schedule takes nodes down (crash or
+// reclamation) and brings them up (recovery or recruitment), and the
+// dispatcher restarts the lost in-flight requests elsewhere after a
+// failover-detection delay.
+
+import (
+	"fmt"
+
+	"msweb/internal/trace"
+)
+
+// AvailabilityEvent changes one node's availability at a point in
+// virtual time. Down events model crashes or a non-dedicated machine
+// being reclaimed by its owner; Up events model recovery or recruitment.
+type AvailabilityEvent struct {
+	Node      int
+	At        float64
+	Available bool
+}
+
+// validateEvents checks the availability schedule against the topology.
+func validateEvents(events []AvailabilityEvent, nodes int) error {
+	for i, e := range events {
+		if e.Node < 0 || e.Node >= nodes {
+			return fmt.Errorf("cluster: availability event %d targets node %d of %d", i, e.Node, nodes)
+		}
+		if e.At < 0 {
+			return fmt.Errorf("cluster: availability event %d at negative time", i)
+		}
+	}
+	return nil
+}
+
+// pendingRequest records an in-flight request so it can be restarted if
+// its execution node fails.
+type pendingRequest struct {
+	req     trace.Request
+	node    int
+	arrival float64
+	count   bool
+	onDone  func(now float64)
+}
+
+// applyAvailability executes one schedule entry.
+func (c *Cluster) applyAvailability(e AvailabilityEvent) {
+	if c.available[e.Node] == e.Available {
+		return
+	}
+	c.available[e.Node] = e.Available
+	c.recomputeView()
+
+	if e.Available {
+		return
+	}
+	// The node went down: abort its processes and restart the lost
+	// requests elsewhere after the failover-detection delay.
+	c.nodes[e.Node].Drain()
+	var lost []*pendingRequest
+	for id, p := range c.inflight {
+		if p.node == e.Node {
+			lost = append(lost, p)
+			delete(c.inflight, id)
+		}
+	}
+	delay := c.cfg.RetryDelay
+	for _, p := range lost {
+		p := p
+		c.failovers++
+		c.eng.After(delay, func() { c.dispatchFull(p.req, p.count, p.arrival, p.onDone) })
+	}
+}
+
+// recomputeView rebuilds the master/slave lists from roles and
+// availability. Nodes with id < roleMasters are master-role. If every
+// master-role node is down, the lowest available node is promoted so the
+// cluster keeps accepting requests (the hot-standby takeover the paper
+// describes).
+func (c *Cluster) recomputeView() {
+	masters := c.view.Masters[:0]
+	slaves := c.view.Slaves[:0]
+	for i := 0; i < c.cfg.Nodes; i++ {
+		if !c.available[i] {
+			continue
+		}
+		if i < c.roleMasters {
+			masters = append(masters, i)
+		} else {
+			slaves = append(slaves, i)
+		}
+	}
+	if len(masters) == 0 && len(slaves) > 0 {
+		masters = append(masters, slaves[0])
+		slaves = slaves[1:]
+	}
+	c.view.Masters = masters
+	c.view.Slaves = slaves
+}
+
+// Available reports a node's current availability.
+func (c *Cluster) Available(node int) bool {
+	return node >= 0 && node < len(c.available) && c.available[node]
+}

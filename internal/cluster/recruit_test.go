@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+
+	"msweb/internal/core"
+	"msweb/internal/metrics"
+	"msweb/internal/trace"
+)
+
+// flashTrace builds a bursty KSU-like workload.
+func flashTrace(t *testing.T, lambda float64, n int, seed int64) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile: trace.KSU, Lambda: lambda, Requests: n, MuH: 1200, R: 1.0 / 40,
+		Arrival: trace.MMPPArrivals, BurstFactor: 4,
+		BurstDuration: 3, NormalDuration: 9, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAutoRecruitActivatesOnPeak(t *testing.T) {
+	tr := flashTrace(t, 400, 8000, 41)
+	cfg := DefaultConfig(10, 2)
+	cfg.InitiallyDown = []int{8, 9}
+	cfg.AutoRecruit = &AutoRecruit{
+		Spares:   []int{8, 9},
+		Period:   0.5,
+		HighRate: 550, // above the normal-state rate, below the burst rate
+		LowRate:  450,
+	}
+	res, err := Simulate(cfg, core.NewMS(core.SampleW(tr, 16), 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recruitments == 0 {
+		t.Fatal("flash crowd never triggered recruitment")
+	}
+	if res.Releases == 0 {
+		t.Fatal("spares never released after the burst")
+	}
+	if res.NodeStats[8].Submitted == 0 && res.NodeStats[9].Submitted == 0 {
+		t.Fatal("recruited spares did no work")
+	}
+	if res.Summary.Count != 8000 {
+		t.Fatalf("completed %d/8000", res.Summary.Count)
+	}
+}
+
+func TestAutoRecruitImprovesPeaks(t *testing.T) {
+	tr := flashTrace(t, 450, 10000, 42)
+	base := DefaultConfig(10, 2)
+	base.InitiallyDown = []int{8, 9}
+	noRecruit, err := Simulate(base, core.NewMS(core.SampleW(tr, 16), 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := base
+	with.AutoRecruit = &AutoRecruit{Spares: []int{8, 9}, Period: 0.5, HighRate: 600, LowRate: 480}
+	recruit, err := Simulate(with, core.NewMS(core.SampleW(tr, 16), 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recruit.StretchFactor >= noRecruit.StretchFactor {
+		t.Fatalf("recruitment did not improve the bursty workload: %v vs %v",
+			recruit.StretchFactor, noRecruit.StretchFactor)
+	}
+}
+
+func TestAutoRecruitValidation(t *testing.T) {
+	cfg := DefaultConfig(4, 1)
+	cfg.AutoRecruit = &AutoRecruit{Spares: []int{3}, Period: 0, HighRate: 10, LowRate: 5}
+	if cfg.Validate() == nil {
+		t.Fatal("zero period accepted")
+	}
+	cfg.AutoRecruit = &AutoRecruit{Spares: []int{3}, Period: 1, HighRate: 5, LowRate: 10}
+	if cfg.Validate() == nil {
+		t.Fatal("LowRate >= HighRate accepted")
+	}
+	cfg.AutoRecruit = &AutoRecruit{Spares: []int{9}, Period: 1, HighRate: 10, LowRate: 5}
+	if cfg.Validate() == nil {
+		t.Fatal("out-of-range spare accepted")
+	}
+}
+
+func TestSampleHookSeesEverySample(t *testing.T) {
+	tr := genTrace(t, trace.KSU, 200, 1500, 1.0/40, 43)
+	ts := metrics.NewTimeSeries(1)
+	cfg := DefaultConfig(4, 1)
+	hooked := 0
+	cfg.SampleHook = func(arrival float64, s metrics.Sample) {
+		hooked++
+		ts.Add(arrival, s)
+	}
+	res, err := Simulate(cfg, core.NewMS(core.SampleW(tr, 16), 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooked != res.Summary.Count {
+		t.Fatalf("hook saw %d samples, collector %d", hooked, res.Summary.Count)
+	}
+	total := 0
+	for _, b := range ts.Bins() {
+		total += b.Count
+	}
+	if total != hooked {
+		t.Fatalf("time series lost samples: %d vs %d", total, hooked)
+	}
+}

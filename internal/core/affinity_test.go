@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"msweb/internal/trace"
+)
+
+func TestAffinityAllowed(t *testing.T) {
+	var nilAff ScriptAffinity
+	if nilAff.Allowed(1) != nil {
+		t.Fatal("nil affinity constrained a script")
+	}
+	aff := ScriptAffinity{1: {2, 3}, 2: {}}
+	if got := aff.Allowed(1); len(got) != 2 {
+		t.Fatalf("Allowed(1) = %v", got)
+	}
+	if aff.Allowed(2) != nil {
+		t.Fatal("empty node list treated as constraint")
+	}
+	if aff.Allowed(99) != nil {
+		t.Fatal("unknown script constrained")
+	}
+}
+
+func TestMSRespectsAffinity(t *testing.T) {
+	v := testView([]int{0}, []int{1, 2, 3})
+	v.Affinity = ScriptAffinity{7: {2}}
+	// Node 2 is the busiest — affinity must still win.
+	v.Load[1] = Load{CPUIdle: 1, DiskAvail: 1, Speed: 1}
+	v.Load[2] = Load{CPUIdle: 0.05, DiskAvail: 0.05, Speed: 1}
+	v.Load[3] = Load{CPUIdle: 1, DiskAvail: 1, Speed: 1}
+	ms := NewMS(nil, 1, WithPlacementImpact(0))
+	ms.Tick(0, v)
+	for i := 0; i < 20; i++ {
+		if got := ms.Place(Request{Class: trace.Dynamic, Script: 7}, 0, v); got != 2 {
+			t.Fatalf("pinned script placed at %d, want 2", got)
+		}
+	}
+	// Unconstrained scripts still load-balance freely.
+	counts := map[int]int{}
+	for i := 0; i < 50; i++ {
+		counts[ms.Place(Request{Class: trace.Dynamic, Script: 8}, 0, v)]++
+	}
+	if counts[2] == 50 {
+		t.Fatal("unconstrained script inherited the pin")
+	}
+}
+
+func TestAffinityOverridesReservation(t *testing.T) {
+	// The script's only replica lives on the master: the data
+	// constraint must override the reservation cap.
+	v := testView([]int{0}, []int{1, 2})
+	v.Affinity = ScriptAffinity{5: {0}}
+	ms := NewMS(nil, 1, WithReservationConfig(ReservationConfig{
+		InitialTheta: 0, Alpha: 0.3, Decay: 0.5, // cap fully closed
+	}), WithPlacementImpact(0))
+	if got := ms.Place(Request{Class: trace.Dynamic, Script: 5}, 0, v); got != 0 {
+		t.Fatalf("pinned-to-master script placed at %d despite data constraint", got)
+	}
+}
+
+func TestAffinityWithDeadReplicaDegrades(t *testing.T) {
+	// The allowed node is not in the view (down): the request must
+	// still be placed somewhere rather than dropped.
+	v := testView([]int{0}, []int{1, 2})
+	v.Affinity = ScriptAffinity{5: {9}}
+	ms := NewMS(nil, 1)
+	got := ms.Place(Request{Class: trace.Dynamic, Script: 5}, 0, v)
+	if got < 0 || got > 2 {
+		t.Fatalf("degraded placement returned %d", got)
+	}
+}
+
+func TestAffinityMultiReplicaLoadBalances(t *testing.T) {
+	v := testView([]int{0}, []int{1, 2, 3})
+	v.Affinity = ScriptAffinity{4: {1, 3}}
+	ms := NewMS(nil, 1)
+	ms.Tick(0, v)
+	counts := map[int]int{}
+	for i := 0; i < 100; i++ {
+		counts[ms.Place(Request{Class: trace.Dynamic, Script: 4}, 0, v)]++
+	}
+	if counts[2] > 0 || counts[0] > 0 {
+		t.Fatalf("replica constraint violated: %v", counts)
+	}
+	if counts[1] == 0 || counts[3] == 0 {
+		t.Fatalf("no balancing across replicas: %v", counts)
+	}
+}

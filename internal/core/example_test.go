@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+
+	"msweb/internal/core"
+	"msweb/internal/trace"
+)
+
+// RSRC (Equation 5) ranks nodes for a CPU-bound request: the node with
+// the idle CPU wins even though its disk is busier.
+func ExampleRSRC() {
+	cpuBoundW := 0.9
+	busyCPU := core.RSRC(cpuBoundW, 0.1, 0.9)
+	idleCPU := core.RSRC(cpuBoundW, 0.9, 0.1)
+	fmt.Printf("busy-CPU node cost:  %.2f\n", busyCPU)
+	fmt.Printf("idle-CPU node cost:  %.2f\n", idleCPU)
+	fmt.Printf("idle CPU preferred: %v\n", idleCPU < busyCPU)
+	// Output:
+	// busy-CPU node cost:  9.11
+	// idle-CPU node cost:  2.00
+	// idle CPU preferred: true
+}
+
+// Off-line sampling recovers each CGI script's CPU share from a trace
+// prefix, the w that parameterizes RSRC.
+func ExampleSampleW() {
+	tr := &trace.Trace{Requests: []trace.Request{
+		{Class: trace.Dynamic, Script: 1, CPUWeight: 0.92}, // spin script
+		{Class: trace.Dynamic, Script: 1, CPUWeight: 0.94},
+		{Class: trace.Dynamic, Script: 2, CPUWeight: 0.12}, // catalog search
+	}}
+	wt := core.SampleW(tr, 16)
+	fmt.Printf("script 1 w: %.2f\n", wt.W(1))
+	fmt.Printf("script 2 w: %.2f\n", wt.W(2))
+	fmt.Printf("unknown script falls back to %.1f\n", wt.W(99))
+	// Output:
+	// script 1 w: 0.93
+	// script 2 w: 0.12
+	// unknown script falls back to 0.5
+}
+
+// The reservation controller turns measured ratios into the θ₂ cap and
+// enforces it per placement.
+func ExampleReservationController() {
+	rc := core.NewReservationController(core.DefaultReservationConfig())
+	// Observed traffic: 4 statics per dynamic, statics 40x faster.
+	for i := 0; i < 400; i++ {
+		rc.ObserveArrival(trace.Static)
+		rc.ObserveCompletion(trace.Static, 0.001, 0.001)
+	}
+	for i := 0; i < 100; i++ {
+		rc.ObserveArrival(trace.Dynamic)
+		rc.ObserveCompletion(trace.Dynamic, 0.040, 0.033)
+	}
+	rc.Recompute(8, 32) // 8 masters of 32 nodes
+	fmt.Printf("θ cap: %.3f\n", rc.ThetaLimit())
+	// Output:
+	// θ cap: 0.175
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"msweb/internal/metrics"
+	"msweb/internal/trace"
+)
+
+// ReservationConfig tunes the self-stabilizing reservation controller.
+type ReservationConfig struct {
+	// InitialTheta is the admission cap before any measurements exist.
+	// m/p (the r→0 limit of θ₂) is used when negative.
+	InitialTheta float64
+	// Alpha is the EWMA smoothing factor for the response-time and
+	// arrival-ratio estimators.
+	Alpha float64
+	// Decay is the per-Recompute factor applied to the admission
+	// counters, giving the cap a sliding-window character.
+	Decay float64
+	// Margin shrinks the cap below θ₂ for safety; the paper sets the
+	// limit at θ₂ itself (margin 0) and notes the percentage scheduled
+	// to masters "may not reach this limit" during execution.
+	Margin float64
+}
+
+// DefaultReservationConfig returns the configuration used in the
+// reproduction experiments.
+func DefaultReservationConfig() ReservationConfig {
+	return ReservationConfig{InitialTheta: -1, Alpha: 0.3, Decay: 0.5, Margin: 0}
+}
+
+// ReservationController implements Section 4's reservation for static
+// request processing. It tracks
+//
+//   - a, the arrival-rate ratio λ_c/λ_h, from arrival counts, and
+//   - r, the service-rate ratio μ_c/μ_h, approximated by the ratio of
+//     measured mean response times of static and dynamic requests,
+//
+// and caps the fraction of dynamic requests admitted at master nodes at
+//
+//	θ₂ = (m/p)(1 + r/a) − r/a,
+//
+// the upper root of Theorem 1's quadratic. The feedback is
+// self-stabilizing: over-admitting dynamics at masters slows statics,
+// raising the measured static/dynamic response ratio (the r estimate),
+// which lowers θ₂ and sheds dynamics back to the slaves.
+type ReservationController struct {
+	cfg ReservationConfig
+
+	statArrivals float64
+	dynArrivals  float64
+
+	respStatic  *metrics.EWMA
+	respDynamic *metrics.EWMA
+
+	dynTotal  float64 // decayed count of dynamic placements
+	dynMaster float64 // decayed count of dynamic placements at masters
+
+	theta float64
+	init  bool
+}
+
+// NewReservationController constructs a controller.
+func NewReservationController(cfg ReservationConfig) *ReservationController {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.3
+	}
+	if cfg.Decay <= 0 || cfg.Decay >= 1 {
+		cfg.Decay = 0.5
+	}
+	return &ReservationController{
+		cfg:         cfg,
+		respStatic:  metrics.NewEWMA(cfg.Alpha),
+		respDynamic: metrics.NewEWMA(cfg.Alpha),
+		theta:       cfg.InitialTheta,
+	}
+}
+
+// ObserveArrival records a request arrival for the a estimator.
+func (rc *ReservationController) ObserveArrival(class trace.Class) {
+	if class == trace.Dynamic {
+		rc.dynArrivals++
+	} else {
+		rc.statArrivals++
+	}
+}
+
+// ObserveCompletion records a completed request's response time for the
+// r estimator. Demands are accepted for interface symmetry but the
+// estimator deliberately uses response times only, as the paper does:
+// true service demands are not observable on-line.
+func (rc *ReservationController) ObserveCompletion(class trace.Class, response, demand float64) {
+	if response <= 0 {
+		return
+	}
+	if class == trace.Dynamic {
+		rc.respDynamic.Update(response)
+	} else {
+		rc.respStatic.Update(response)
+	}
+}
+
+// AdmitAtMaster reports whether the next dynamic request may run at a
+// master under the cap. Callers that do place it at a master must then
+// call CountMasterDynamic.
+func (rc *ReservationController) AdmitAtMaster() bool {
+	limit := rc.ThetaLimit()
+	if limit >= 1 {
+		return true
+	}
+	if limit <= 0 {
+		return false
+	}
+	// Would admitting this request keep the fraction under the cap?
+	return (rc.dynMaster+1)/(rc.dynTotal+1) <= limit
+}
+
+// CountMasterDynamic records that a dynamic request was placed at a
+// master. CountDynamic must be called for every placed dynamic request.
+func (rc *ReservationController) CountMasterDynamic() {
+	rc.dynMaster++
+}
+
+// CountDynamic records a dynamic placement (any target).
+func (rc *ReservationController) CountDynamic() {
+	rc.dynTotal++
+}
+
+// A returns the current arrival-ratio estimate (falls back to 0.5 with
+// no static arrivals observed yet).
+func (rc *ReservationController) A() float64 {
+	if rc.statArrivals <= 0 {
+		return 0.5
+	}
+	return rc.dynArrivals / rc.statArrivals
+}
+
+// R returns the current service-ratio estimate from response times
+// (falls back to 1/40, the middle of the paper's studied range, until
+// both classes have completions).
+func (rc *ReservationController) R() float64 {
+	if !rc.respStatic.Initialized() || !rc.respDynamic.Initialized() {
+		return 1.0 / 40
+	}
+	s, d := rc.respStatic.Value(), rc.respDynamic.Value()
+	if d <= 0 {
+		return 1.0 / 40
+	}
+	r := s / d
+	if r <= 0 {
+		return 1.0 / 40
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// ThetaLimit returns the current admission cap.
+func (rc *ReservationController) ThetaLimit() float64 { return rc.theta }
+
+// Recompute refreshes θ₂ from the current estimates for a cluster with
+// m masters out of p nodes, and decays the admission counters. Called
+// periodically (the paper's load managers "update θ periodically").
+func (rc *ReservationController) Recompute(m, p int) {
+	if p <= 0 || m <= 0 {
+		return
+	}
+	if !rc.init && rc.cfg.InitialTheta < 0 {
+		rc.theta = float64(m) / float64(p)
+	}
+	rc.init = true
+
+	a := rc.A()
+	r := rc.R()
+	if a > 0 {
+		theta := (float64(m)/float64(p))*(1+r/a) - r/a - rc.cfg.Margin
+		rc.theta = clamp01f(theta)
+	} else {
+		// No dynamic traffic observed: the cap is irrelevant; keep it
+		// open so a first burst is not rejected outright.
+		rc.theta = 1
+	}
+
+	rc.dynTotal *= rc.cfg.Decay
+	rc.dynMaster *= rc.cfg.Decay
+	rc.statArrivals *= rc.cfg.Decay
+	rc.dynArrivals *= rc.cfg.Decay
+}
+
+func clamp01f(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

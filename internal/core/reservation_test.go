@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"msweb/internal/trace"
+)
+
+func TestReservationDefaults(t *testing.T) {
+	rc := NewReservationController(DefaultReservationConfig())
+	if got := rc.A(); got != 0.5 {
+		t.Fatalf("default a = %v, want 0.5", got)
+	}
+	if got := rc.R(); got != 1.0/40 {
+		t.Fatalf("default r = %v, want 1/40", got)
+	}
+}
+
+func TestReservationInitialThetaFromTopology(t *testing.T) {
+	rc := NewReservationController(DefaultReservationConfig())
+	rc.Recompute(8, 32)
+	// With no measurements: a=0.5, r=1/40 → θ₂ = (8/32)(1+0.05) − 0.05.
+	want := 0.25*(1+(1.0/40)/0.5) - (1.0/40)/0.5
+	if !approx(rc.ThetaLimit(), want, 1e-9) {
+		t.Fatalf("initial θ = %v, want %v", rc.ThetaLimit(), want)
+	}
+}
+
+func TestReservationThetaTracksEstimates(t *testing.T) {
+	rc := NewReservationController(DefaultReservationConfig())
+	// Feed arrivals: a = 2/8 = 0.25.
+	for i := 0; i < 8; i++ {
+		rc.ObserveArrival(trace.Static)
+	}
+	for i := 0; i < 2; i++ {
+		rc.ObserveArrival(trace.Dynamic)
+	}
+	// Feed responses: statics 1 ms, dynamics 40 ms → r ≈ 1/40.
+	for i := 0; i < 50; i++ {
+		rc.ObserveCompletion(trace.Static, 0.001, 0.001)
+		rc.ObserveCompletion(trace.Dynamic, 0.040, 0.040)
+	}
+	rc.Recompute(8, 32)
+	a, r := rc.A(), rc.R()
+	if !approx(a, 0.25, 1e-9) {
+		t.Fatalf("a estimate = %v, want 0.25", a)
+	}
+	if !approx(r, 0.025, 0.002) {
+		t.Fatalf("r estimate = %v, want ~0.025", r)
+	}
+	want := (8.0/32.0)*(1+r/a) - r/a
+	if !approx(rc.ThetaLimit(), want, 1e-9) {
+		t.Fatalf("θ = %v, want %v", rc.ThetaLimit(), want)
+	}
+}
+
+// The self-stabilizing feedback of Section 4: slowing statics (relative
+// to dynamics) must LOWER the admission cap.
+func TestReservationSelfStabilizes(t *testing.T) {
+	rc := NewReservationController(DefaultReservationConfig())
+	for i := 0; i < 4; i++ {
+		rc.ObserveArrival(trace.Static)
+		rc.ObserveArrival(trace.Dynamic)
+	}
+	// Healthy: statics fast.
+	for i := 0; i < 50; i++ {
+		rc.ObserveCompletion(trace.Static, 0.001, 0.001)
+		rc.ObserveCompletion(trace.Dynamic, 0.050, 0.040)
+	}
+	rc.Recompute(8, 32)
+	healthy := rc.ThetaLimit()
+
+	// Masters overloaded: statics crawl (response ratio rises).
+	for i := 0; i < 200; i++ {
+		rc.ObserveCompletion(trace.Static, 0.020, 0.001)
+		rc.ObserveCompletion(trace.Dynamic, 0.050, 0.040)
+	}
+	rc.Recompute(8, 32)
+	stressed := rc.ThetaLimit()
+	if stressed >= healthy {
+		t.Fatalf("θ did not fall under static slowdown: healthy=%v stressed=%v", healthy, stressed)
+	}
+
+	// Recovery: statics fast again → θ rises back.
+	for i := 0; i < 400; i++ {
+		rc.ObserveCompletion(trace.Static, 0.001, 0.001)
+		rc.ObserveCompletion(trace.Dynamic, 0.050, 0.040)
+	}
+	rc.Recompute(8, 32)
+	recovered := rc.ThetaLimit()
+	if recovered <= stressed {
+		t.Fatalf("θ did not recover: stressed=%v recovered=%v", stressed, recovered)
+	}
+}
+
+func TestReservationConvergesFromAnyInitialTheta(t *testing.T) {
+	// The paper: "θ will converge to a specific value if the system
+	// itself is stable, no matter what the initial value was."
+	run := func(initial float64) float64 {
+		rc := NewReservationController(ReservationConfig{InitialTheta: initial, Alpha: 0.3, Decay: 0.5})
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 10; i++ {
+				rc.ObserveArrival(trace.Static)
+				rc.ObserveCompletion(trace.Static, 0.001, 0.001)
+			}
+			for i := 0; i < 4; i++ {
+				rc.ObserveArrival(trace.Dynamic)
+				rc.ObserveCompletion(trace.Dynamic, 0.040, 0.033)
+			}
+			rc.Recompute(6, 32)
+		}
+		return rc.ThetaLimit()
+	}
+	low, high := run(0.0), run(1.0)
+	if !approx(low, high, 1e-6) {
+		t.Fatalf("θ depends on initial value: %v vs %v", low, high)
+	}
+}
+
+func TestAdmitAtMasterEnforcesFraction(t *testing.T) {
+	rc := NewReservationController(ReservationConfig{InitialTheta: 0.25, Alpha: 0.3, Decay: 0.5})
+	admitted := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		rc.CountDynamic()
+		if rc.AdmitAtMaster() {
+			rc.CountMasterDynamic()
+			admitted++
+		}
+	}
+	frac := float64(admitted) / n
+	if frac > 0.27 || frac < 0.20 {
+		t.Fatalf("admitted fraction %v, want ≈ 0.25", frac)
+	}
+}
+
+func TestAdmitAtMasterExtremes(t *testing.T) {
+	open := NewReservationController(ReservationConfig{InitialTheta: 1, Alpha: 0.3, Decay: 0.5})
+	for i := 0; i < 100; i++ {
+		if !open.AdmitAtMaster() {
+			t.Fatal("θ=1 rejected an admission")
+		}
+		open.CountDynamic()
+		open.CountMasterDynamic()
+	}
+	closed := NewReservationController(ReservationConfig{InitialTheta: 0, Alpha: 0.3, Decay: 0.5})
+	// Force init so the cap stays 0 (InitialTheta=0 is respected).
+	if closed.AdmitAtMaster() {
+		t.Fatal("θ=0 admitted a dynamic at a master")
+	}
+}
+
+func TestRecomputeHandlesNoDynamicTraffic(t *testing.T) {
+	rc := NewReservationController(DefaultReservationConfig())
+	for i := 0; i < 100; i++ {
+		rc.ObserveArrival(trace.Static)
+	}
+	rc.Recompute(4, 16)
+	if rc.ThetaLimit() != 1 {
+		t.Fatalf("all-static cap = %v, want 1 (irrelevant, keep open)", rc.ThetaLimit())
+	}
+}
+
+func TestRecomputeIgnoresDegenerateTopology(t *testing.T) {
+	rc := NewReservationController(DefaultReservationConfig())
+	before := rc.ThetaLimit()
+	rc.Recompute(0, 16)
+	rc.Recompute(4, 0)
+	if rc.ThetaLimit() != before {
+		t.Fatalf("degenerate topology changed θ: %v -> %v", before, rc.ThetaLimit())
+	}
+}
+
+func TestObserveCompletionIgnoresNonPositive(t *testing.T) {
+	rc := NewReservationController(DefaultReservationConfig())
+	rc.ObserveCompletion(trace.Static, 0, 0)
+	rc.ObserveCompletion(trace.Dynamic, -1, 1)
+	if got := rc.R(); got != 1.0/40 {
+		t.Fatalf("r moved on invalid samples: %v", got)
+	}
+}
+
+func TestMarginShrinksCap(t *testing.T) {
+	base := NewReservationController(ReservationConfig{Alpha: 0.3, Decay: 0.5, InitialTheta: -1})
+	withMargin := NewReservationController(ReservationConfig{Alpha: 0.3, Decay: 0.5, InitialTheta: -1, Margin: 0.05})
+	feed := func(rc *ReservationController) {
+		for i := 0; i < 10; i++ {
+			rc.ObserveArrival(trace.Static)
+			rc.ObserveArrival(trace.Dynamic)
+			rc.ObserveCompletion(trace.Static, 0.001, 0.001)
+			rc.ObserveCompletion(trace.Dynamic, 0.040, 0.040)
+		}
+		rc.Recompute(8, 32)
+	}
+	feed(base)
+	feed(withMargin)
+	if withMargin.ThetaLimit() >= base.ThetaLimit() {
+		t.Fatalf("margin did not shrink cap: %v vs %v", withMargin.ThetaLimit(), base.ThetaLimit())
+	}
+}
+
+func TestBadConfigFallsBackToDefaults(t *testing.T) {
+	rc := NewReservationController(ReservationConfig{Alpha: 5, Decay: 2, InitialTheta: 0.3})
+	// Must not panic or wedge: exercise the full loop.
+	for i := 0; i < 10; i++ {
+		rc.ObserveArrival(trace.Dynamic)
+		rc.ObserveCompletion(trace.Dynamic, 0.04, 0.04)
+		rc.Recompute(4, 8)
+	}
+	if th := rc.ThetaLimit(); th < 0 || th > 1 {
+		t.Fatalf("θ out of range: %v", th)
+	}
+}

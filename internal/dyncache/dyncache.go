@@ -1,0 +1,148 @@
+// Package dyncache implements the dynamic-content response cache of the
+// paper's Swala lineage ("Cooperative Caching of Dynamic Content on a
+// Distributed Web Server", which the paper cites as a compatible, simple
+// extension to its scheduling scheme). Identical CGI invocations —
+// same script, same parameters — can be answered from a cached response
+// while it remains fresh, skipping content generation entirely.
+//
+// The cache is an LRU with per-entry TTL over virtual time. It is
+// deliberately clock-agnostic: callers pass the current time, so the
+// same implementation serves the discrete-event simulator (virtual
+// seconds) and a wall-clock server.
+package dyncache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Key identifies one cacheable CGI invocation.
+type Key struct {
+	Script int
+	Param  int64
+}
+
+// entry is one cached response.
+type entry struct {
+	key     Key
+	expires float64
+	size    int64
+	elem    *list.Element
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Evictions uint64
+	Expired   uint64
+}
+
+// HitRatio returns hits/(hits+misses), 0 when empty.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a fixed-capacity LRU of fresh dynamic responses. Not safe
+// for concurrent use; the simulator is single-threaded and a live server
+// should wrap it in a mutex.
+type Cache struct {
+	capacity int
+	ttl      float64
+	entries  map[Key]*entry
+	lru      *list.List // front = most recent
+	stats    Stats
+}
+
+// New creates a cache holding up to capacity entries, each fresh for
+// ttl seconds. It returns an error for non-positive parameters.
+func New(capacity int, ttl float64) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("dyncache: capacity %d must be positive", capacity)
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("dyncache: ttl %v must be positive", ttl)
+	}
+	return &Cache{
+		capacity: capacity,
+		ttl:      ttl,
+		entries:  make(map[Key]*entry),
+		lru:      list.New(),
+	}, nil
+}
+
+// Lookup reports whether a fresh response for key exists at time now,
+// refreshing its LRU position on a hit. Expired entries are removed.
+func (c *Cache) Lookup(key Key, now float64) bool {
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	if now >= e.expires {
+		c.remove(e)
+		c.stats.Expired++
+		c.stats.Misses++
+		return false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.stats.Hits++
+	return true
+}
+
+// Insert stores a freshly generated response of the given size at time
+// now, evicting the least recently used entry if full. Re-inserting an
+// existing key refreshes its TTL.
+func (c *Cache) Insert(key Key, size int64, now float64) {
+	if e, ok := c.entries[key]; ok {
+		e.expires = now + c.ttl
+		e.size = size
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.remove(oldest.Value.(*entry))
+		c.stats.Evictions++
+	}
+	e := &entry{key: key, expires: now + c.ttl, size: size}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.stats.Inserts++
+}
+
+// Invalidate drops one key (content changed at the source).
+func (c *Cache) Invalidate(key Key) {
+	if e, ok := c.entries[key]; ok {
+		c.remove(e)
+	}
+}
+
+// InvalidateScript drops every entry of one script.
+func (c *Cache) InvalidateScript(script int) {
+	for k, e := range c.entries {
+		if k.Script == script {
+			c.remove(e)
+		}
+	}
+}
+
+func (c *Cache) remove(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+}
+
+// Len returns the number of cached entries (including possibly-expired
+// ones not yet touched).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }

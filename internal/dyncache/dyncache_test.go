@@ -1,0 +1,156 @@
+package dyncache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, capacity int, ttl float64) *Cache {
+	t.Helper()
+	c, err := New(capacity, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := New(10, 0); err == nil {
+		t.Fatal("ttl 0 accepted")
+	}
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	c := mustNew(t, 4, 10)
+	k := Key{Script: 1, Param: 42}
+	if c.Lookup(k, 0) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(k, 1000, 0)
+	if !c.Lookup(k, 5) {
+		t.Fatal("miss on fresh entry")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := mustNew(t, 4, 10)
+	k := Key{Script: 1, Param: 1}
+	c.Insert(k, 100, 0)
+	if !c.Lookup(k, 9.99) {
+		t.Fatal("miss just before expiry")
+	}
+	if c.Lookup(k, 10) {
+		t.Fatal("hit at expiry instant")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry retained: len=%d", c.Len())
+	}
+	if c.Stats().Expired != 1 {
+		t.Fatalf("expired count = %d", c.Stats().Expired)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, 2, 100)
+	a, b, d := Key{1, 1}, Key{1, 2}, Key{1, 3}
+	c.Insert(a, 1, 0)
+	c.Insert(b, 1, 1)
+	c.Lookup(a, 2) // a becomes most recent
+	c.Insert(d, 1, 3)
+	if c.Lookup(b, 4) {
+		t.Fatal("LRU victim b survived")
+	}
+	if !c.Lookup(a, 4) || !c.Lookup(d, 4) {
+		t.Fatal("recently used entries evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestReinsertRefreshesTTL(t *testing.T) {
+	c := mustNew(t, 2, 10)
+	k := Key{2, 7}
+	c.Insert(k, 1, 0)
+	c.Insert(k, 1, 8) // refresh
+	if !c.Lookup(k, 15) {
+		t.Fatal("refreshed entry expired early")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("duplicate entries: len=%d", c.Len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustNew(t, 8, 100)
+	c.Insert(Key{1, 1}, 1, 0)
+	c.Insert(Key{1, 2}, 1, 0)
+	c.Insert(Key{2, 1}, 1, 0)
+	c.Invalidate(Key{1, 1})
+	if c.Lookup(Key{1, 1}, 1) {
+		t.Fatal("invalidated key hit")
+	}
+	c.InvalidateScript(1)
+	if c.Lookup(Key{1, 2}, 1) {
+		t.Fatal("script invalidation missed an entry")
+	}
+	if !c.Lookup(Key{2, 1}, 1) {
+		t.Fatal("script invalidation removed another script's entry")
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	c := mustNew(t, 4, 100)
+	k := Key{1, 1}
+	c.Lookup(k, 0) // miss
+	c.Insert(k, 1, 0)
+	c.Lookup(k, 1) // hit
+	c.Lookup(k, 2) // hit
+	if got := c.Stats().HitRatio(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit ratio = %v, want 2/3", got)
+	}
+	var empty Stats
+	if empty.HitRatio() != 0 {
+		t.Fatal("empty hit ratio not 0")
+	}
+}
+
+// Property: the cache never exceeds its capacity and lookups never panic
+// regardless of the operation sequence.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := mustNewQuick()
+		now := 0.0
+		for _, op := range ops {
+			now += float64(op%7) / 10
+			k := Key{Script: int(op % 3), Param: int64(op % 11)}
+			if op%2 == 0 {
+				c.Insert(k, int64(op), now)
+			} else {
+				c.Lookup(k, now)
+			}
+			if c.Len() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustNewQuick() *Cache {
+	c, err := New(4, 2)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,36 @@
+package dyncache_test
+
+import (
+	"fmt"
+
+	"msweb/internal/dyncache"
+)
+
+// A catalog search is generated once per TTL window; repeats are served
+// from the cache.
+func ExampleCache() {
+	cache, err := dyncache.New(1024, 30 /* seconds */)
+	if err != nil {
+		panic(err)
+	}
+	key := dyncache.Key{Script: 3, Param: 42}
+
+	now := 0.0
+	if !cache.Lookup(key, now) {
+		fmt.Println("miss: generate the page")
+		cache.Insert(key, 8730, now)
+	}
+	if cache.Lookup(key, now+5) {
+		fmt.Println("hit: serve cached copy")
+	}
+	if !cache.Lookup(key, now+31) {
+		fmt.Println("expired: regenerate")
+	}
+	st := cache.Stats()
+	fmt.Printf("hits=%d misses=%d ratio=%.2f\n", st.Hits, st.Misses, st.HitRatio())
+	// Output:
+	// miss: generate the page
+	// hit: serve cached copy
+	// expired: regenerate
+	// hits=1 misses=2 ratio=0.33
+}

@@ -1,0 +1,185 @@
+package experiments
+
+// Ablations of the design choices DESIGN.md calls out: how accurate the
+// off-line w sampling must be for RSRC to pay off, and how stale load
+// information degrades placement (the herding effect the in-view
+// booking correction counters).
+
+import (
+	"fmt"
+	"strings"
+
+	"msweb/internal/cluster"
+	"msweb/internal/core"
+	"msweb/internal/queuemodel"
+	"msweb/internal/rng"
+	"msweb/internal/trace"
+)
+
+// WSensitivityRow reports one sampling-accuracy level.
+type WSensitivityRow struct {
+	Label   string
+	Stretch float64
+}
+
+// RunWSensitivity replays an I/O-heavy ADL workload with progressively
+// corrupted w tables: exact sampling, Gaussian sampling error of
+// increasing width, the blind 0.5 default (M/S-ns), and adversarially
+// inverted weights. The spread shows how much headroom the off-line
+// sampling step has before cost prediction misroutes work.
+func RunWSensitivity(p int, opts Options) ([]WSensitivityRow, error) {
+	opts = opts.withDefaults()
+	prof := trace.ADL // widest CPU/disk asymmetry → sampling matters most
+	r := 1.0 / 40
+	lambda := LambdaForRho(p, prof.ArrivalRatio(), r, opts.TargetRho)
+	n := opts.requestCount(lambda)
+	plan, err := queuemodel.NewParams(p, lambda, prof.ArrivalRatio(), MuH, r).OptimalPlan()
+	if err != nil {
+		return nil, err
+	}
+
+	corruptions := []struct {
+		label string
+		make  func(exact core.WTable, s *rng.Stream) core.WTable
+	}{
+		{"exact sampling", func(exact core.WTable, _ *rng.Stream) core.WTable { return exact }},
+		{"sampling error ±0.1", noisyW(0.1)},
+		{"sampling error ±0.3", noisyW(0.3)},
+		{"blind w=0.5 (M/S-ns)", func(core.WTable, *rng.Stream) core.WTable { return nil }},
+		{"inverted weights", func(exact core.WTable, _ *rng.Stream) core.WTable {
+			bad := make(core.WTable, len(exact))
+			for k, v := range exact {
+				bad[k] = 1 - v
+			}
+			return bad
+		}},
+	}
+
+	var rows []WSensitivityRow
+	for ci, c := range corruptions {
+		var sum float64
+		for _, seed := range opts.Seeds {
+			tr, err := genTrace(prof, lambda, r, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			exact := core.SampleW(tr, 16)
+			wt := c.make(exact, rng.New(seed+int64(ci)*1000))
+			res, err := simulateOnce(p, plan.M, core.NewMS(wt, seed), tr, opts.Warmup)
+			if err != nil {
+				return nil, err
+			}
+			sum += res
+		}
+		rows = append(rows, WSensitivityRow{Label: c.label, Stretch: sum / float64(len(opts.Seeds))})
+	}
+	return rows, nil
+}
+
+// noisyW corrupts each sampled weight with clamped Gaussian noise.
+func noisyW(sigma float64) func(core.WTable, *rng.Stream) core.WTable {
+	return func(exact core.WTable, s *rng.Stream) core.WTable {
+		out := make(core.WTable, len(exact))
+		for k, v := range exact {
+			w := s.Normal(v, sigma)
+			if w < 0.01 {
+				w = 0.01
+			}
+			if w > 0.99 {
+				w = 0.99
+			}
+			out[k] = w
+		}
+		return out
+	}
+}
+
+// FormatWSensitivity renders the sampling-accuracy ablation.
+func FormatWSensitivity(p int, rows []WSensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: off-line w sampling accuracy, ADL workload, p=%d\n", p)
+	fmt.Fprintln(&b, "(note: when the dominant resource saturates, its idle ratio floors out and the")
+	fmt.Fprintln(&b, " OTHER resource — whose load correlates with CGI count — can be the better-")
+	fmt.Fprintln(&b, " conditioned signal, so even inverted weights may score well here)")
+	header := fmt.Sprintf("%-24s %-9s %-10s", "w table", "SF", "vs exact")
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, rule(header))
+	base := 0.0
+	for i, r := range rows {
+		if i == 0 {
+			base = r.Stretch
+		}
+		fmt.Fprintf(&b, "%-24s %-9.2f %-10s\n", r.Label, r.Stretch, pct((r.Stretch/base-1)*100))
+	}
+	return b.String()
+}
+
+// StalenessRow reports one load-information refresh period.
+type StalenessRow struct {
+	RefreshSeconds float64
+	WithBooking    float64 // SF with the in-view booking correction
+	NoBooking      float64 // SF without it
+}
+
+// RunStaleness sweeps the rstat polling period with and without the
+// placement-booking correction, quantifying the stale-information herd
+// effect: without booking, every request between two refreshes piles
+// onto the node that looked idlest at the last poll.
+func RunStaleness(p int, opts Options) ([]StalenessRow, error) {
+	opts = opts.withDefaults()
+	prof := trace.ADL
+	r := 1.0 / 40
+	lambda := LambdaForRho(p, prof.ArrivalRatio(), r, opts.TargetRho)
+	n := opts.requestCount(lambda)
+	plan, err := queuemodel.NewParams(p, lambda, prof.ArrivalRatio(), MuH, r).OptimalPlan()
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []StalenessRow
+	for _, refresh := range []float64{0.05, 0.2, 1.0, 5.0} {
+		measure := func(impact float64) (float64, error) {
+			var sum float64
+			for _, seed := range opts.Seeds {
+				tr, err := genTrace(prof, lambda, r, n, seed)
+				if err != nil {
+					return 0, err
+				}
+				cfg := cluster.DefaultConfig(p, plan.M)
+				cfg.WarmupFraction = opts.Warmup
+				cfg.LoadRefresh = refresh
+				pol := core.NewMS(core.SampleW(tr, 16), seed, core.WithPlacementImpact(impact))
+				res, err := cluster.Simulate(cfg, pol, tr)
+				if err != nil {
+					return 0, err
+				}
+				sum += res.StretchFactor
+			}
+			return sum / float64(len(opts.Seeds)), nil
+		}
+		with, err := measure(core.DefaultPlacementImpact)
+		if err != nil {
+			return nil, err
+		}
+		without, err := measure(0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, StalenessRow{RefreshSeconds: refresh, WithBooking: with, NoBooking: without})
+	}
+	return rows, nil
+}
+
+// FormatStaleness renders the staleness ablation.
+func FormatStaleness(p int, rows []StalenessRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: load-information staleness and placement booking, ADL workload, p=%d\n", p)
+	header := fmt.Sprintf("%-12s %-14s %-13s %-12s", "refresh (s)", "SF w/ booking", "SF w/o", "herd cost")
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, rule(header))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12.2f %-14.2f %-13.2f %-12s\n",
+			r.RefreshSeconds, r.WithBooking, r.NoBooking, pct((r.NoBooking/r.WithBooking-1)*100))
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"msweb/internal/trace"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	var zero Options
+	o := zero.withDefaults()
+	if len(o.Seeds) == 0 || o.TargetRho <= 0 || o.Duration <= 0 || len(o.InvRs) == 0 {
+		t.Fatalf("withDefaults left gaps: %+v", o)
+	}
+	q := Quick()
+	if q.MinRequests >= Default().MinRequests {
+		t.Fatal("Quick is not smaller than Default")
+	}
+}
+
+func TestLambdaForRho(t *testing.T) {
+	// The returned λ must actually produce the requested utilization.
+	lambda := LambdaForRho(32, 0.4, 1.0/40, 0.65)
+	p := paramsCheck(32, lambda, 0.4, 1.0/40)
+	if math.Abs(p-0.65) > 1e-9 {
+		t.Fatalf("utilization at λ=%v is %v, want 0.65", lambda, p)
+	}
+}
+
+func paramsCheck(p int, lambda, a, r float64) float64 {
+	lambdaH := lambda / (1 + a)
+	lambdaC := lambda - lambdaH
+	return lambdaH/(float64(p)*MuH) + lambdaC/(float64(p)*r*MuH)
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1(1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Measured.PctCGI-r.PaperPctCGI) > 4 {
+			t.Fatalf("%s: measured %%CGI %.1f vs paper %.1f", r.PaperName, r.Measured.PctCGI, r.PaperPctCGI)
+		}
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"Table 1", "DEC", "UCB", "KSU", "ADL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	curves := RunFig3()
+	if len(curves) != 3 {
+		t.Fatalf("%d curves", len(curves))
+	}
+	a := FormatFig3a(curves)
+	b := FormatFig3b(curves)
+	if !strings.Contains(a, "Figure 3(a)") || !strings.Contains(b, "Figure 3(b)") {
+		t.Fatal("figure titles missing")
+	}
+	if !strings.Contains(a, "1/r") || !strings.Contains(a, "a=2/8") {
+		t.Fatalf("figure 3a table incomplete:\n%s", a)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	rows := RunTable2(Quick())
+	if len(rows) != 6 { // 3 traces × 2 cluster sizes
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Lambdas) != len(r.InvRs) {
+			t.Fatalf("row %s/%d: %d lambdas for %d r values", r.Trace, r.P, len(r.Lambdas), len(r.InvRs))
+		}
+		for i := 1; i < len(r.Lambdas); i++ {
+			// Higher 1/r (more expensive CGI) must mean lower λ at
+			// constant utilization.
+			if r.Lambdas[i] >= r.Lambdas[i-1] {
+				t.Fatalf("row %s/%d: λ not decreasing in 1/r: %v", r.Trace, r.P, r.Lambdas)
+			}
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "Table 2") {
+		t.Fatal("format missing title")
+	}
+}
+
+func TestRunFig4Quick(t *testing.T) {
+	rows, err := RunFig4(8, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 traces × 2 quick r values
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	winsOverNR, winsOver1 := 0, 0
+	for _, r := range rows {
+		if r.MSStretch < 1 {
+			t.Fatalf("impossible stretch %v", r.MSStretch)
+		}
+		if r.OverNR > -5 {
+			winsOverNR++
+		}
+		if r.Over1 > -5 {
+			winsOver1++
+		}
+	}
+	// The headline direction must hold in the clear majority of cells:
+	// M/S at least matches the ablations.
+	if winsOverNR < 4 {
+		t.Fatalf("M/S lost to M/S-nr in %d/6 cells", 6-winsOverNR)
+	}
+	if winsOver1 < 4 {
+		t.Fatalf("M/S lost to M/S-1 in %d/6 cells", 6-winsOver1)
+	}
+	out := FormatFig4(8, rows)
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "vs M/S-nr") {
+		t.Fatalf("format incomplete:\n%s", out)
+	}
+}
+
+func TestRunFig5Quick(t *testing.T) {
+	opts := Quick()
+	opts.InvRs = []float64{20, 80}
+	res, err := RunFig5(8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(res.Rows))
+	}
+	if res.NominalM < 1 || res.NominalM >= 8 {
+		t.Fatalf("implausible nominal m=%d", res.NominalM)
+	}
+	for _, r := range res.Rows {
+		if r.FixedM != res.NominalM {
+			t.Fatalf("row used m=%d, nominal is %d", r.FixedM, res.NominalM)
+		}
+		if r.FixedSF <= 0 || r.AdaptSF <= 0 {
+			t.Fatalf("bad stretch factors: %+v", r)
+		}
+	}
+	out := FormatFig5(res)
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "degrade") {
+		t.Fatalf("format incomplete:\n%s", out)
+	}
+}
+
+func TestRunTable3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster validation skipped in -short mode")
+	}
+	rows, err := RunTable3(QuickTable3Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 1 trace × 1 λ × 3 comparisons
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.ActualPct) || math.IsNaN(r.SimPct) {
+			t.Fatalf("NaN cell: %+v", r)
+		}
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "Table 3") {
+		t.Fatal("format missing title")
+	}
+}
+
+func TestTable3MastersMatchesPaper(t *testing.T) {
+	if got := table3Masters("UCB"); got != 3 {
+		t.Fatalf("UCB masters = %d, want 3", got)
+	}
+	if got := table3Masters("KSU"); got != 1 {
+		t.Fatalf("KSU masters = %d, want 1", got)
+	}
+	if got := table3Masters("ADL"); got != 1 {
+		t.Fatalf("ADL masters = %d, want 1", got)
+	}
+}
+
+func TestGenTraceUsesOptions(t *testing.T) {
+	tr, err := genTrace(trace.KSU, 100, 1.0/40, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 500 {
+		t.Fatalf("%d requests", len(tr.Requests))
+	}
+}

@@ -1,0 +1,315 @@
+package experiments
+
+// Extension studies beyond the paper's published artifacts, covering the
+// future-work directions its Section 6 sketches: dynamic-content
+// caching (Swala), fault tolerance / dynamic recruitment, and
+// heterogeneous clusters. msbench exposes them as cachesweep, failover
+// and hetero.
+
+import (
+	"fmt"
+	"strings"
+
+	"msweb/internal/cluster"
+	"msweb/internal/core"
+	"msweb/internal/queuemodel"
+	"msweb/internal/trace"
+)
+
+// CacheSweepRow reports one cache configuration.
+type CacheSweepRow struct {
+	Capacity    int // 0 = caching disabled
+	TTL         float64
+	Stretch     float64
+	DynMeanResp float64 // mean response of uncached dynamics, seconds
+	HitRatio    float64
+}
+
+// RunCacheSweep replays a KSU-like workload (70% of CGI invocations
+// cacheable, Zipf-popular parameters) against increasing cache sizes.
+func RunCacheSweep(p int, opts Options) ([]CacheSweepRow, error) {
+	opts = opts.withDefaults()
+	prof := trace.KSU
+	r := 1.0 / 40
+	lambda := LambdaForRho(p, prof.ArrivalRatio(), r, opts.TargetRho)
+	n := opts.requestCount(lambda)
+
+	var rows []CacheSweepRow
+	for _, capacity := range []int{0, 64, 256, 1024, 4096} {
+		var sumSF, sumResp, sumHit float64
+		for _, seed := range opts.Seeds {
+			tr, err := genTrace(prof, lambda, r, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg := cluster.DefaultConfig(p, 0)
+			plan, err := queuemodel.NewParams(p, lambda, prof.ArrivalRatio(), MuH, r).OptimalPlan()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Masters = plan.M
+			cfg.WarmupFraction = opts.Warmup
+			if capacity > 0 {
+				cfg.Cache = &cluster.CacheConfig{Capacity: capacity, TTL: 120}
+			}
+			res, err := cluster.Simulate(cfg, core.NewMS(core.SampleW(tr, 16), seed), tr)
+			if err != nil {
+				return nil, err
+			}
+			sumSF += res.StretchFactor
+			sumResp += res.Summary.ByClass["dynamic"].MeanResponse
+			sumHit += res.CacheStats.HitRatio()
+		}
+		k := float64(len(opts.Seeds))
+		rows = append(rows, CacheSweepRow{
+			Capacity:    capacity,
+			TTL:         120,
+			Stretch:     sumSF / k,
+			DynMeanResp: sumResp / k,
+			HitRatio:    sumHit / k,
+		})
+	}
+	return rows, nil
+}
+
+// FormatCacheSweep renders the cache study.
+func FormatCacheSweep(p int, rows []CacheSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: Swala-style dynamic-content cache, KSU workload, p=%d\n", p)
+	header := fmt.Sprintf("%-9s %-8s %-9s %-14s %-9s", "capacity", "TTL(s)", "SF", "dyn resp (s)", "hit rate")
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, rule(header))
+	for _, r := range rows {
+		cap := "off"
+		if r.Capacity > 0 {
+			cap = fmt.Sprintf("%d", r.Capacity)
+		}
+		fmt.Fprintf(&b, "%-9s %-8.0f %-9.2f %-14.4f %6.1f%%\n",
+			cap, r.TTL, r.Stretch, r.DynMeanResp, 100*r.HitRatio)
+	}
+	return b.String()
+}
+
+// FailoverRow reports one availability scenario.
+type FailoverRow struct {
+	Scenario  string
+	Stretch   float64
+	Failovers int64
+	Completed int
+}
+
+// RunFailoverStudy replays an ADL-like workload through three
+// availability scenarios: a healthy cluster, a mid-run slave crash, and
+// the same crash compensated by recruiting two non-dedicated nodes.
+func RunFailoverStudy(p int, opts Options) ([]FailoverRow, error) {
+	opts = opts.withDefaults()
+	prof := trace.ADL
+	r := 1.0 / 40
+	// Load targeted against the dedicated portion (p−2 nodes): the two
+	// recruits are spare capacity.
+	lambda := LambdaForRho(p-2, prof.ArrivalRatio(), r, opts.TargetRho)
+	n := opts.requestCount(lambda)
+	tr, err := genTrace(prof, lambda, r, n, opts.Seeds[0])
+	if err != nil {
+		return nil, err
+	}
+	wt := core.SampleW(tr, 16)
+	span := tr.Duration()
+
+	plan, err := queuemodel.NewParams(p-2, lambda, prof.ArrivalRatio(), MuH, r).OptimalPlan()
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(scenario string, events []cluster.AvailabilityEvent) (FailoverRow, error) {
+		cfg := cluster.DefaultConfig(p, plan.M)
+		cfg.WarmupFraction = opts.Warmup
+		cfg.InitiallyDown = []int{p - 2, p - 1}
+		cfg.Events = events
+		res, err := cluster.Simulate(cfg, core.NewMS(wt, opts.Seeds[0]), tr)
+		if err != nil {
+			return FailoverRow{}, err
+		}
+		return FailoverRow{
+			Scenario:  scenario,
+			Stretch:   res.StretchFactor,
+			Failovers: res.Failovers,
+			Completed: res.Summary.Count,
+		}, nil
+	}
+
+	// Two slaves crash at staggered times so the scenario reliably
+	// catches in-flight work (a single instant can find a node idle).
+	crashAt := 0.3 * span
+	crashAt2 := 0.5 * span
+	victim, victim2 := plan.M, plan.M+1 // first two slaves
+	scenarios := []struct {
+		name   string
+		events []cluster.AvailabilityEvent
+	}{
+		{"healthy", nil},
+		{"slave crashes", []cluster.AvailabilityEvent{
+			{Node: victim, At: crashAt, Available: false},
+			{Node: victim2, At: crashAt2, Available: false},
+		}},
+		{"crashes + recruit 2", []cluster.AvailabilityEvent{
+			{Node: victim, At: crashAt, Available: false},
+			{Node: victim2, At: crashAt2, Available: false},
+			{Node: p - 2, At: crashAt + 1, Available: true},
+			{Node: p - 1, At: crashAt + 1, Available: true},
+		}},
+	}
+	var rows []FailoverRow
+	for _, sc := range scenarios {
+		row, err := run(sc.name, sc.events)
+		if err != nil {
+			return nil, fmt.Errorf("failover %s: %w", sc.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFailoverStudy renders the availability study.
+func FormatFailoverStudy(p int, rows []FailoverRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: failover and dynamic recruitment, ADL workload, p=%d (2 non-dedicated)\n", p)
+	header := fmt.Sprintf("%-20s %-9s %-10s %-10s", "scenario", "SF", "failovers", "completed")
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, rule(header))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %-9.2f %-10d %-10d\n", r.Scenario, r.Stretch, r.Failovers, r.Completed)
+	}
+	return b.String()
+}
+
+// HeteroRow compares flat vs the heterogeneous M/S plan on one speed mix.
+type HeteroRow struct {
+	Mix           string
+	AnalyticFlat  float64
+	AnalyticMS    float64
+	Masters       []int
+	SimFlat       float64
+	SimMS         float64
+	SimImprovePct float64
+}
+
+// RunHeteroStudy evaluates the heterogeneous extension: for several
+// speed mixes, the analytic hetero plan (master set + θ) is computed and
+// then validated in the simulator against a flat configuration on the
+// same hardware.
+func RunHeteroStudy(p int, opts Options) ([]HeteroRow, error) {
+	opts = opts.withDefaults()
+	prof := trace.KSU
+	r := 1.0 / 40
+
+	mixes := []struct {
+		name  string
+		speed func(i int) float64
+	}{
+		{"uniform 1x", func(int) float64 { return 1 }},
+		{"half 1x / half 2x", func(i int) float64 {
+			if i >= p/2 {
+				return 2
+			}
+			return 1
+		}},
+		{"one 4x front", func(i int) float64 {
+			if i == 0 {
+				return 4
+			}
+			return 1
+		}},
+	}
+
+	var rows []HeteroRow
+	for _, mix := range mixes {
+		speeds := make([]float64, p)
+		total := 0.0
+		for i := range speeds {
+			speeds[i] = mix.speed(i)
+			total += speeds[i]
+		}
+		// Load the mixed cluster to TargetRho of its actual capacity.
+		lambda := LambdaForRho(p, prof.ArrivalRatio(), r, opts.TargetRho) * total / float64(p)
+		n := opts.requestCount(lambda)
+
+		hp := queuemodel.HeteroParams{Speeds: speeds, MuH: MuH, MuC: r * MuH}
+		hp.LambdaH = lambda / (1 + prof.ArrivalRatio())
+		hp.LambdaC = lambda - hp.LambdaH
+		plan, err := hp.OptimalHeteroPlan()
+		if err != nil {
+			return nil, fmt.Errorf("hetero %s: %w", mix.name, err)
+		}
+
+		// The simulated cluster assigns master roles to node ids 0..m−1,
+		// so reorder speeds to put the planned masters first.
+		ordered := make([]float64, 0, p)
+		inMaster := map[int]bool{}
+		for _, m := range plan.Masters {
+			inMaster[m] = true
+			ordered = append(ordered, speeds[m])
+		}
+		for i, s := range speeds {
+			if !inMaster[i] {
+				ordered = append(ordered, s)
+			}
+		}
+
+		var simMS, simFlat float64
+		for _, seed := range opts.Seeds {
+			tr, err := genTrace(prof, lambda, r, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			wt := core.SampleW(tr, 16)
+			cfg := cluster.DefaultConfig(p, len(plan.Masters))
+			cfg.WarmupFraction = opts.Warmup
+			cfg.Speeds = ordered
+			res, err := cluster.Simulate(cfg, core.NewMS(wt, seed), tr)
+			if err != nil {
+				return nil, err
+			}
+			simMS += res.StretchFactor
+
+			fcfg := cluster.DefaultConfig(p, p)
+			fcfg.WarmupFraction = opts.Warmup
+			fcfg.Speeds = ordered
+			fres, err := cluster.Simulate(fcfg, core.NewFlat(), tr)
+			if err != nil {
+				return nil, err
+			}
+			simFlat += fres.StretchFactor
+		}
+		k := float64(len(opts.Seeds))
+		simMS /= k
+		simFlat /= k
+		rows = append(rows, HeteroRow{
+			Mix:           mix.name,
+			AnalyticFlat:  plan.Flat,
+			AnalyticMS:    plan.Stretch,
+			Masters:       plan.Masters,
+			SimFlat:       simFlat,
+			SimMS:         simMS,
+			SimImprovePct: (simFlat/simMS - 1) * 100,
+		})
+	}
+	return rows, nil
+}
+
+// FormatHeteroStudy renders the heterogeneous study.
+func FormatHeteroStudy(p int, rows []HeteroRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: heterogeneous cluster (Theorem 1 extension), KSU workload, p=%d\n", p)
+	fmt.Fprintln(&b, "(simulated flat uses speed-blind uniform dispatch, as DNS rotation does —")
+	fmt.Fprintln(&b, " slow nodes saturate; the analytic flat column assumes speed-proportional routing)")
+	header := fmt.Sprintf("%-19s %-11s %-11s %-9s %-10s %-9s %-10s",
+		"speed mix", "model flat", "model M/S", "masters", "sim flat", "sim M/S", "improve")
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, rule(header))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-19s %-11.2f %-11.2f %-9d %-10.2f %-9.2f %-10s\n",
+			r.Mix, r.AnalyticFlat, r.AnalyticMS, len(r.Masters), r.SimFlat, r.SimMS, pct(r.SimImprovePct))
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"msweb/internal/core"
+	"msweb/internal/queuemodel"
+	"msweb/internal/trace"
+)
+
+// Fig4Row is one bar group of Figure 4: for a (trace, 1/r) cell, the
+// percentage improvement of M/S over each ablated variant,
+// (SF_variant / SF_MS − 1) × 100.
+type Fig4Row struct {
+	Trace     string
+	InvR      float64
+	Lambda    float64
+	Masters   int // Theorem 1 master count used for the M/S variants
+	MSStretch float64
+	OverNS    float64 // benefit of demand sampling
+	OverNR    float64 // benefit of master reservation
+	Over1     float64 // benefit of separating static and CGI processing
+}
+
+// RunFig4 reproduces Figure 4 for cluster size p (32 for subfigure (a),
+// 128 for (b)). For each trace and each 1/r it replays the same trace
+// under M/S, M/S-ns, M/S-nr and M/S-1 and reports the improvements.
+func RunFig4(p int, opts Options) ([]Fig4Row, error) {
+	opts = opts.withDefaults()
+	var rows []Fig4Row
+	for _, prof := range trace.Profiles() {
+		a := prof.ArrivalRatio()
+		for _, invR := range opts.InvRs {
+			r := 1 / invR
+			lambda := LambdaForRho(p, a, r, opts.TargetRho)
+			plan, err := queuemodel.NewParams(p, lambda, a, MuH, r).OptimalPlan()
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s 1/r=%.0f: %w", prof.Name, invR, err)
+			}
+			n := opts.requestCount(lambda)
+
+			variant := func(masters int, mk func(core.WTable, int64) core.Policy) (float64, error) {
+				return meanOver(opts.Seeds, func(seed int64) (float64, error) {
+					tr, err := genTrace(prof, lambda, r, n, seed)
+					if err != nil {
+						return 0, err
+					}
+					wt := core.SampleW(tr, 16)
+					return simulateOnce(p, masters, mk(wt, seed), tr, opts.Warmup)
+				})
+			}
+
+			ms, err := variant(plan.M, func(wt core.WTable, seed int64) core.Policy {
+				return core.NewMS(wt, seed)
+			})
+			if err != nil {
+				return nil, err
+			}
+			ns, err := variant(plan.M, func(wt core.WTable, seed int64) core.Policy {
+				return core.NewMS(wt, seed, core.WithoutSampling(), core.WithName("M/S-ns"))
+			})
+			if err != nil {
+				return nil, err
+			}
+			nr, err := variant(plan.M, func(wt core.WTable, seed int64) core.Policy {
+				return core.NewMS(wt, seed, core.WithoutReservation(), core.WithName("M/S-nr"))
+			})
+			if err != nil {
+				return nil, err
+			}
+			one, err := variant(p, func(wt core.WTable, seed int64) core.Policy {
+				return core.NewMS(wt, seed, core.WithName("M/S-1"))
+			})
+			if err != nil {
+				return nil, err
+			}
+
+			rows = append(rows, Fig4Row{
+				Trace:     prof.Name,
+				InvR:      invR,
+				Lambda:    lambda,
+				Masters:   plan.M,
+				MSStretch: ms,
+				OverNS:    (ns/ms - 1) * 100,
+				OverNR:    (nr/ms - 1) * 100,
+				Over1:     (one/ms - 1) * 100,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig4 renders the improvement table for one cluster size.
+func FormatFig4(p int, rows []Fig4Row) string {
+	var b strings.Builder
+	sub := "(a)"
+	if p != 32 {
+		sub = "(b)"
+	}
+	fmt.Fprintf(&b, "Figure 4%s: %% improvement of M/S over ablated variants, p=%d\n", sub, p)
+	fmt.Fprintln(&b, "(columns: benefit of demand sampling / master reservation / static-CGI separation)")
+	header := fmt.Sprintf("%-6s %-6s %-9s %-3s %-9s %-12s %-12s %-12s",
+		"Trace", "1/r", "λ(req/s)", "m", "SF(M/S)", "vs M/S-ns", "vs M/S-nr", "vs M/S-1")
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, rule(header))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %-6.0f %-9.0f %-3d %-9.2f %-12s %-12s %-12s\n",
+			r.Trace, r.InvR, r.Lambda, r.Masters, r.MSStretch,
+			pct(r.OverNS), pct(r.OverNR), pct(r.Over1))
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"msweb/internal/cluster"
+	"msweb/internal/core"
+	"msweb/internal/metrics"
+	"msweb/internal/queuemodel"
+	"msweb/internal/trace"
+)
+
+// FlashCrowdRow reports one configuration's behaviour through a bursty
+// (MMPP) workload.
+type FlashCrowdRow struct {
+	Scenario     string
+	Stretch      float64
+	PeakStretch  float64 // worst 1-second bin
+	Recruitments int64
+	Releases     int64
+}
+
+// RunFlashCrowd evaluates the paper's peak-load recruitment story: a
+// flash-crowd (MMPP) workload is replayed against a dedicated-only
+// cluster, a statically over-provisioned one, and one that recruits two
+// non-dedicated spares reactively when the arrival rate spikes.
+func RunFlashCrowd(p int, opts Options) ([]FlashCrowdRow, error) {
+	opts = opts.withDefaults()
+	prof := trace.KSU
+	r := 1.0 / 40
+	dedicated := p - 2
+	// Base load fills the dedicated nodes to TargetRho; bursts triple it.
+	lambda := LambdaForRho(dedicated, prof.ArrivalRatio(), r, opts.TargetRho)
+	// Short burst/normal sojourns guarantee several flash-crowd cycles
+	// within even the quick-sized replay.
+	n := opts.requestCount(lambda) * 3
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile: prof, Lambda: lambda, Requests: n, MuH: MuH, R: r,
+		Arrival: trace.MMPPArrivals, BurstFactor: 3,
+		BurstDuration: 2, NormalDuration: 5, Seed: opts.Seeds[0],
+	})
+	if err != nil {
+		return nil, err
+	}
+	wt := core.SampleW(tr, 16)
+	plan, err := queuemodel.NewParams(dedicated, lambda, prof.ArrivalRatio(), MuH, r).OptimalPlan()
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(scenario string, tune func(*cluster.Config)) (FlashCrowdRow, error) {
+		ts := metrics.NewTimeSeries(1)
+		cfg := cluster.DefaultConfig(p, plan.M)
+		cfg.WarmupFraction = opts.Warmup
+		cfg.SampleHook = func(arrival float64, s metrics.Sample) { ts.Add(arrival, s) }
+		tune(&cfg)
+		res, err := cluster.Simulate(cfg, core.NewMS(wt, opts.Seeds[0]), tr)
+		if err != nil {
+			return FlashCrowdRow{}, err
+		}
+		return FlashCrowdRow{
+			Scenario:     scenario,
+			Stretch:      res.StretchFactor,
+			PeakStretch:  ts.PeakStretch(),
+			Recruitments: res.Recruitments,
+			Releases:     res.Releases,
+		}, nil
+	}
+
+	spares := []int{p - 2, p - 1}
+	scenarios := []struct {
+		name string
+		tune func(*cluster.Config)
+	}{
+		{"dedicated only", func(cfg *cluster.Config) {
+			cfg.InitiallyDown = spares
+		}},
+		{"always provisioned", func(cfg *cluster.Config) {}},
+		{"reactive recruit", func(cfg *cluster.Config) {
+			cfg.InitiallyDown = spares
+			cfg.AutoRecruit = &cluster.AutoRecruit{
+				Spares:   spares,
+				Period:   0.5,
+				HighRate: 1.35 * lambda,
+				LowRate:  1.1 * lambda,
+			}
+		}},
+	}
+
+	var rows []FlashCrowdRow
+	for _, sc := range scenarios {
+		row, err := run(sc.name, sc.tune)
+		if err != nil {
+			return nil, fmt.Errorf("flashcrowd %s: %w", sc.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFlashCrowd renders the flash-crowd study.
+func FormatFlashCrowd(p int, rows []FlashCrowdRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: flash-crowd recruitment, bursty KSU workload (MMPP 3x), p=%d\n", p)
+	header := fmt.Sprintf("%-19s %-9s %-11s %-9s %-9s", "scenario", "SF", "peak SF", "recruits", "releases")
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, rule(header))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-19s %-9.2f %-11.2f %-9d %-9d\n",
+			r.Scenario, r.Stretch, r.PeakStretch, r.Recruitments, r.Releases)
+	}
+	return b.String()
+}

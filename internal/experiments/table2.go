@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"msweb/internal/trace"
+)
+
+// Table2Row is one (trace, cluster size) row of the workload-parameter
+// table: the arrival ratio fixed by the log and the arrival rates the
+// reproduction uses for each r (chosen to hit the target utilization,
+// see the package comment).
+type Table2Row struct {
+	Trace     string
+	A         float64
+	P         int
+	TargetRho float64
+	InvRs     []float64
+	Lambdas   []float64 // one per InvR
+}
+
+// RunTable2 derives the examined workload parameters for both cluster
+// sizes.
+func RunTable2(opts Options) []Table2Row {
+	opts = opts.withDefaults()
+	var rows []Table2Row
+	for _, p := range []int{32, 128} {
+		for _, prof := range trace.Profiles() {
+			row := Table2Row{
+				Trace:     prof.Name,
+				A:         prof.ArrivalRatio(),
+				P:         p,
+				TargetRho: opts.TargetRho,
+				InvRs:     opts.InvRs,
+			}
+			for _, invR := range opts.InvRs {
+				row.Lambdas = append(row.Lambdas, LambdaForRho(p, row.A, 1/invR, opts.TargetRho))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// FormatTable2 renders the workload parameters in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 2: Workload parameters examined")
+	fmt.Fprintf(&b, "r ∈ {1/20, 1/40, 1/80, 1/160}; arrival rates below target flat utilization ρ_F\n\n")
+	header := fmt.Sprintf("%-6s %-6s %-5s %-6s %s", "Trace", "a", "p", "ρ_F", "λ per 1/r (req/s)")
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, rule(header))
+	for _, r := range rows {
+		var ls []string
+		for i, l := range r.Lambdas {
+			ls = append(ls, fmt.Sprintf("1/%.0f:%.0f", r.InvRs[i], l))
+		}
+		fmt.Fprintf(&b, "%-6s %-6.3f %-5d %-6.2f %s\n", r.Trace, r.A, r.P, r.TargetRho, strings.Join(ls, "  "))
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package experiments
+
+// Tabular (CSV-ready) views of every experiment's rows, built on
+// internal/report. msbench -csv writes these next to the text output.
+
+import (
+	"math"
+
+	"msweb/internal/queuemodel"
+	"msweb/internal/report"
+)
+
+// Table1Table converts Table 1 rows.
+func Table1Table(rows []Table1Row) *report.Table {
+	t := &report.Table{
+		Title: "Table 1: trace characteristics",
+		Columns: []string{"trace", "year", "paper_pct_cgi", "ours_pct_cgi",
+			"paper_interval_s", "ours_interval_s", "paper_html_bytes", "ours_html_bytes",
+			"paper_cgi_bytes", "ours_cgi_bytes"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.PaperName, r.PaperYear, r.PaperPctCGI, round2(r.Measured.PctCGI),
+			r.PaperInterval, round4(r.Measured.MeanInterval), r.PaperHTML, round2(r.Measured.MeanHTMLSize),
+			r.PaperCGI, round2(r.Measured.MeanCGISize))
+	}
+	return t
+}
+
+// Table2Table converts Table 2 rows (one line per trace × p × r).
+func Table2Table(rows []Table2Row) *report.Table {
+	t := &report.Table{
+		Title:   "Table 2: workload parameters",
+		Columns: []string{"trace", "a", "p", "target_rho", "inv_r", "lambda_req_s"},
+	}
+	for _, r := range rows {
+		for i, invR := range r.InvRs {
+			t.AddRow(r.Trace, round4(r.A), r.P, r.TargetRho, invR, round2(r.Lambdas[i]))
+		}
+	}
+	return t
+}
+
+// Fig3Table converts the Figure 3 curves (both subfigures share rows).
+func Fig3Table(curves []queuemodel.Fig3Curve) *report.Table {
+	t := &report.Table{
+		Title: "Figure 3: analytic improvements",
+		Columns: []string{"a_label", "inv_r", "ms_stretch", "flat_stretch",
+			"msprime_stretch", "over_flat_pct", "over_msprime_pct", "masters", "theta"},
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			t.AddRow(c.Label, p.InvR, round4(p.MSStretch), round4(p.FlatStretch),
+				round4(p.MSPrimeStretch), round2(p.OverFlatPct), round2(p.OverMSPrimePct),
+				p.Masters, round4(p.Theta))
+		}
+	}
+	return t
+}
+
+// Fig4Table converts Figure 4 rows.
+func Fig4Table(p int, rows []Fig4Row) *report.Table {
+	t := &report.Table{
+		Title: "Figure 4: scheduling ablations",
+		Columns: []string{"p", "trace", "inv_r", "lambda_req_s", "masters",
+			"ms_stretch", "over_ns_pct", "over_nr_pct", "over_1_pct"},
+	}
+	for _, r := range rows {
+		t.AddRow(p, r.Trace, r.InvR, round2(r.Lambda), r.Masters,
+			round4(r.MSStretch), round2(r.OverNS), round2(r.OverNR), round2(r.Over1))
+	}
+	return t
+}
+
+// Fig5Table converts Figure 5 rows.
+func Fig5Table(res *Fig5Result) *report.Table {
+	t := &report.Table{
+		Title: "Figure 5: fixed vs re-planned master count",
+		Columns: []string{"p", "trace", "inv_r", "rho", "lambda_req_s",
+			"fixed_m", "replanned_m", "sf_fixed", "sf_replanned", "degrade_pct"},
+	}
+	for _, r := range res.Rows {
+		t.AddRow(res.P, r.Trace, r.InvR, r.Rho, round2(r.Lambda),
+			r.FixedM, r.AdaptedM, round4(r.FixedSF), round4(r.AdaptSF), round2(r.DegradPct))
+	}
+	return t
+}
+
+// Table3Table converts Table 3 rows.
+func Table3Table(rows []Table3Row) *report.Table {
+	t := &report.Table{
+		Title:   "Table 3: live vs simulated improvements",
+		Columns: []string{"trace", "lambda_req_s", "versus", "actual_pct", "simulated_pct", "abs_diff"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Trace, r.Lambda, r.Versus, round2(r.ActualPct), round2(r.SimPct), round2(r.Diff()))
+	}
+	return t
+}
+
+// CacheSweepTable converts the cache study.
+func CacheSweepTable(rows []CacheSweepRow) *report.Table {
+	t := &report.Table{
+		Title:   "Extension: dynamic-content cache sweep",
+		Columns: []string{"capacity", "ttl_s", "stretch", "dyn_mean_resp_s", "hit_ratio"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Capacity, r.TTL, round4(r.Stretch), round4(r.DynMeanResp), round4(r.HitRatio))
+	}
+	return t
+}
+
+// FailoverTable converts the failover study.
+func FailoverTable(rows []FailoverRow) *report.Table {
+	t := &report.Table{
+		Title:   "Extension: failover and recruitment",
+		Columns: []string{"scenario", "stretch", "failovers", "completed"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Scenario, round4(r.Stretch), r.Failovers, r.Completed)
+	}
+	return t
+}
+
+// FlashCrowdTable converts the flash-crowd study.
+func FlashCrowdTable(rows []FlashCrowdRow) *report.Table {
+	t := &report.Table{
+		Title:   "Extension: flash-crowd recruitment",
+		Columns: []string{"scenario", "stretch", "peak_stretch", "recruitments", "releases"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Scenario, round4(r.Stretch), round4(r.PeakStretch), r.Recruitments, r.Releases)
+	}
+	return t
+}
+
+// HeteroTable converts the heterogeneous study.
+func HeteroTable(rows []HeteroRow) *report.Table {
+	t := &report.Table{
+		Title: "Extension: heterogeneous cluster",
+		Columns: []string{"mix", "model_flat", "model_ms", "masters",
+			"sim_flat", "sim_ms", "improve_pct"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Mix, round4(r.AnalyticFlat), round4(r.AnalyticMS), len(r.Masters),
+			round4(r.SimFlat), round4(r.SimMS), round2(r.SimImprovePct))
+	}
+	return t
+}
+
+// WSensitivityTable converts the sampling ablation.
+func WSensitivityTable(rows []WSensitivityRow) *report.Table {
+	t := &report.Table{
+		Title:   "Ablation: w sampling accuracy",
+		Columns: []string{"w_table", "stretch"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Label, round4(r.Stretch))
+	}
+	return t
+}
+
+// StalenessTable converts the staleness ablation.
+func StalenessTable(rows []StalenessRow) *report.Table {
+	t := &report.Table{
+		Title:   "Ablation: load-info staleness",
+		Columns: []string{"refresh_s", "sf_with_booking", "sf_without_booking"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.RefreshSeconds, round4(r.WithBooking), round4(r.NoBooking))
+	}
+	return t
+}
+
+// OpenClosedTable converts the methodology comparison.
+func OpenClosedTable(rows []OpenClosedRow) *report.Table {
+	t := &report.Table{
+		Title:   "Methodology: open vs closed loop",
+		Columns: []string{"load_factor", "open_sf", "closed_sf"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.LoadFactor, round4(r.OpenSF), round4(r.ClosedSF))
+	}
+	return t
+}
+
+// reportTable aliases report.Table so experiment files can build tables
+// without importing the package repeatedly.
+type reportTable = report.Table
+
+// newReportTable constructs a titled table.
+func newReportTable(title string, columns []string) *reportTable {
+	return &report.Table{Title: title, Columns: columns}
+}
+
+// round2/round4 trim float noise for stable CSV cells.
+func round2(x float64) float64 { return roundTo(x, 100) }
+func round4(x float64) float64 { return roundTo(x, 10000) }
+
+func roundTo(x float64, scale float64) float64 {
+	return math.Round(x*scale) / scale
+}

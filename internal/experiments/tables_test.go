@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"msweb/internal/report"
+)
+
+func TestAllTablesValidate(t *testing.T) {
+	t1, err := RunTable1(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := RunFig3()
+	t2 := RunTable2(Quick())
+
+	tables := []*report.Table{
+		Table1Table(t1),
+		Table2Table(t2),
+		Fig3Table(curves),
+		Fig4Table(32, []Fig4Row{{Trace: "UCB", InvR: 20, Lambda: 100, Masters: 3, MSStretch: 2}}),
+		Fig5Table(&Fig5Result{P: 32, NominalM: 5, Rows: []Fig5Row{{Trace: "KSU", InvR: 20, Rho: 0.4, FixedM: 5, AdaptedM: 6, FixedSF: 2, AdaptSF: 2}}}),
+		Table3Table([]Table3Row{{Trace: "ADL", Lambda: 20, Versus: "M/S-1", ActualPct: 5, SimPct: 7}}),
+		CacheSweepTable([]CacheSweepRow{{Capacity: 64, TTL: 120, Stretch: 3}}),
+		FailoverTable([]FailoverRow{{Scenario: "healthy", Stretch: 2, Completed: 100}}),
+		FlashCrowdTable([]FlashCrowdRow{{Scenario: "reactive", Stretch: 2, PeakStretch: 4}}),
+		HeteroTable([]HeteroRow{{Mix: "uniform", AnalyticFlat: 2, AnalyticMS: 1.5, Masters: []int{0}, SimFlat: 3, SimMS: 2}}),
+		WSensitivityTable([]WSensitivityRow{{Label: "exact", Stretch: 2}}),
+		StalenessTable([]StalenessRow{{RefreshSeconds: 0.2, WithBooking: 2, NoBooking: 3}}),
+		OpenClosedTable([]OpenClosedRow{{LoadFactor: 0.5, OpenSF: 2, ClosedSF: 1.8}}),
+	}
+	for _, tbl := range tables {
+		if err := tbl.Validate(); err != nil {
+			t.Fatalf("%s: %v", tbl.Title, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: no rows", tbl.Title)
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: csv: %v", tbl.Title, err)
+		}
+		if !strings.Contains(buf.String(), ",") {
+			t.Fatalf("%s: csv has no separators", tbl.Title)
+		}
+	}
+}
+
+func TestTable2TableExpandsPerR(t *testing.T) {
+	rows := RunTable2(Quick()) // 6 config rows × 2 quick r values
+	tbl := Table2Table(rows)
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("%d csv rows, want 12", len(tbl.Rows))
+	}
+}
+
+func TestRounding(t *testing.T) {
+	if got := round2(1.006); got != 1.01 {
+		t.Fatalf("round2(1.006) = %v", got)
+	}
+	if got := round2(-1.006); got != -1.01 {
+		t.Fatalf("round2(-1.006) = %v", got)
+	}
+	if got := round4(0.12345); got != 0.1235 {
+		t.Fatalf("round4 = %v", got)
+	}
+}

@@ -1,0 +1,43 @@
+package httpcluster_test
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"msweb/internal/core"
+	"msweb/internal/httpcluster"
+)
+
+// Boot a live master/slave cluster on loopback and send one static and
+// one dynamic request through the master's front end.
+func ExampleStart() {
+	cfg := httpcluster.DefaultConfig(1, func(id int) core.Policy {
+		return core.NewMS(nil, int64(id)+1)
+	})
+	cfg.Nodes = 3
+	cfg.TimeScale = 0.1 // run ten times faster than real time
+	c, err := httpcluster.Start(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Shutdown()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, q := range []string{
+		"class=s&demand=0.005&w=0.3&script=0",
+		"class=d&demand=0.050&w=0.9&script=1",
+	} {
+		resp, err := client.Get(c.MasterURLs()[0] + "/req?" + q)
+		if err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		fmt.Println(resp.StatusCode)
+	}
+	fmt.Printf("master executed ≥1: %v\n", c.Masters[0].Executed() >= 1)
+	// Output:
+	// 200
+	// 200
+	// master executed ≥1: true
+}

@@ -1,0 +1,203 @@
+// Package httpcluster is the live-execution substrate of the Table 3
+// validation: a master/slave Web cluster made of real net/http servers
+// on loopback, exercising the same core scheduling policies as the
+// simulator — real TCP dispatch, real goroutine concurrency, real
+// wall-clock timing, periodic load polling.
+//
+// Substitution note (see DESIGN.md): the paper validates on six Sun
+// Ultra-1 workstations. Here every node's CPU and disk are *virtual
+// time-shared resources*: a resource serves its queue in round-robin
+// slices and "executes" a slice by sleeping wall-clock time. Sleeping
+// goroutines cost no host CPU, so a laptop can faithfully emulate the
+// queueing behaviour of N machines; the scheduling code paths (RSRC
+// selection, reservation, load reporting) are identical to production
+// paths. Node capability is calibrated like the paper's: 110 static
+// requests/second per node.
+package httpcluster
+
+import (
+	"sync"
+	"time"
+
+	"msweb/internal/metrics"
+)
+
+// rrJob is one unit of work on a virtual resource.
+type rrJob struct {
+	remaining time.Duration
+	done      chan struct{}
+}
+
+// Resource is a virtual time-shared device: jobs queue FIFO and are
+// served in round-robin slices of at most quantum, approximating the
+// processor-sharing behaviour of a real CPU (or the paper's round-robin
+// disk queue). Concurrency-safe.
+type Resource struct {
+	quantum time.Duration
+
+	mu      sync.Mutex
+	queue   []*rrJob
+	running bool
+	util    *metrics.UtilizationTracker
+	origin  time.Time
+	closed  bool
+}
+
+// NewResource creates a resource with the given slicing quantum.
+func NewResource(quantum time.Duration, origin time.Time) *Resource {
+	if quantum <= 0 {
+		quantum = 10 * time.Millisecond
+	}
+	return &Resource{
+		quantum: quantum,
+		util:    metrics.NewUtilizationTracker(0),
+		origin:  origin,
+	}
+}
+
+func (r *Resource) now() float64 { return time.Since(r.origin).Seconds() }
+
+// Use blocks until d of virtual service has been delivered to the
+// caller, sharing the resource round-robin with concurrent users.
+// Non-positive durations return immediately.
+func (r *Resource) Use(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	j := &rrJob{remaining: d, done: make(chan struct{})}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.queue = append(r.queue, j)
+	if !r.running {
+		r.running = true
+		r.util.SetBusy(r.now(), true)
+		go r.serve()
+	}
+	r.mu.Unlock()
+	<-j.done
+}
+
+// serve drains the queue in round-robin slices.
+func (r *Resource) serve() {
+	for {
+		r.mu.Lock()
+		if len(r.queue) == 0 || r.closed {
+			r.running = false
+			r.util.SetBusy(r.now(), false)
+			if r.closed {
+				for _, j := range r.queue {
+					close(j.done)
+				}
+				r.queue = nil
+			}
+			r.mu.Unlock()
+			return
+		}
+		j := r.queue[0]
+		r.queue = r.queue[1:]
+		slice := j.remaining
+		if slice > r.quantum {
+			slice = r.quantum
+		}
+		r.mu.Unlock()
+
+		// Sleep overshoot (timer granularity, scheduler latency) is
+		// counted as delivered service: otherwise every slice leaks a
+		// fraction of the node's capacity and heavily loaded clusters
+		// sit past their nominal utilization knee.
+		start := time.Now()
+		time.Sleep(slice)
+		elapsed := time.Since(start)
+		if elapsed < slice {
+			elapsed = slice
+		}
+		j.remaining -= elapsed
+		if j.remaining <= 0 {
+			close(j.done)
+			continue
+		}
+		r.mu.Lock()
+		if r.closed {
+			close(j.done)
+			r.mu.Unlock()
+			return
+		}
+		r.queue = append(r.queue, j)
+		r.mu.Unlock()
+	}
+}
+
+// QueueLength returns the number of queued (not yet finished) jobs.
+func (r *Resource) QueueLength() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.queue)
+	if r.running {
+		n++
+	}
+	return n
+}
+
+// IdleRatio samples the idle fraction since the last call, resetting the
+// window (the live analogue of the simulator's rstat window sample).
+func (r *Resource) IdleRatio() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return 1 - r.util.WindowSample(r.now())
+}
+
+// Close unblocks all waiters; subsequent Use calls return immediately.
+func (r *Resource) Close() {
+	r.mu.Lock()
+	r.closed = true
+	queue := r.queue
+	r.queue = nil
+	r.mu.Unlock()
+	for _, j := range queue {
+		close(j.done)
+	}
+}
+
+// NodeResources bundles a node's virtual CPU and disk.
+type NodeResources struct {
+	CPU  *Resource
+	Disk *Resource
+}
+
+// NewNodeResources creates a node's devices with the paper's quanta:
+// 10 ms CPU slices, 2 ms disk bursts, both scaled by timeScale.
+func NewNodeResources(origin time.Time, timeScale float64) *NodeResources {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &NodeResources{
+		CPU:  NewResource(time.Duration(float64(10*time.Millisecond)*timeScale), origin),
+		Disk: NewResource(time.Duration(float64(2*time.Millisecond)*timeScale), origin),
+	}
+}
+
+// Execute runs a request's work: alternating CPU and disk phases like
+// the simulator's burst decomposition, but with two coarse phases per
+// request (CPU share first, then disk), which the round-robin slicing
+// interleaves with concurrent requests anyway.
+func (n *NodeResources) Execute(demand time.Duration, w float64) {
+	if w < 0 {
+		w = 0
+	}
+	if w > 1 {
+		w = 1
+	}
+	cpu := time.Duration(float64(demand) * w)
+	disk := demand - cpu
+	n.CPU.Use(cpu)
+	n.Disk.Use(disk)
+}
+
+// Close shuts both devices down.
+func (n *NodeResources) Close() {
+	n.CPU.Close()
+	n.Disk.Close()
+}

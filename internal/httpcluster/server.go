@@ -1,0 +1,468 @@
+package httpcluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"msweb/internal/core"
+	"msweb/internal/trace"
+)
+
+// LoadReport is the JSON body of a node's /load endpoint — the live
+// analogue of rstat().
+type LoadReport struct {
+	CPUIdle   float64 `json:"cpu_idle"`
+	DiskAvail float64 `json:"disk_avail"`
+	CPUQueue  int     `json:"cpu_queue"`
+	DiskQueue int     `json:"disk_queue"`
+}
+
+// Node is one cluster machine: virtual resources behind a real HTTP
+// server exposing /exec (run work) and /load (report load). Masters
+// additionally expose /req (see Master).
+type Node struct {
+	ID        int
+	URL       string
+	res       *NodeResources
+	fork      time.Duration
+	timeScale float64
+	origin    time.Time
+	srv       *http.Server
+	lis       net.Listener
+
+	mu        sync.Mutex
+	executed  int64
+	cgiServed int64
+}
+
+// newNode allocates the node core and its listener; the HTTP server is
+// attached by serve() once the role-specific mux exists.
+func newNode(id int, origin time.Time, timeScale float64) (*Node, error) {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		ID:        id,
+		URL:       "http://" + lis.Addr().String(),
+		res:       NewNodeResources(origin, timeScale),
+		fork:      time.Duration(float64(3*time.Millisecond) * timeScale),
+		timeScale: timeScale,
+		origin:    origin,
+		lis:       lis,
+	}, nil
+}
+
+func (n *Node) serve(mux *http.ServeMux) {
+	n.srv = &http.Server{Handler: mux}
+	go n.srv.Serve(n.lis) //nolint:errcheck // Serve returns on Shutdown
+}
+
+// StartNode launches a slave node server on a loopback ephemeral port.
+func StartNode(id int, origin time.Time, timeScale float64) (*Node, error) {
+	n, err := newNode(id, origin, timeScale)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/exec", n.handleExec)
+	mux.HandleFunc("/load", n.handleLoad)
+	mux.HandleFunc("/stats", n.handleStats)
+	n.serve(mux)
+	return n, nil
+}
+
+// Executed returns how many requests the node has run.
+func (n *Node) Executed() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.executed
+}
+
+// CGIServed returns how many forked (dynamic) requests the node ran.
+func (n *Node) CGIServed() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cgiServed
+}
+
+// runWork performs a request's work on the node's virtual resources.
+func (n *Node) runWork(demand float64, w float64, forked bool) {
+	d := time.Duration(demand * n.timeScale * float64(time.Second))
+	if forked {
+		n.res.CPU.Use(n.fork)
+	}
+	n.res.Execute(d, w)
+	n.mu.Lock()
+	n.executed++
+	if forked {
+		n.cgiServed++
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) handleExec(rw http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	demand, err := strconv.ParseFloat(q.Get("demand"), 64)
+	if err != nil || demand < 0 {
+		http.Error(rw, "bad demand", http.StatusBadRequest)
+		return
+	}
+	w, err := strconv.ParseFloat(q.Get("w"), 64)
+	if err != nil {
+		http.Error(rw, "bad w", http.StatusBadRequest)
+		return
+	}
+	n.runWork(demand, w, q.Get("fork") == "1")
+	writeBody(rw, q.Get("size"))
+}
+
+// writeBody streams a response body of the requested size (bytes), so
+// the live cluster moves real data over the loopback TCP connections;
+// absent or invalid sizes fall back to a 3-byte "ok".
+func writeBody(rw http.ResponseWriter, sizeStr string) {
+	size, err := strconv.ParseInt(sizeStr, 10, 64)
+	if err != nil || size <= 0 || size > 8<<20 {
+		rw.WriteHeader(http.StatusOK)
+		fmt.Fprintln(rw, "ok")
+		return
+	}
+	rw.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	rw.WriteHeader(http.StatusOK)
+	remaining := size
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > int64(len(bodyChunk)) {
+			chunk = int64(len(bodyChunk))
+		}
+		if _, err := rw.Write(bodyChunk[:chunk]); err != nil {
+			return
+		}
+		remaining -= chunk
+	}
+}
+
+// bodyChunk is the reusable payload buffer for response bodies.
+var bodyChunk = make([]byte, 32<<10)
+
+// StatsReport is the JSON body of a node's /stats endpoint.
+type StatsReport struct {
+	Node      int     `json:"node"`
+	Executed  int64   `json:"executed"`
+	CGIServed int64   `json:"cgi_served"`
+	UptimeS   float64 `json:"uptime_s"`
+}
+
+func (n *Node) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	n.mu.Lock()
+	rep := StatsReport{
+		Node:      n.ID,
+		Executed:  n.executed,
+		CGIServed: n.cgiServed,
+		UptimeS:   time.Since(n.origin).Seconds(),
+	}
+	n.mu.Unlock()
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(rep) //nolint:errcheck
+}
+
+func (n *Node) handleLoad(rw http.ResponseWriter, _ *http.Request) {
+	rep := LoadReport{
+		CPUIdle:   n.res.CPU.IdleRatio(),
+		DiskAvail: n.res.Disk.IdleRatio(),
+		CPUQueue:  n.res.CPU.QueueLength(),
+		DiskQueue: n.res.Disk.QueueLength(),
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(rep) //nolint:errcheck
+}
+
+// Shutdown stops the server and unblocks in-flight work.
+func (n *Node) Shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if n.srv != nil {
+		n.srv.Shutdown(ctx) //nolint:errcheck
+	}
+	n.res.Close()
+}
+
+// Master is a level-I node: it serves client requests, executes statics
+// locally, and schedules dynamics through a core.Policy over the latest
+// polled load view.
+type Master struct {
+	*Node
+	policy   core.Policy
+	view     core.View
+	nodeURLs []string // by node id
+	client   *http.Client
+	pmu      sync.Mutex
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	// failed marks nodes whose /exec or /load recently erred; they are
+	// excluded from placement until the deadline passes and a load poll
+	// succeeds again (sub-second failure detection, as the switches the
+	// paper discusses provide).
+	failed    map[int]time.Time
+	failovers int64
+}
+
+// StartMaster launches a master node. masters and slaves list node ids;
+// nodeURLs maps every id to its base URL (the master's own slot may be
+// empty — it never forwards to itself by URL).
+func StartMaster(id int, origin time.Time, timeScale float64, masters, slaves []int, nodeURLs []string, policy core.Policy, loadRefresh, policyTick time.Duration) (*Master, error) {
+	n, err := newNode(id, origin, timeScale)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{
+		Node:     n,
+		policy:   policy,
+		nodeURLs: append([]string(nil), nodeURLs...),
+		client: &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: 128},
+			Timeout:   120 * time.Second,
+		},
+		stop:   make(chan struct{}),
+		failed: make(map[int]time.Time),
+	}
+	m.nodeURLs[id] = m.URL
+	m.view = core.View{
+		Masters: append([]int(nil), masters...),
+		Slaves:  append([]int(nil), slaves...),
+		Load:    make([]core.Load, len(nodeURLs)),
+	}
+	for i := range m.view.Load {
+		m.view.Load[i] = core.Load{CPUIdle: 1, DiskAvail: 1, Speed: 1}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/req", m.handleRequest)
+	mux.HandleFunc("/exec", m.handleExec)
+	mux.HandleFunc("/load", m.handleLoad)
+	mux.HandleFunc("/stats", m.handleStats)
+	m.serve(mux)
+
+	m.wg.Add(2)
+	go m.pollLoop(loadRefresh)
+	go m.tickLoop(policyTick)
+	return m, nil
+}
+
+// Failovers reports how many dynamic requests were re-placed after a
+// remote execution failure.
+func (m *Master) Failovers() int64 {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	return m.failovers
+}
+
+// markFailed excludes a node from placement for the hold-down period.
+func (m *Master) markFailed(id int) {
+	m.pmu.Lock()
+	m.failed[id] = time.Now().Add(2 * time.Second)
+	m.pmu.Unlock()
+}
+
+// liveView returns a copy of the view with held-down nodes removed from
+// the tier lists (the Load slice is shared; policies only read it).
+// Callers must hold pmu.
+func (m *Master) liveView() core.View {
+	now := time.Now()
+	alive := func(ids []int) []int {
+		out := make([]int, 0, len(ids))
+		for _, id := range ids {
+			if until, bad := m.failed[id]; bad && now.Before(until) && id != m.ID {
+				continue
+			}
+			out = append(out, id)
+		}
+		return out
+	}
+	v := m.view
+	v.Masters = alive(m.view.Masters)
+	v.Slaves = alive(m.view.Slaves)
+	if len(v.Masters) == 0 {
+		v.Masters = []int{m.ID}
+	}
+	return v
+}
+
+// SetNodeURL fills in a peer URL learned after startup.
+func (m *Master) SetNodeURL(id int, url string) {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	m.nodeURLs[id] = url
+}
+
+// pollLoop refreshes the load view from every node's /load endpoint.
+func (m *Master) pollLoop(every time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			for id := range m.nodeURLs {
+				m.pmu.Lock()
+				url := m.nodeURLs[id]
+				m.pmu.Unlock()
+				if url == "" {
+					continue
+				}
+				rep, err := m.fetchLoad(url)
+				if err != nil {
+					m.markFailed(id)
+					continue
+				}
+				m.pmu.Lock()
+				delete(m.failed, id) // node answers again
+				m.view.Load[id].CPUIdle = rep.CPUIdle
+				m.view.Load[id].DiskAvail = rep.DiskAvail
+				m.view.Load[id].CPUQueue = rep.CPUQueue
+				m.view.Load[id].DiskQueue = rep.DiskQueue
+				m.pmu.Unlock()
+			}
+		}
+	}
+}
+
+func (m *Master) fetchLoad(url string) (LoadReport, error) {
+	var rep LoadReport
+	resp, err := m.client.Get(url + "/load")
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("load: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	return rep, err
+}
+
+// tickLoop runs the policy's periodic adaptation.
+func (m *Master) tickLoop(every time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.pmu.Lock()
+			m.policy.Tick(time.Since(m.origin).Seconds(), &m.view)
+			m.pmu.Unlock()
+		}
+	}
+}
+
+// handleRequest is the client-facing endpoint:
+// /req?class=s|d&demand=F&w=F&script=N
+func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	demand, err := strconv.ParseFloat(q.Get("demand"), 64)
+	if err != nil || demand < 0 {
+		http.Error(rw, "bad demand", http.StatusBadRequest)
+		return
+	}
+	w, err := strconv.ParseFloat(q.Get("w"), 64)
+	if err != nil {
+		http.Error(rw, "bad w", http.StatusBadRequest)
+		return
+	}
+	class := trace.Static
+	if q.Get("class") == "d" {
+		class = trace.Dynamic
+	}
+	script, _ := strconv.Atoi(q.Get("script"))
+
+	start := time.Now()
+	if class == trace.Static {
+		m.runWork(demand, w, false)
+	} else if err := m.runDynamic(class, script, demand, w); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadGateway)
+		return
+	}
+	size := q.Get("size")
+	// Feed the reservation estimators with the server-side response
+	// time, normalized back to unscaled seconds.
+	resp := time.Since(start).Seconds() / m.timeScale
+	m.pmu.Lock()
+	m.policy.ObserveCompletion(class, resp, demand)
+	m.pmu.Unlock()
+
+	writeBody(rw, size)
+}
+
+// runDynamic places and executes one dynamic request, failing over to
+// another node (and ultimately to local execution) when a remote /exec
+// errs — the restart-on-another-node behaviour the paper requires of
+// masters when a slave fails.
+func (m *Master) runDynamic(class trace.Class, script int, demand, w float64) error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		m.pmu.Lock()
+		v := m.liveView()
+		target := m.policy.Place(core.Request{Class: class, Script: script}, m.ID, &v)
+		m.pmu.Unlock()
+		if target == m.ID {
+			m.runWork(demand, w, true)
+			return nil
+		}
+		err := m.forward(target, demand, w)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		m.markFailed(target)
+		m.pmu.Lock()
+		m.failovers++
+		m.pmu.Unlock()
+	}
+	// Every remote attempt failed: run it here rather than drop it.
+	m.runWork(demand, w, true)
+	_ = lastErr
+	return nil
+}
+
+// forward executes the CGI remotely via the target's /exec endpoint —
+// the paper's low-overhead remote execution path.
+func (m *Master) forward(target int, demand, w float64) error {
+	m.pmu.Lock()
+	base := m.nodeURLs[target]
+	m.pmu.Unlock()
+	if base == "" {
+		return fmt.Errorf("no URL for node %d", target)
+	}
+	url := fmt.Sprintf("%s/exec?demand=%g&w=%g&fork=1", base, demand, w)
+	resp, err := m.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote exec: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Shutdown stops the master's loops and server.
+func (m *Master) Shutdown() {
+	close(m.stop)
+	m.wg.Wait()
+	m.Node.Shutdown()
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import "math"
+
+// TimeBin aggregates the samples of one time window.
+type TimeBin struct {
+	Start, End    float64
+	Count         int
+	StretchFactor float64
+	MeanResponse  float64
+}
+
+// TimeSeries bins samples by their (virtual or wall) timestamps so
+// experiments can plot stretch over time — e.g. through a flash crowd or
+// across a node failure.
+type TimeSeries struct {
+	window  float64
+	sums    []tsBin
+	maxSeen float64
+}
+
+type tsBin struct {
+	n           int
+	sumStretch  float64
+	sumResponse float64
+}
+
+// NewTimeSeries creates a series with the given bin width in seconds.
+// Non-positive widths default to 1s.
+func NewTimeSeries(window float64) *TimeSeries {
+	if window <= 0 {
+		window = 1
+	}
+	return &TimeSeries{window: window}
+}
+
+// Add records a sample observed at time t (negative times clamp to 0).
+func (ts *TimeSeries) Add(t float64, s Sample) {
+	if t < 0 || math.IsNaN(t) {
+		t = 0
+	}
+	if t > ts.maxSeen {
+		ts.maxSeen = t
+	}
+	idx := int(t / ts.window)
+	for len(ts.sums) <= idx {
+		ts.sums = append(ts.sums, tsBin{})
+	}
+	b := &ts.sums[idx]
+	b.n++
+	b.sumStretch += s.Stretch()
+	b.sumResponse += s.Response
+}
+
+// Bins returns the aggregated windows in time order. Empty windows are
+// included (Count 0, StretchFactor 1) so plots have a regular x-axis.
+func (ts *TimeSeries) Bins() []TimeBin {
+	out := make([]TimeBin, len(ts.sums))
+	for i, b := range ts.sums {
+		bin := TimeBin{
+			Start:         float64(i) * ts.window,
+			End:           float64(i+1) * ts.window,
+			Count:         b.n,
+			StretchFactor: 1,
+		}
+		if b.n > 0 {
+			bin.StretchFactor = b.sumStretch / float64(b.n)
+			bin.MeanResponse = b.sumResponse / float64(b.n)
+		}
+		out[i] = bin
+	}
+	return out
+}
+
+// PeakStretch returns the worst per-bin stretch factor (1 for an empty
+// series).
+func (ts *TimeSeries) PeakStretch() float64 {
+	peak := 1.0
+	for _, b := range ts.Bins() {
+		if b.StretchFactor > peak {
+			peak = b.StretchFactor
+		}
+	}
+	return peak
+}

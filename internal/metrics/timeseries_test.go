@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeSeriesBinning(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Add(1, Sample{Demand: 1, Response: 2})  // bin 0: stretch 2
+	ts.Add(5, Sample{Demand: 1, Response: 4})  // bin 0: stretch 4
+	ts.Add(25, Sample{Demand: 2, Response: 2}) // bin 2: stretch 1
+	bins := ts.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("%d bins, want 3", len(bins))
+	}
+	if bins[0].Count != 2 || !approx(bins[0].StretchFactor, 3, 1e-12) {
+		t.Fatalf("bin 0: %+v", bins[0])
+	}
+	if bins[1].Count != 0 || bins[1].StretchFactor != 1 {
+		t.Fatalf("empty bin 1: %+v", bins[1])
+	}
+	if bins[2].Count != 1 || !approx(bins[2].StretchFactor, 1, 1e-12) {
+		t.Fatalf("bin 2: %+v", bins[2])
+	}
+	if bins[0].Start != 0 || bins[2].End != 30 {
+		t.Fatalf("bin bounds wrong: %+v %+v", bins[0], bins[2])
+	}
+}
+
+func TestTimeSeriesPeak(t *testing.T) {
+	ts := NewTimeSeries(1)
+	ts.Add(0.5, Sample{Demand: 1, Response: 2})
+	ts.Add(3.5, Sample{Demand: 1, Response: 9})
+	if got := ts.PeakStretch(); !approx(got, 9, 1e-12) {
+		t.Fatalf("peak = %v, want 9", got)
+	}
+	empty := NewTimeSeries(1)
+	if got := empty.PeakStretch(); got != 1 {
+		t.Fatalf("empty peak = %v", got)
+	}
+}
+
+func TestTimeSeriesDefaults(t *testing.T) {
+	ts := NewTimeSeries(0) // defaults to 1s bins
+	ts.Add(-5, Sample{Demand: 1, Response: 1})
+	bins := ts.Bins()
+	if len(bins) != 1 || bins[0].Count != 1 {
+		t.Fatalf("negative time not clamped: %+v", bins)
+	}
+}
+
+func TestTimeSeriesMeanResponse(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Add(2, Sample{Demand: 1, Response: 0.2})
+	ts.Add(3, Sample{Demand: 1, Response: 0.4})
+	if got := ts.Bins()[0].MeanResponse; !approx(got, 0.3, 1e-12) {
+		t.Fatalf("bin mean response = %v", got)
+	}
+}
+
+// Property: total count across bins equals samples added.
+func TestTimeSeriesConservationProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		ts := NewTimeSeries(5)
+		for _, raw := range times {
+			ts.Add(float64(raw)/100, Sample{Demand: 1, Response: 1})
+		}
+		total := 0
+		for _, b := range ts.Bins() {
+			total += b.Count
+		}
+		return total == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package queuemodel
+
+// FCFS analysis. Section 3 notes that "requests can be processed in the
+// First Come First Serve (FCFS) manner or processor sharing manner";
+// the paper's stretch formulas are the PS ones (insensitive to the
+// service distribution), which this file complements with the exact
+// M/G/1-FCFS counterparts via Pollaczek–Khinchine. The FCFS view makes
+// the separation argument vivid: a mixed FCFS queue charges every
+// static request the *residual* of in-progress CGI work, so the static
+// stretch explodes with 1/r even at moderate utilization — far worse
+// than under PS. This is the quantitative version of the paper's
+// "mixing static and dynamic content processing can slow down simple
+// static request processing".
+//
+// Model: one node receives Poisson streams of static (rate γ_h, service
+// exp(μ_h)) and dynamic (rate γ_c, service exp(μ_c)) requests served
+// FCFS. M/G/1 with the mixture service distribution:
+//
+//	ρ  = γ_h/μ_h + γ_c/μ_c
+//	E[S²] = (γ_h·2/μ_h² + γ_c·2/μ_c²) / (γ_h+γ_c)   (exponential classes)
+//	W  = (γ_h+γ_c)·E[S²] / (2(1−ρ))                  (Pollaczek–Khinchine)
+//
+// Response of class i is W + 1/μ_i, stretch is 1 + W·μ_i.
+
+import "math"
+
+// FCFSNodeStretch returns the per-class stretch factors of one FCFS node
+// receiving the given class rates. Saturated nodes report +Inf.
+func FCFSNodeStretch(gammaH, gammaC, muH, muC float64) (staticS, dynamicS float64) {
+	if muH <= 0 || muC <= 0 || gammaH < 0 || gammaC < 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	total := gammaH + gammaC
+	if total == 0 {
+		return 1, 1
+	}
+	rho := gammaH/muH + gammaC/muC
+	if rho >= 1 {
+		return math.Inf(1), math.Inf(1)
+	}
+	// Second moment of the exponential-mixture service distribution.
+	es2 := (gammaH*2/(muH*muH) + gammaC*2/(muC*muC)) / total
+	w := total * es2 / (2 * (1 - rho))
+	return 1 + w*muH, 1 + w*muC
+}
+
+// FCFSFlatStretch returns the mean stretch of the flat architecture
+// under FCFS service: every node receives λ_h/p and λ_c/p.
+func (p Params) FCFSFlatStretch() float64 {
+	sh, sc := FCFSNodeStretch(p.LambdaH/float64(p.P), p.LambdaC/float64(p.P), p.MuH, p.MuC)
+	if math.IsInf(sh, 1) || math.IsInf(sc, 1) {
+		return math.Inf(1)
+	}
+	a := p.A()
+	return (sh + a*sc) / (1 + a)
+}
+
+// FCFSMSStretch returns the mean stretch of the M/S architecture under
+// FCFS service with m masters and admission fraction theta.
+func (p Params) FCFSMSStretch(m int, theta float64) float64 {
+	if m < 1 || m > p.P || theta < 0 || theta > 1 {
+		return math.Inf(1)
+	}
+	slaves := p.P - m
+	mh, mc := FCFSNodeStretch(p.LambdaH/float64(m), theta*p.LambdaC/float64(m), p.MuH, p.MuC)
+	if math.IsInf(mh, 1) {
+		return math.Inf(1)
+	}
+	a := p.A()
+	if slaves == 0 {
+		if theta < 1 {
+			return math.Inf(1)
+		}
+		return (mh + a*mc) / (1 + a)
+	}
+	_, sc := FCFSNodeStretch(0, (1-theta)*p.LambdaC/float64(slaves), p.MuH, p.MuC)
+	if theta < 1 && math.IsInf(sc, 1) {
+		return math.Inf(1)
+	}
+	// Weighted by arrivals: statics and admitted dynamics at masters,
+	// the rest at slaves.
+	return (mh + a*theta*mc + a*(1-theta)*sc) / (1 + a)
+}
+
+// FCFSSeparationGain returns the ratio of the flat FCFS stretch to the
+// best dedicated-split FCFS stretch — how much pure separation buys
+// under FCFS. It scans m like Theorem 1 does (θ = 0: under FCFS,
+// admitting any CGI to a master re-exposes statics to CGI residuals, so
+// the dedicated split is optimal whenever it is stable).
+func (p Params) FCFSSeparationGain() (gain float64, bestM int) {
+	flat := p.FCFSFlatStretch()
+	best := math.Inf(1)
+	bestM = -1
+	for m := 1; m < p.P; m++ {
+		if s := p.FCFSMSStretch(m, 0); s < best {
+			best = s
+			bestM = m
+		}
+	}
+	if bestM < 0 || math.IsInf(flat, 1) || best <= 0 {
+		return 1, bestM
+	}
+	return flat / best, bestM
+}

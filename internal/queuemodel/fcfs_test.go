@@ -1,0 +1,120 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFCFSNodeIdle(t *testing.T) {
+	sh, sc := FCFSNodeStretch(0, 0, 1200, 30)
+	if sh != 1 || sc != 1 {
+		t.Fatalf("idle node stretches: %v, %v", sh, sc)
+	}
+}
+
+func TestFCFSNodeSingleClassMatchesMM1(t *testing.T) {
+	// Pure static M/M/1-FCFS: W = ρ/(μ(1−ρ)), stretch = 1 + Wμ = 1 + ρ/(1−ρ)
+	// = 1/(1−ρ) — identical to PS for a single exponential class.
+	mu := 1200.0
+	for _, rho := range []float64{0.2, 0.5, 0.8} {
+		sh, _ := FCFSNodeStretch(rho*mu, 0, mu, 30)
+		want := 1 / (1 - rho)
+		if math.Abs(sh-want) > 1e-9 {
+			t.Fatalf("ρ=%v: FCFS single-class stretch %v, want %v", rho, sh, want)
+		}
+	}
+}
+
+func TestFCFSMixedPunishesStatics(t *testing.T) {
+	// A 50%-utilized node: statics alone vs statics sharing with CGI at
+	// the same total utilization. The mixed queue's CGI residuals must
+	// multiply the static stretch.
+	mu, muc := 1200.0, 30.0
+	pureH, _ := FCFSNodeStretch(0.5*mu, 0, mu, muc)
+	mixedH, _ := FCFSNodeStretch(0.25*mu, 0.25*muc, mu, muc)
+	if mixedH < 5*pureH {
+		t.Fatalf("mixed FCFS static stretch %v not ≫ pure %v", mixedH, pureH)
+	}
+}
+
+func TestFCFSSaturation(t *testing.T) {
+	sh, sc := FCFSNodeStretch(1300, 0, 1200, 30)
+	if !math.IsInf(sh, 1) || !math.IsInf(sc, 1) {
+		t.Fatalf("saturated FCFS node: %v, %v", sh, sc)
+	}
+	if sh, _ := FCFSNodeStretch(-1, 0, 1200, 30); !math.IsInf(sh, 1) {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestFCFSFlatWorseThanPS(t *testing.T) {
+	// With highly variable service (CGI 40x statics), FCFS mean stretch
+	// must exceed the PS stretch at the same utilization: PK waits are
+	// driven by E[S²], which the CGI class inflates.
+	p := paperParams(3.0/7.0, 1.0/40.0)
+	ps := p.FlatStretch()
+	fcfs := p.FCFSFlatStretch()
+	if fcfs <= ps {
+		t.Fatalf("FCFS flat %v not above PS flat %v", fcfs, ps)
+	}
+}
+
+func TestFCFSSeparationGainLargerThanPS(t *testing.T) {
+	// The quantitative point of the analysis: separation buys far more
+	// under FCFS than under PS.
+	p := paperParams(3.0/7.0, 1.0/40.0)
+	fcfsGain, m := p.FCFSSeparationGain()
+	if m < 1 || m >= p.P {
+		t.Fatalf("implausible FCFS split m=%d", m)
+	}
+	plan, err := p.OptimalPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	psGain := plan.Flat / plan.Stretch
+	if fcfsGain <= psGain {
+		t.Fatalf("FCFS separation gain %v not above PS gain %v", fcfsGain, psGain)
+	}
+	if fcfsGain < 2 {
+		t.Fatalf("FCFS separation gain %v implausibly small for r=1/40", fcfsGain)
+	}
+}
+
+func TestFCFSMSStretchDegenerate(t *testing.T) {
+	p := paperParams(0.4, 1.0/40.0)
+	if !math.IsInf(p.FCFSMSStretch(0, 0.5), 1) {
+		t.Fatal("m=0 accepted")
+	}
+	if !math.IsInf(p.FCFSMSStretch(4, -0.1), 1) {
+		t.Fatal("negative theta accepted")
+	}
+	if !math.IsInf(p.FCFSMSStretch(32, 0.5), 1) {
+		t.Fatal("slave-less theta<1 accepted")
+	}
+	// All-master θ=1 is the FCFS flat system.
+	if got, want := p.FCFSMSStretch(32, 1), p.FCFSFlatStretch(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("m=p θ=1 = %v, want flat %v", got, want)
+	}
+}
+
+// Property: for stable mixes, the dedicated FCFS split never loses to
+// the FCFS flat system (the separation theorem under FCFS).
+func TestFCFSSeparationProperty(t *testing.T) {
+	f := func(aRaw, rRaw, loadRaw uint8) bool {
+		a := 0.1 + float64(aRaw%70)/100
+		r := 1.0 / (10 + float64(rRaw%100))
+		load := 0.2 + 0.5*float64(loadRaw%64)/64
+		p := NewParams(32, 1, a, 1200, r)
+		lambda := load / p.FlatUtilization()
+		p = NewParams(32, lambda, a, 1200, r)
+		gain, m := p.FCFSSeparationGain()
+		if m < 0 {
+			return true // no stable split; nothing to assert
+		}
+		return gain >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

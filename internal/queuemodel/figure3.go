@@ -1,0 +1,96 @@
+package queuemodel
+
+// Figure 3 of the paper plots, for λ = 1000 req/s, p = 32 nodes and
+// μ_h = 1200 req/s, the percentage improvement of the optimized M/S model
+// over (a) the flat model and (b) the optimized M/S′ model, as a function
+// of 1/r for three arrival mixes a = 2/8, 3/7 and 4/6 (the paper labels
+// the curves by the λ_c:λ_h split).
+
+// Fig3Point is one point on a Figure 3 curve.
+type Fig3Point struct {
+	InvR            float64 // 1/r, the x-axis
+	MSStretch       float64
+	FlatStretch     float64
+	MSPrimeStretch  float64
+	OverFlatPct     float64 // (S_F / S_M − 1) × 100, Figure 3(a)
+	OverMSPrimePct  float64 // (S_M′ / S_M − 1) × 100, Figure 3(b)
+	Masters         int     // optimal m chosen by Theorem 1
+	Theta           float64 // heuristic θ_m
+	MSPrimeDynNodes int     // optimal k for M/S′
+}
+
+// Fig3Curve is one curve of Figure 3, labelled by its arrival mix.
+type Fig3Curve struct {
+	Label  string // e.g. "a=2/8"
+	A      float64
+	Points []Fig3Point
+}
+
+// Fig3Config parameterizes the Figure 3 sweep; DefaultFig3Config matches
+// the paper.
+type Fig3Config struct {
+	Lambda float64
+	P      int
+	MuH    float64
+	As     []float64 // arrival mixes
+	ALabel []string  // labels for the mixes
+	InvRs  []float64 // 1/r sample points
+}
+
+// DefaultFig3Config returns the paper's Figure 3 parameters: λ=1000,
+// p=32, μ_h=1200, a ∈ {2/8, 3/7, 4/6}, 1/r ∈ [10, 80].
+func DefaultFig3Config() Fig3Config {
+	invRs := make([]float64, 0, 15)
+	for ir := 10.0; ir <= 80.0; ir += 5 {
+		invRs = append(invRs, ir)
+	}
+	return Fig3Config{
+		Lambda: 1000,
+		P:      32,
+		MuH:    1200,
+		As:     []float64{2.0 / 8.0, 3.0 / 7.0, 4.0 / 6.0},
+		ALabel: []string{"a=2/8", "a=3/7", "a=4/6"},
+		InvRs:  invRs,
+	}
+}
+
+// Figure3 computes the curves of Figure 3(a) and (b). Points where any
+// model saturates are skipped, mirroring the paper's plotted domain.
+func Figure3(cfg Fig3Config) []Fig3Curve {
+	curves := make([]Fig3Curve, 0, len(cfg.As))
+	for i, a := range cfg.As {
+		label := ""
+		if i < len(cfg.ALabel) {
+			label = cfg.ALabel[i]
+		}
+		curve := Fig3Curve{Label: label, A: a}
+		for _, invR := range cfg.InvRs {
+			if invR <= 0 {
+				continue
+			}
+			params := NewParams(cfg.P, cfg.Lambda, a, cfg.MuH, 1/invR)
+			plan, err := params.OptimalPlan()
+			if err != nil {
+				continue
+			}
+			prime, err := params.MSPrimeFixedPlan()
+			if err != nil {
+				continue
+			}
+			pt := Fig3Point{
+				InvR:            invR,
+				MSStretch:       plan.Stretch,
+				FlatStretch:     plan.Flat,
+				MSPrimeStretch:  prime.Stretch,
+				OverFlatPct:     (plan.Flat/plan.Stretch - 1) * 100,
+				OverMSPrimePct:  (prime.Stretch/plan.Stretch - 1) * 100,
+				Masters:         plan.M,
+				Theta:           plan.Theta,
+				MSPrimeDynNodes: prime.K,
+			}
+			curve.Points = append(curve.Points, pt)
+		}
+		curves = append(curves, curve)
+	}
+	return curves
+}

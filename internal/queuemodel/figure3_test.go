@@ -1,0 +1,217 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSPrimeSharedUtilizations(t *testing.T) {
+	p := Params{P: 4, LambdaH: 100, LambdaC: 40, MuH: 200, MuC: 20}
+	dyn, stat := p.MSPrimeSharedUtilizations(2)
+	// static share per node: 100/(4·200) = 0.125
+	if !approx(stat, 0.125, 1e-12) {
+		t.Fatalf("static node utilization = %v, want 0.125", stat)
+	}
+	// dynamic node: 0.125 + 40/(2·20) = 1.125 (saturated)
+	if !approx(dyn, 1.125, 1e-12) {
+		t.Fatalf("dynamic node utilization = %v, want 1.125", dyn)
+	}
+	if got := p.MSPrimeSharedStretch(2); !math.IsInf(got, 1) {
+		t.Fatalf("saturated shared M/S' stretch = %v, want +Inf", got)
+	}
+}
+
+func TestMSPrimeSharedZeroK(t *testing.T) {
+	p := paperParams(0.4, 1.0/40.0)
+	dyn, _ := p.MSPrimeSharedUtilizations(0)
+	if !math.IsInf(dyn, 1) {
+		t.Fatalf("k=0 dynamic utilization = %v, want +Inf", dyn)
+	}
+}
+
+// The Jensen degeneracy documented in msprime.go: the shared (literal)
+// M/S' reading can never beat flat under processor sharing, and k = p
+// reproduces the flat system exactly.
+func TestMSPrimeSharedNeverBeatsFlat(t *testing.T) {
+	for _, a := range []float64{2.0 / 8.0, 3.0 / 7.0, 4.0 / 6.0} {
+		for _, r := range []float64{1.0 / 10, 1.0 / 40, 1.0 / 80} {
+			p := paperParams(a, r)
+			flat := p.FlatStretch()
+			for k := 1; k <= p.P; k++ {
+				if s := p.MSPrimeSharedStretch(k); s < flat-1e-9 {
+					t.Fatalf("a=%v r=%v k=%d: shared M/S' %v beat flat %v, contradicting Jensen", a, r, k, s, flat)
+				}
+			}
+			if got := p.MSPrimeSharedStretch(p.P); !approx(got, flat, 1e-9) {
+				t.Fatalf("shared M/S' with k=p = %v, want flat %v", got, flat)
+			}
+		}
+	}
+}
+
+func TestMSPrimeStretchIsDedicatedSplit(t *testing.T) {
+	p := paperParams(3.0/7.0, 1.0/40.0)
+	for k := 1; k <= p.P-1; k++ {
+		got, want := p.MSPrimeStretch(k), p.MSStretch(p.P-k, 0)
+		if math.IsInf(got, 1) && math.IsInf(want, 1) {
+			continue // both saturated
+		}
+		if !approx(got, want, 1e-12) {
+			t.Fatalf("k=%d: MSPrimeStretch=%v, want MSStretch(p-k, 0)=%v", k, got, want)
+		}
+	}
+	if got := p.MSPrimeStretch(0); !math.IsInf(got, 1) {
+		t.Fatalf("k=0 stretch = %v, want +Inf", got)
+	}
+	if got := p.MSPrimeStretch(p.P); !math.IsInf(got, 1) {
+		t.Fatalf("k=p stretch = %v, want +Inf (no static tier)", got)
+	}
+}
+
+func TestCapacityProportionalMasters(t *testing.T) {
+	// λ_h/μ_h = 1 node-equivalent of static work, λ_c/μ_c = 3 of dynamic:
+	// m' = ceil(8 · 1/4) = 2.
+	p := Params{P: 8, LambdaH: 100, LambdaC: 30, MuH: 100, MuC: 10}
+	if got := p.CapacityProportionalMasters(); got != 2 {
+		t.Fatalf("CapacityProportionalMasters = %d, want 2", got)
+	}
+	// Clamping: all-dynamic load must still leave one master.
+	p2 := Params{P: 4, LambdaH: 0, LambdaC: 30, MuH: 100, MuC: 10}
+	if got := p2.CapacityProportionalMasters(); got != 1 {
+		t.Fatalf("all-dynamic m' = %d, want 1", got)
+	}
+	// All-static load must still leave one dynamic node.
+	p3 := Params{P: 4, LambdaH: 100, LambdaC: 0, MuH: 100, MuC: 10}
+	if got := p3.CapacityProportionalMasters(); got != 3 {
+		t.Fatalf("all-static m' = %d, want p-1 = 3", got)
+	}
+}
+
+func TestMSPrimeFixedPlanBeatsFlatOnPaperGrid(t *testing.T) {
+	for _, a := range []float64{2.0 / 8.0, 3.0 / 7.0, 4.0 / 6.0} {
+		for _, r := range []float64{1.0 / 20, 1.0 / 40, 1.0 / 80} {
+			p := paperParams(a, r)
+			plan, err := p.MSPrimeFixedPlan()
+			if err != nil {
+				t.Fatalf("a=%v r=%v: %v", a, r, err)
+			}
+			if plan.Stretch > p.FlatStretch()+1e-9 {
+				t.Fatalf("a=%v r=%v: fixed M/S' %v worse than flat %v", a, r, plan.Stretch, p.FlatStretch())
+			}
+			if plan.K < 1 || plan.K >= p.P {
+				t.Fatalf("a=%v r=%v: implausible dynamic-tier size %d", a, r, plan.K)
+			}
+		}
+	}
+}
+
+func TestMSDominatesMSPrime(t *testing.T) {
+	// The paper's Figure 3(b): optimized M/S is at least as good as the
+	// fixed M/S' across the studied parameter space.
+	for _, a := range []float64{2.0 / 8.0, 3.0 / 7.0, 4.0 / 6.0} {
+		for _, r := range []float64{1.0 / 10, 1.0 / 20, 1.0 / 40, 1.0 / 80} {
+			p := paperParams(a, r)
+			ms, err := p.OptimalPlan()
+			if err != nil {
+				t.Fatalf("a=%v r=%v: %v", a, r, err)
+			}
+			prime, err := p.MSPrimeFixedPlan()
+			if err != nil {
+				t.Fatalf("a=%v r=%v: %v", a, r, err)
+			}
+			if ms.Stretch > prime.Stretch+1e-9 {
+				t.Fatalf("a=%v r=%v: M/S %v worse than M/S' %v", a, r, ms.Stretch, prime.Stretch)
+			}
+		}
+	}
+}
+
+func TestOptimalMSPrimeMatchesOptimalMS(t *testing.T) {
+	// With a free k the dedicated-tier M/S' coincides with the optimal
+	// M/S plan in the studied regime (θ* = 0) — the reason Figure 3(b)
+	// must use the fixed split, as documented in msprime.go.
+	p := paperParams(3.0/7.0, 1.0/40.0)
+	ms, err := p.OptimalPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime, err := p.OptimalMSPrimePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(ms.Stretch, prime.Stretch, 1e-9) {
+		t.Fatalf("optimal M/S' %v != optimal M/S %v", prime.Stretch, ms.Stretch)
+	}
+}
+
+func TestMSPrimePlanErrors(t *testing.T) {
+	single := Params{P: 1, LambdaH: 1, LambdaC: 1, MuH: 100, MuC: 10}
+	if _, err := single.MSPrimeFixedPlan(); err == nil {
+		t.Fatal("single-node M/S' produced a plan")
+	}
+	over := Params{P: 2, LambdaH: 1000, LambdaC: 100, MuH: 100, MuC: 10}
+	if _, err := over.OptimalMSPrimePlan(); err == nil {
+		t.Fatal("saturated M/S' produced a plan")
+	}
+}
+
+func TestFigure3ShapesMatchPaper(t *testing.T) {
+	curves := Figure3(DefaultFig3Config())
+	if len(curves) != 3 {
+		t.Fatalf("Figure3 produced %d curves, want 3", len(curves))
+	}
+	maxOverFlat, maxOverPrime := 0.0, 0.0
+	for _, c := range curves {
+		if len(c.Points) == 0 {
+			t.Fatalf("curve %s has no points", c.Label)
+		}
+		for _, pt := range c.Points {
+			if pt.OverFlatPct < -1e-9 {
+				t.Fatalf("curve %s 1/r=%v: negative improvement over flat %v", c.Label, pt.InvR, pt.OverFlatPct)
+			}
+			if pt.OverMSPrimePct < -1e-9 {
+				t.Fatalf("curve %s 1/r=%v: negative improvement over M/S' %v", c.Label, pt.InvR, pt.OverMSPrimePct)
+			}
+			if pt.OverFlatPct > maxOverFlat {
+				maxOverFlat = pt.OverFlatPct
+			}
+			if pt.OverMSPrimePct > maxOverPrime {
+				maxOverPrime = pt.OverMSPrimePct
+			}
+		}
+	}
+	// Paper: "M/S outperforms the flat model by up to 60% and ... the
+	// M/S' model by up to 18%". Require the same order of magnitude.
+	if maxOverFlat < 30 || maxOverFlat > 120 {
+		t.Fatalf("max improvement over flat = %.1f%%, paper reports up to ~60%%", maxOverFlat)
+	}
+	if maxOverPrime < 5 || maxOverPrime > 60 {
+		t.Fatalf("max improvement over M/S' = %.1f%%, paper reports up to ~18%%", maxOverPrime)
+	}
+}
+
+// Improvement over flat must grow with CGI intensity (1/r) along every
+// curve — the dominant visual trend of Figure 3(a).
+func TestFigure3OverFlatMonotoneInInvR(t *testing.T) {
+	for _, c := range Figure3(DefaultFig3Config()) {
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].OverFlatPct < c.Points[i-1].OverFlatPct-1e-6 {
+				t.Fatalf("curve %s: over-flat improvement dropped from %v to %v at 1/r=%v",
+					c.Label, c.Points[i-1].OverFlatPct, c.Points[i].OverFlatPct, c.Points[i].InvR)
+			}
+		}
+	}
+}
+
+func TestFigure3SkipsInvalidInvR(t *testing.T) {
+	cfg := DefaultFig3Config()
+	cfg.InvRs = []float64{0, -5, 40}
+	curves := Figure3(cfg)
+	for _, c := range curves {
+		for _, pt := range c.Points {
+			if pt.InvR <= 0 {
+				t.Fatalf("invalid 1/r %v survived", pt.InvR)
+			}
+		}
+	}
+}

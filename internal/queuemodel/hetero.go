@@ -1,0 +1,269 @@
+package queuemodel
+
+// Heterogeneous extension of the Section 3 analysis. The paper states
+// that Theorem 1 "can also be extended for a heterogeneous system with
+// non-uniform nodes"; this file carries that extension out for nodes
+// that differ by a speed factor s_i (node i serves statics at s_i·μ_h
+// and dynamics at s_i·μ_c).
+//
+// Routing model: the dispatcher is speed-aware and splits each class's
+// traffic across the nodes serving it in proportion to their speeds, so
+// every node in a tier has equal utilization — the fluid limit of
+// weighted random routing, and the natural generalization of the
+// homogeneous model's uniform split. Under processor sharing each class
+// on node i then sees stretch 1/(s_i·(1−ρ_tier))… more precisely the
+// response of a demand-d request on node i is d/(s_i(1−ρ_i)), so its
+// stretch normalized to the *reference* demand is 1/(s_i(1−ρ_i)).
+// Stretch is measured against the cluster's reference node speed 1.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HeteroParams describes a heterogeneous cluster.
+type HeteroParams struct {
+	// Speeds is the per-node speed factor (1.0 = reference node).
+	Speeds []float64
+	// LambdaH, LambdaC, MuH, MuC are as in Params; MuH/MuC are the
+	// reference node's service rates.
+	LambdaH, LambdaC float64
+	MuH, MuC         float64
+}
+
+// Validate reports structural problems.
+func (h HeteroParams) Validate() error {
+	if len(h.Speeds) == 0 {
+		return errors.New("queuemodel: heterogeneous cluster needs nodes")
+	}
+	for i, s := range h.Speeds {
+		if s <= 0 {
+			return fmt.Errorf("queuemodel: node %d speed %v must be positive", i, s)
+		}
+	}
+	if h.LambdaH < 0 || h.LambdaC < 0 {
+		return errors.New("queuemodel: negative arrival rate")
+	}
+	if h.MuH <= 0 || h.MuC <= 0 {
+		return errors.New("queuemodel: service rates must be positive")
+	}
+	return nil
+}
+
+// totalSpeed sums the speed factors of the given node subset.
+func (h HeteroParams) totalSpeed(nodes []int) float64 {
+	total := 0.0
+	for _, i := range nodes {
+		total += h.Speeds[i]
+	}
+	return total
+}
+
+// tierStretch returns the arrival-weighted mean stretch of traffic
+// offered to a tier of nodes under speed-proportional splitting.
+// loadEq is the offered work in reference-node-equivalents
+// (λ_h/μ_h + λ_c/μ_c for the traffic routed to the tier).
+func (h HeteroParams) tierStretch(nodes []int, loadEq float64) float64 {
+	s := h.totalSpeed(nodes)
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	// Equal utilization across the tier: ρ = loadEq / totalSpeed.
+	rho := loadEq / s
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	// A request routed to node i (probability s_i/s) has stretch
+	// 1/(s_i(1−ρ)); the tier mean is Σ (s_i/s)·1/(s_i(1−ρ)) = n/(s(1−ρ)).
+	n := float64(len(nodes))
+	return n / (s * (1 - rho))
+}
+
+// HeteroFlatStretch returns the mean stretch of the heterogeneous flat
+// architecture: both classes split speed-proportionally over all nodes.
+func (h HeteroParams) HeteroFlatStretch() float64 {
+	if err := h.Validate(); err != nil {
+		return math.Inf(1)
+	}
+	all := make([]int, len(h.Speeds))
+	for i := range all {
+		all[i] = i
+	}
+	loadEq := h.LambdaH/h.MuH + h.LambdaC/h.MuC
+	return h.tierStretch(all, loadEq)
+}
+
+// HeteroMSStretch returns the mean stretch of the heterogeneous M/S
+// architecture with the given master set and dynamic-admission fraction
+// theta. Statics and the admitted dynamics run on the masters; the rest
+// of the dynamics run on the remaining nodes.
+func (h HeteroParams) HeteroMSStretch(masters []int, theta float64) float64 {
+	if err := h.Validate(); err != nil {
+		return math.Inf(1)
+	}
+	if theta < 0 || theta > 1 {
+		return math.Inf(1)
+	}
+	inMaster := make(map[int]bool, len(masters))
+	for _, m := range masters {
+		if m < 0 || m >= len(h.Speeds) || inMaster[m] {
+			return math.Inf(1)
+		}
+		inMaster[m] = true
+	}
+	var slaves []int
+	for i := range h.Speeds {
+		if !inMaster[i] {
+			slaves = append(slaves, i)
+		}
+	}
+	lambda := h.LambdaH + h.LambdaC
+	if lambda <= 0 {
+		return 1
+	}
+	masterLoad := h.LambdaH/h.MuH + theta*h.LambdaC/h.MuC
+	masterS := h.tierStretch(masters, masterLoad)
+	if len(slaves) == 0 {
+		if theta < 1 {
+			return math.Inf(1)
+		}
+		return masterS
+	}
+	slaveS := h.tierStretch(slaves, (1-theta)*h.LambdaC/h.MuC)
+	wMaster := (h.LambdaH + theta*h.LambdaC) / lambda
+	return wMaster*masterS + (1-wMaster)*slaveS
+}
+
+// HeteroPlan is an optimized heterogeneous configuration.
+type HeteroPlan struct {
+	Masters []int
+	Theta   float64
+	Stretch float64
+	Flat    float64
+}
+
+// OptimalHeteroPlan searches for the master set and θ minimizing the
+// heterogeneous M/S stretch. Candidate master sets are prefixes of the
+// speed-sorted node list, both ascending and descending — serving cheap
+// statics from the slow nodes versus from the fast nodes — which covers
+// the exchange argument's candidates; θ is optimized by golden-section
+// per set.
+func (h HeteroParams) OptimalHeteroPlan() (HeteroPlan, error) {
+	if err := h.Validate(); err != nil {
+		return HeteroPlan{}, err
+	}
+	n := len(h.Speeds)
+	if n < 2 {
+		return HeteroPlan{}, errors.New("queuemodel: need at least two nodes for M/S")
+	}
+	bySpeed := make([]int, n)
+	for i := range bySpeed {
+		bySpeed[i] = i
+	}
+	sort.Slice(bySpeed, func(a, b int) bool { return h.Speeds[bySpeed[a]] < h.Speeds[bySpeed[b]] })
+
+	best := HeteroPlan{Stretch: math.Inf(1), Flat: h.HeteroFlatStretch()}
+	consider := func(masters []int) {
+		theta := h.optimalHeteroTheta(masters)
+		if s := h.HeteroMSStretch(masters, theta); s < best.Stretch {
+			best = HeteroPlan{
+				Masters: append([]int(nil), masters...),
+				Theta:   theta,
+				Stretch: s,
+				Flat:    best.Flat,
+			}
+		}
+	}
+	for m := 1; m < n; m++ {
+		consider(bySpeed[:m])   // slowest m nodes as masters
+		consider(bySpeed[n-m:]) // fastest m nodes as masters
+	}
+	if math.IsInf(best.Stretch, 1) {
+		return HeteroPlan{}, errors.New("queuemodel: no stable heterogeneous M/S configuration")
+	}
+	return best, nil
+}
+
+// feasibleThetaRange returns the open interval of θ keeping both tiers
+// stable: the slaves need (1−θ)λ_c/μ_c < S_slaves and the masters need
+// λ_h/μ_h + θλ_c/μ_c < S_masters, where S is a tier's total speed.
+func (h HeteroParams) feasibleThetaRange(masters []int) (lo, hi float64, ok bool) {
+	sMaster := h.totalSpeed(masters)
+	sAll := 0.0
+	for _, s := range h.Speeds {
+		sAll += s
+	}
+	sSlave := sAll - sMaster
+	dynEq := h.LambdaC / h.MuC
+	statEq := h.LambdaH / h.MuH
+	lo, hi = 0.0, 1.0
+	if dynEq > 0 {
+		if l := 1 - sSlave/dynEq; l > lo {
+			lo = l
+		}
+		if hh := (sMaster - statEq) / dynEq; hh < hi {
+			hi = hh
+		}
+	} else if statEq >= sMaster {
+		return 0, 0, false
+	}
+	if lo >= hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// optimalHeteroTheta minimizes HeteroMSStretch(masters, ·) over the
+// feasible θ interval (golden section over an infinite infeasible
+// plateau would collapse to the wrong side).
+func (h HeteroParams) optimalHeteroTheta(masters []int) float64 {
+	const phi = 0.6180339887498949
+	lo, hi, ok := h.feasibleThetaRange(masters)
+	if !ok {
+		return 0
+	}
+	// Nudge inside the open interval to avoid the ρ=1 boundary.
+	span := hi - lo
+	lo += 1e-6 * span
+	hi -= 1e-6 * span
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1 := h.HeteroMSStretch(masters, x1)
+	f2 := h.HeteroMSStretch(masters, x2)
+	for i := 0; i < 80 && hi-lo > 1e-9; i++ {
+		if f1 <= f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = h.HeteroMSStretch(masters, x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = h.HeteroMSStretch(masters, x2)
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Improvement returns the predicted percentage improvement over flat.
+func (p HeteroPlan) Improvement() float64 {
+	if p.Stretch <= 0 || math.IsInf(p.Flat, 1) {
+		return 0
+	}
+	return (p.Flat/p.Stretch - 1) * 100
+}
+
+// Uniform returns the HeteroParams equivalent of a homogeneous Params,
+// for cross-checking the two models against each other.
+func Uniform(p Params) HeteroParams {
+	speeds := make([]float64, p.P)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	return HeteroParams{
+		Speeds:  speeds,
+		LambdaH: p.LambdaH, LambdaC: p.LambdaC,
+		MuH: p.MuH, MuC: p.MuC,
+	}
+}

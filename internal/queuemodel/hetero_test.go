@@ -1,0 +1,195 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func uniformHetero(p, loadNodes int) HeteroParams {
+	params := NewParams(p, 0, 0.4, 1200, 1.0/40)
+	h := Uniform(params)
+	// Set λ for utilization loadNodes/p node-equivalents.
+	unit := NewParams(p, 1, 0.4, 1200, 1.0/40)
+	lambda := (float64(loadNodes) / float64(p)) / unit.FlatUtilization()
+	full := NewParams(p, lambda, 0.4, 1200, 1.0/40)
+	h.LambdaH, h.LambdaC = full.LambdaH, full.LambdaC
+	return h
+}
+
+func TestHeteroValidate(t *testing.T) {
+	good := uniformHetero(8, 4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Speeds = nil
+	if bad.Validate() == nil {
+		t.Fatal("empty speeds accepted")
+	}
+	bad = good
+	bad.Speeds = []float64{1, 0}
+	if bad.Validate() == nil {
+		t.Fatal("zero speed accepted")
+	}
+	bad = good
+	bad.MuC = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero mu accepted")
+	}
+	bad = good
+	bad.LambdaH = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+// With uniform speeds the heterogeneous model must reduce exactly to the
+// homogeneous one.
+func TestHeteroReducesToHomogeneous(t *testing.T) {
+	p := NewParams(16, 900, 0.41, 1200, 1.0/40)
+	h := Uniform(p)
+	if got, want := h.HeteroFlatStretch(), p.FlatStretch(); !approx(got, want, 1e-9) {
+		t.Fatalf("flat: hetero %v vs homogeneous %v", got, want)
+	}
+	masters := []int{0, 1, 2}
+	for _, theta := range []float64{0, 0.1, 0.3} {
+		got := h.HeteroMSStretch(masters, theta)
+		want := p.MSStretch(3, theta)
+		if math.IsInf(got, 1) && math.IsInf(want, 1) {
+			continue // both saturated: models agree
+		}
+		if !approx(got, want, 1e-9) {
+			t.Fatalf("θ=%v: hetero %v vs homogeneous %v", theta, got, want)
+		}
+	}
+}
+
+func TestHeteroFasterNodesLowerStretch(t *testing.T) {
+	base := uniformHetero(8, 4)
+	fast := base
+	fast.Speeds = []float64{2, 2, 2, 2, 2, 2, 2, 2}
+	if fast.HeteroFlatStretch() >= base.HeteroFlatStretch() {
+		t.Fatalf("doubling all speeds did not reduce stretch: %v vs %v",
+			fast.HeteroFlatStretch(), base.HeteroFlatStretch())
+	}
+}
+
+func TestHeteroSaturation(t *testing.T) {
+	h := uniformHetero(4, 8) // offered work exceeds capacity
+	if !math.IsInf(h.HeteroFlatStretch(), 1) {
+		t.Fatal("saturated flat stretch finite")
+	}
+}
+
+func TestHeteroMSStretchDegenerate(t *testing.T) {
+	h := uniformHetero(4, 2)
+	if !math.IsInf(h.HeteroMSStretch([]int{0}, -0.1), 1) {
+		t.Fatal("negative theta accepted")
+	}
+	if !math.IsInf(h.HeteroMSStretch([]int{0, 0}, 0.1), 1) {
+		t.Fatal("duplicate master accepted")
+	}
+	if !math.IsInf(h.HeteroMSStretch([]int{9}, 0.1), 1) {
+		t.Fatal("out-of-range master accepted")
+	}
+	// All nodes masters with θ<1 leaves dynamics nowhere to go.
+	if !math.IsInf(h.HeteroMSStretch([]int{0, 1, 2, 3}, 0.5), 1) {
+		t.Fatal("slave-less θ<1 configuration accepted")
+	}
+}
+
+func TestOptimalHeteroPlanBeatsFlat(t *testing.T) {
+	h := uniformHetero(8, 5)
+	// Make half the cluster 3x faster.
+	h.Speeds = []float64{1, 1, 1, 1, 3, 3, 3, 3}
+	plan, err := h.OptimalHeteroPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stretch > plan.Flat+1e-9 {
+		t.Fatalf("hetero plan %v worse than flat %v", plan.Stretch, plan.Flat)
+	}
+	if plan.Improvement() < 0 {
+		t.Fatalf("negative improvement %v", plan.Improvement())
+	}
+	if len(plan.Masters) == 0 || len(plan.Masters) >= 8 {
+		t.Fatalf("implausible master set %v", plan.Masters)
+	}
+}
+
+func TestOptimalHeteroMatchesHomogeneousOnUniform(t *testing.T) {
+	p := NewParams(12, 700, 0.41, 1200, 1.0/40)
+	homPlan, err := p.OptimalPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Uniform(p)
+	hetPlan, err := h.OptimalHeteroPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hetero search optimizes θ exactly while the homogeneous plan
+	// uses the paper's midpoint heuristic, so hetero can only be equal
+	// or slightly better.
+	if hetPlan.Stretch > homPlan.Stretch*(1+1e-6) {
+		t.Fatalf("uniform hetero plan %v worse than homogeneous %v", hetPlan.Stretch, homPlan.Stretch)
+	}
+	if math.Abs(hetPlan.Stretch-homPlan.Stretch) > 0.05*homPlan.Stretch {
+		t.Fatalf("uniform hetero plan %v far from homogeneous %v", hetPlan.Stretch, homPlan.Stretch)
+	}
+}
+
+func TestHeteroPlanErrors(t *testing.T) {
+	h := uniformHetero(8, 4)
+	h.Speeds = h.Speeds[:1]
+	// Rescale load onto one node → saturated and too small.
+	if _, err := h.OptimalHeteroPlan(); err == nil {
+		t.Fatal("single-node hetero plan accepted")
+	}
+	bad := uniformHetero(8, 4)
+	bad.MuH = 0
+	if _, err := bad.OptimalHeteroPlan(); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// Property: the optimal heterogeneous plan never loses to flat when one
+// exists, for random speed mixes at stable loads.
+func TestHeteroPlanDominatesFlatProperty(t *testing.T) {
+	f := func(speedsRaw []uint8, loadRaw uint8) bool {
+		if len(speedsRaw) < 2 {
+			return true
+		}
+		if len(speedsRaw) > 12 {
+			speedsRaw = speedsRaw[:12]
+		}
+		speeds := make([]float64, len(speedsRaw))
+		for i, s := range speedsRaw {
+			speeds[i] = 0.5 + float64(s%8)/2 // 0.5 … 4.0
+		}
+		h := uniformHetero(len(speeds), 0)
+		h.Speeds = speeds
+		// Offered load: 40-80% of the total speed capacity.
+		frac := 0.4 + 0.4*float64(loadRaw%64)/64
+		capacity := 0.0
+		for _, s := range speeds {
+			capacity += s
+		}
+		unit := HeteroParams{Speeds: speeds, LambdaH: 1 / (1.41), LambdaC: 0.41 / 1.41, MuH: 1200, MuC: 30}
+		unitLoad := unit.LambdaH/unit.MuH + unit.LambdaC/unit.MuC
+		lambda := frac * capacity / unitLoad
+		h.LambdaH = lambda / 1.41
+		h.LambdaC = lambda - h.LambdaH
+		h.MuH, h.MuC = 1200, 30
+
+		plan, err := h.OptimalHeteroPlan()
+		if err != nil {
+			return true // no stable configuration is acceptable
+		}
+		return plan.Stretch <= h.HeteroFlatStretch()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package queuemodel implements the Section 3 analytic model of the paper:
+// multi-class open queueing networks for the flat and master/slave (M/S)
+// web-cluster architectures, the quadratic condition under which M/S
+// outperforms flat, the optimal fraction θ of dynamic requests to process
+// at masters, and the numeric search for the optimal number of masters m
+// (Theorem 1). It also models the M/S′ alternative in which dynamic
+// requests are pinned to a fixed subset of nodes while static requests are
+// spread over all nodes.
+//
+// Model recap. Two request classes arrive as Poisson streams: static
+// ("h", for HTML) at rate λ_h and dynamic content ("c", for CGI) at rate
+// λ_c. Per-node service rates are μ_h and μ_c. Each node is an M/M/1
+// processor-sharing station, so every class on a node with utilization ρ
+// experiences stretch 1/(1−ρ). Define
+//
+//	a = λ_c/λ_h   (arrival-rate ratio)
+//	r = μ_c/μ_h   (service-rate ratio; r ≪ 1 for CGI-heavy sites)
+//
+// Flat: each of p nodes receives λ/p of both classes;
+// ρ_F = λ_h/(pμ_h) + λ_c/(pμ_c), S_F = 1/(1−ρ_F).
+//
+// M/S: m masters receive all static traffic plus a fraction θ of the
+// dynamic traffic; p−m slaves share the remaining (1−θ) of the dynamic
+// traffic. The mean stretch is the arrival-weighted mean over the three
+// flows.
+package queuemodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params describes one analytic configuration.
+type Params struct {
+	P       int     // total number of nodes in the cluster
+	LambdaH float64 // arrival rate of static requests (req/s)
+	LambdaC float64 // arrival rate of dynamic requests (req/s)
+	MuH     float64 // per-node service rate for static requests (req/s)
+	MuC     float64 // per-node service rate for dynamic requests (req/s)
+}
+
+// NewParams builds a Params from the paper's preferred parameterization:
+// total arrival rate λ, arrival ratio a = λ_c/λ_h, static service rate
+// μ_h and service ratio r = μ_c/μ_h.
+func NewParams(p int, lambda, a, muH, r float64) Params {
+	lambdaH := lambda / (1 + a)
+	return Params{
+		P:       p,
+		LambdaH: lambdaH,
+		LambdaC: lambda - lambdaH,
+		MuH:     muH,
+		MuC:     r * muH,
+	}
+}
+
+// A returns the arrival ratio a = λ_c/λ_h.
+func (p Params) A() float64 {
+	if p.LambdaH == 0 {
+		return math.Inf(1)
+	}
+	return p.LambdaC / p.LambdaH
+}
+
+// R returns the service ratio r = μ_c/μ_h.
+func (p Params) R() float64 {
+	if p.MuH == 0 {
+		return 0
+	}
+	return p.MuC / p.MuH
+}
+
+// Lambda returns the total arrival rate.
+func (p Params) Lambda() float64 { return p.LambdaH + p.LambdaC }
+
+// Validate reports structural problems with the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.P < 1:
+		return errors.New("queuemodel: cluster must have at least one node")
+	case p.LambdaH < 0 || p.LambdaC < 0:
+		return errors.New("queuemodel: negative arrival rate")
+	case p.MuH <= 0 || p.MuC <= 0:
+		return errors.New("queuemodel: service rates must be positive")
+	}
+	return nil
+}
+
+// FlatUtilization returns ρ_F, the per-node utilization in the flat
+// architecture.
+func (p Params) FlatUtilization() float64 {
+	return p.LambdaH/(float64(p.P)*p.MuH) + p.LambdaC/(float64(p.P)*p.MuC)
+}
+
+// FlatStable reports whether the flat system is stable (ρ_F < 1).
+func (p Params) FlatStable() bool { return p.FlatUtilization() < 1 }
+
+// FlatStretch returns S_F = 1/(1−ρ_F), the stretch factor of the flat
+// architecture (both classes see the same stretch under processor
+// sharing). It returns +Inf when the system is saturated.
+func (p Params) FlatStretch() float64 {
+	rho := p.FlatUtilization()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - rho)
+}
+
+// MasterUtilization returns ρ_1(θ), the utilization of each of the m
+// master nodes when a fraction theta of dynamic requests stays at masters.
+func (p Params) MasterUtilization(m int, theta float64) float64 {
+	return p.LambdaH/(float64(m)*p.MuH) + theta*p.LambdaC/(float64(m)*p.MuC)
+}
+
+// SlaveUtilization returns ρ_2(θ), the utilization of each of the p−m
+// slave nodes. With no slaves it returns 0 when θ = 1 (no traffic routed
+// to the empty tier) and +Inf otherwise.
+func (p Params) SlaveUtilization(m int, theta float64) float64 {
+	slaves := p.P - m
+	if slaves <= 0 {
+		if theta >= 1 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (1 - theta) * p.LambdaC / (float64(slaves) * p.MuC)
+}
+
+// MSStretchParts returns the three component stretch factors of the M/S
+// system: S_{M,h} (= S_{M,c1}, statics and master-resident dynamics share
+// master nodes) and S_{M,c2} (dynamics on slaves). Saturated tiers report
+// +Inf.
+func (p Params) MSStretchParts(m int, theta float64) (masterS, slaveS float64) {
+	rho1 := p.MasterUtilization(m, theta)
+	rho2 := p.SlaveUtilization(m, theta)
+	if rho1 >= 1 {
+		masterS = math.Inf(1)
+	} else {
+		masterS = 1 / (1 - rho1)
+	}
+	if rho2 >= 1 {
+		slaveS = math.Inf(1)
+	} else {
+		slaveS = 1 / (1 - rho2)
+	}
+	return masterS, slaveS
+}
+
+// MSStretch returns S_M(m, θ), the arrival-weighted mean stretch of the
+// M/S architecture:
+//
+//	S_M = [(1+aθ)·S_{M,h} + a(1−θ)·S_{M,c2}] / (1+a)
+func (p Params) MSStretch(m int, theta float64) float64 {
+	a := p.A()
+	masterS, slaveS := p.MSStretchParts(m, theta)
+	if math.IsInf(masterS, 1) || (theta < 1 && math.IsInf(slaveS, 1)) {
+		return math.Inf(1)
+	}
+	if theta >= 1 {
+		// All dynamics at masters; slave term has zero weight.
+		return ((1 + a*theta) * masterS) / (1 + a)
+	}
+	return ((1+a*theta)*masterS + a*(1-theta)*slaveS) / (1 + a)
+}
+
+// BalancedTheta returns θ₂ = (m/p)(1 + r/a) − r/a, the θ at which master
+// and slave utilizations both equal the flat utilization, making
+// S_M = S_F exactly. It is the upper root of the quadratic in Theorem 1
+// and — crucially for the on-line reservation scheme of Section 4 —
+// depends only on m/p, r and a.
+func (p Params) BalancedTheta(m int) float64 {
+	a := p.A()
+	r := p.R()
+	if a == 0 || math.IsInf(a, 1) {
+		// Degenerate mixes: no dynamic traffic (a=0) means θ is
+		// irrelevant; no static traffic (a=∞) balances at θ = m/p.
+		if math.IsInf(a, 1) {
+			return float64(m) / float64(p.P)
+		}
+		return 0
+	}
+	mp := float64(m) / float64(p.P)
+	return mp*(1+r/a) - r/a
+}
+
+// Quadratic returns the coefficients A, B, C of the polynomial
+// Aθ² + Bθ + C whose non-positive range is exactly {θ : S_M(θ) ≤ S_F},
+// assuming all three stations remain stable. The scanned paper's closed
+// forms are OCR-damaged, so the coefficients are recovered exactly by
+// clearing denominators of the rational inequality and evaluating the
+// resulting polynomial at θ ∈ {0, 1, −1}:
+//
+//	g(θ) = (1+aθ)(1−ρ₂)(1−ρ_F) + a(1−θ)(1−ρ₁)(1−ρ_F) − (1+a)(1−ρ₁)(1−ρ₂)
+//
+// g is quadratic in θ because ρ₁ and ρ₂ are affine in θ, and g(θ) ≤ 0 ⟺
+// S_M(θ) ≤ S_F whenever 1−ρ₁ > 0 and 1−ρ₂ > 0.
+func (p Params) Quadratic(m int) (A, B, C float64) {
+	g := func(theta float64) float64 {
+		a := p.A()
+		rho1 := p.MasterUtilization(m, theta)
+		rho2 := p.SlaveUtilization(m, theta)
+		rhoF := p.FlatUtilization()
+		return (1+a*theta)*(1-rho2)*(1-rhoF) +
+			a*(1-theta)*(1-rho1)*(1-rhoF) -
+			(1+a)*(1-rho1)*(1-rho2)
+	}
+	c := g(0)
+	gp := g(1)  // A + B + C
+	gm := g(-1) // A − B + C
+	A = (gp+gm)/2 - c
+	B = (gp - gm) / 2
+	C = c
+	return A, B, C
+}
+
+// ThetaRange returns the interval [θ₁, θ₂] over which S_M(θ) ≤ S_F, from
+// the roots of the Theorem 1 quadratic. ok is false when the quadratic
+// has no real roots (M/S never beats flat for this m) or when the slave
+// tier is absent.
+func (p Params) ThetaRange(m int) (theta1, theta2 float64, ok bool) {
+	if m <= 0 || m >= p.P {
+		return 0, 0, false
+	}
+	A, B, C := p.Quadratic(m)
+	if A == 0 {
+		if B == 0 {
+			return 0, 0, false
+		}
+		root := -C / B
+		return root, root, true
+	}
+	disc := B*B - 4*A*C
+	if disc < 0 {
+		return 0, 0, false
+	}
+	sq := math.Sqrt(disc)
+	r1 := (-B - sq) / (2 * A)
+	r2 := (-B + sq) / (2 * A)
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return r1, r2, true
+}
+
+// OptimalTheta returns the paper's heuristic optimal θ for a given m:
+// the midpoint of the two quadratic roots, clamped to [0, 1]:
+// θ_m = max((θ₁+θ₂)/2, 0).
+func (p Params) OptimalTheta(m int) (float64, bool) {
+	t1, t2, ok := p.ThetaRange(m)
+	if !ok {
+		return 0, false
+	}
+	theta := (t1 + t2) / 2
+	if theta < 0 {
+		theta = 0
+	}
+	if theta > 1 {
+		theta = 1
+	}
+	return theta, true
+}
+
+// ExactOptimalTheta minimizes S_M(m, ·) over θ ∈ [0, 1] by golden-section
+// search. The paper uses the quadratic midpoint as a closed-form
+// surrogate; the exact optimum is exposed for the ablation benchmarks.
+func (p Params) ExactOptimalTheta(m int) float64 {
+	const phi = 0.6180339887498949
+	lo, hi := 0.0, 1.0
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1 := p.MSStretch(m, x1)
+	f2 := p.MSStretch(m, x2)
+	for i := 0; i < 100 && hi-lo > 1e-10; i++ {
+		if f1 <= f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = p.MSStretch(m, x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = p.MSStretch(m, x2)
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Plan is the output of Theorem 1's numeric minimization: the number of
+// masters and θ that minimize the M/S stretch factor.
+type Plan struct {
+	M       int     // chosen number of master nodes
+	Theta   float64 // paper-heuristic θ_m for that m
+	Theta2  float64 // upper root θ₂ — the reservation cap used by §4
+	Stretch float64 // predicted S_M at (M, Theta)
+	Flat    float64 // predicted S_F for comparison
+}
+
+// Improvement returns the predicted percentage improvement of the plan
+// over the flat architecture, (S_F/S_M − 1)·100.
+func (pl Plan) Improvement() float64 {
+	if pl.Stretch <= 0 {
+		return 0
+	}
+	return (pl.Flat/pl.Stretch - 1) * 100
+}
+
+// OptimalPlan scans m = 1..p−1, computes the heuristic θ_m for each, and
+// returns the (m, θ) pair minimizing the predicted M/S stretch — the
+// numeric minimization of Theorem 1. The error reports infeasible
+// parameters (unstable flat system or no beneficial configuration).
+func (p Params) OptimalPlan() (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if !p.FlatStable() {
+		return Plan{}, fmt.Errorf("queuemodel: offered load %.3f saturates the cluster", p.FlatUtilization())
+	}
+	best := Plan{M: -1, Stretch: math.Inf(1), Flat: p.FlatStretch()}
+	for m := 1; m < p.P; m++ {
+		theta, ok := p.OptimalTheta(m)
+		if !ok {
+			continue
+		}
+		s := p.MSStretch(m, theta)
+		if s < best.Stretch {
+			t2 := p.BalancedTheta(m)
+			best = Plan{M: m, Theta: theta, Theta2: t2, Stretch: s, Flat: best.Flat}
+		}
+	}
+	if best.M < 0 {
+		return Plan{}, errors.New("queuemodel: no master/slave split outperforms flat")
+	}
+	return best, nil
+}

@@ -1,0 +1,332 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func paperParams(a, r float64) Params {
+	return NewParams(32, 1000, a, 1200, r)
+}
+
+func TestNewParamsRoundTrip(t *testing.T) {
+	p := NewParams(32, 1000, 0.25, 1200, 0.05)
+	if !approx(p.A(), 0.25, 1e-12) {
+		t.Fatalf("A() = %v, want 0.25", p.A())
+	}
+	if !approx(p.R(), 0.05, 1e-12) {
+		t.Fatalf("R() = %v, want 0.05", p.R())
+	}
+	if !approx(p.Lambda(), 1000, 1e-9) {
+		t.Fatalf("Lambda() = %v, want 1000", p.Lambda())
+	}
+	if !approx(p.LambdaH+p.LambdaC, 1000, 1e-9) {
+		t.Fatalf("rates do not sum: %v + %v", p.LambdaH, p.LambdaC)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := paperParams(0.25, 0.05)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := good
+	bad.P = 0
+	if bad.Validate() == nil {
+		t.Fatal("p=0 accepted")
+	}
+	bad = good
+	bad.MuC = 0
+	if bad.Validate() == nil {
+		t.Fatal("mu_c=0 accepted")
+	}
+	bad = good
+	bad.LambdaH = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestFlatUtilizationAndStretch(t *testing.T) {
+	// Hand-computed: p=2, λ_h=100, λ_c=10, μ_h=200, μ_c=20.
+	p := Params{P: 2, LambdaH: 100, LambdaC: 10, MuH: 200, MuC: 20}
+	// ρ_F = 100/(2·200) + 10/(2·20) = 0.25 + 0.25 = 0.5
+	if got := p.FlatUtilization(); !approx(got, 0.5, 1e-12) {
+		t.Fatalf("FlatUtilization = %v, want 0.5", got)
+	}
+	if got := p.FlatStretch(); !approx(got, 2, 1e-12) {
+		t.Fatalf("FlatStretch = %v, want 2", got)
+	}
+	if !p.FlatStable() {
+		t.Fatal("stable system reported unstable")
+	}
+}
+
+func TestFlatSaturation(t *testing.T) {
+	p := Params{P: 1, LambdaH: 300, LambdaC: 0, MuH: 200, MuC: 20}
+	if p.FlatStable() {
+		t.Fatal("saturated system reported stable")
+	}
+	if !math.IsInf(p.FlatStretch(), 1) {
+		t.Fatalf("saturated stretch = %v, want +Inf", p.FlatStretch())
+	}
+}
+
+func TestMasterSlaveUtilizations(t *testing.T) {
+	p := Params{P: 4, LambdaH: 100, LambdaC: 40, MuH: 200, MuC: 20}
+	// m=2, θ=0.5: ρ1 = 100/(2·200) + 0.5·40/(2·20) = 0.25 + 0.5 = 0.75
+	if got := p.MasterUtilization(2, 0.5); !approx(got, 0.75, 1e-12) {
+		t.Fatalf("MasterUtilization = %v, want 0.75", got)
+	}
+	// ρ2 = 0.5·40/(2·20) = 0.5
+	if got := p.SlaveUtilization(2, 0.5); !approx(got, 0.5, 1e-12) {
+		t.Fatalf("SlaveUtilization = %v, want 0.5", got)
+	}
+}
+
+func TestSlaveUtilizationNoSlaves(t *testing.T) {
+	p := paperParams(0.25, 0.05)
+	if got := p.SlaveUtilization(32, 1); got != 0 {
+		t.Fatalf("no-slave θ=1 utilization = %v, want 0", got)
+	}
+	if got := p.SlaveUtilization(32, 0.5); !math.IsInf(got, 1) {
+		t.Fatalf("no-slave θ<1 utilization = %v, want +Inf", got)
+	}
+}
+
+func TestBalancedThetaEqualizesUtilizations(t *testing.T) {
+	p := paperParams(3.0/7.0, 1.0/40.0)
+	for m := 1; m < 32; m++ {
+		theta := p.BalancedTheta(m)
+		if theta < 0 || theta > 1 {
+			continue // infeasible m for this mix; nothing to equalize
+		}
+		rho1 := p.MasterUtilization(m, theta)
+		rho2 := p.SlaveUtilization(m, theta)
+		rhoF := p.FlatUtilization()
+		if !approx(rho1, rhoF, 1e-9) || !approx(rho2, rhoF, 1e-9) {
+			t.Fatalf("m=%d θ₂=%v: ρ1=%v ρ2=%v ρF=%v not balanced", m, theta, rho1, rho2, rhoF)
+		}
+	}
+}
+
+// θ₂ must depend only on (m/p, r, a) — the property Section 4's on-line
+// reservation controller relies on. Scaling λ and μ together, or p and m
+// together, must not change it.
+func TestBalancedThetaInvariance(t *testing.T) {
+	base := NewParams(32, 1000, 0.4, 1200, 0.025)
+	t2 := base.BalancedTheta(8)
+
+	scaledLoad := NewParams(32, 5000, 0.4, 6000, 0.025)
+	if got := scaledLoad.BalancedTheta(8); !approx(got, t2, 1e-12) {
+		t.Fatalf("θ₂ changed under λ,μ scaling: %v vs %v", got, t2)
+	}
+
+	scaledCluster := NewParams(128, 1000, 0.4, 1200, 0.025)
+	if got := scaledCluster.BalancedTheta(32); !approx(got, t2, 1e-12) {
+		t.Fatalf("θ₂ changed under p,m scaling: %v vs %v", got, t2)
+	}
+}
+
+func TestBalancedThetaClosedForm(t *testing.T) {
+	// θ₂ = (m/p)(1+r/a) − r/a
+	p := paperParams(0.5, 0.02)
+	m := 6
+	want := (6.0/32.0)*(1+0.02/0.5) - 0.02/0.5
+	if got := p.BalancedTheta(m); !approx(got, want, 1e-12) {
+		t.Fatalf("BalancedTheta = %v, want %v", got, want)
+	}
+}
+
+func TestMSStretchAtBalancedThetaEqualsFlat(t *testing.T) {
+	for _, a := range []float64{0.25, 3.0 / 7.0, 4.0 / 6.0} {
+		for _, r := range []float64{1.0 / 20, 1.0 / 40, 1.0 / 80} {
+			p := paperParams(a, r)
+			for _, m := range []int{4, 8, 16} {
+				theta := p.BalancedTheta(m)
+				if theta < 0 || theta > 1 {
+					continue
+				}
+				sm := p.MSStretch(m, theta)
+				sf := p.FlatStretch()
+				if !approx(sm, sf, 1e-9*sf) {
+					t.Fatalf("a=%v r=%v m=%d: S_M(θ₂)=%v != S_F=%v", a, r, m, sm, sf)
+				}
+			}
+		}
+	}
+}
+
+func TestQuadraticRootsMatchBalancedTheta(t *testing.T) {
+	p := paperParams(3.0/7.0, 1.0/40.0)
+	for m := 2; m < 31; m++ {
+		t1, t2, ok := p.ThetaRange(m)
+		if !ok {
+			continue
+		}
+		bal := p.BalancedTheta(m)
+		// θ₂ (the balanced root) must be one of the quadratic roots.
+		if !approx(t1, bal, 1e-6) && !approx(t2, bal, 1e-6) {
+			t.Fatalf("m=%d: balanced θ %v is not a root (%v, %v)", m, bal, t1, t2)
+		}
+		if t1 > t2 {
+			t.Fatalf("m=%d: roots out of order: %v > %v", m, t1, t2)
+		}
+	}
+}
+
+// The quadratic's sign must agree with a direct comparison of the stretch
+// factors at interior points.
+func TestQuadraticSignAgreesWithDirectComparison(t *testing.T) {
+	p := paperParams(0.4, 1.0/40.0)
+	for m := 2; m < 31; m++ {
+		t1, t2, ok := p.ThetaRange(m)
+		if !ok {
+			continue
+		}
+		for _, theta := range []float64{(t1 + t2) / 2, t1 + 0.25*(t2-t1), t1 + 0.75*(t2-t1)} {
+			if theta < 0 || theta > 1 {
+				continue
+			}
+			rho1 := p.MasterUtilization(m, theta)
+			rho2 := p.SlaveUtilization(m, theta)
+			if rho1 >= 1 || rho2 >= 1 {
+				continue
+			}
+			if sm, sf := p.MSStretch(m, theta), p.FlatStretch(); sm > sf+1e-9 {
+				t.Fatalf("m=%d θ=%v inside root interval but S_M=%v > S_F=%v", m, theta, sm, sf)
+			}
+		}
+		// Just outside the interval (and stable) M/S must NOT beat flat.
+		outside := t2 + 0.02
+		if outside <= 1 && p.MasterUtilization(m, outside) < 1 && p.SlaveUtilization(m, outside) < 1 {
+			if sm, sf := p.MSStretch(m, outside), p.FlatStretch(); sm < sf-1e-9 {
+				t.Fatalf("m=%d θ=%v outside interval but S_M=%v < S_F=%v", m, outside, sm, sf)
+			}
+		}
+	}
+}
+
+func TestThetaRangeDegenerateM(t *testing.T) {
+	p := paperParams(0.4, 1.0/40.0)
+	if _, _, ok := p.ThetaRange(0); ok {
+		t.Fatal("m=0 returned a theta range")
+	}
+	if _, _, ok := p.ThetaRange(32); ok {
+		t.Fatal("m=p returned a theta range")
+	}
+}
+
+func TestOptimalThetaWithinRoots(t *testing.T) {
+	p := paperParams(0.4, 1.0/40.0)
+	for m := 2; m < 31; m++ {
+		theta, ok := p.OptimalTheta(m)
+		if !ok {
+			continue
+		}
+		if theta < 0 || theta > 1 {
+			t.Fatalf("m=%d: θ_m=%v outside [0,1]", m, theta)
+		}
+		t1, t2, _ := p.ThetaRange(m)
+		mid := (t1 + t2) / 2
+		want := math.Min(math.Max(mid, 0), 1)
+		if !approx(theta, want, 1e-12) {
+			t.Fatalf("m=%d: θ_m=%v, want clamp(midpoint)=%v", m, theta, want)
+		}
+	}
+}
+
+func TestOptimalPlanBeatsFlat(t *testing.T) {
+	for _, a := range []float64{2.0 / 8.0, 3.0 / 7.0, 4.0 / 6.0} {
+		for _, r := range []float64{1.0 / 10, 1.0 / 20, 1.0 / 40, 1.0 / 80} {
+			p := paperParams(a, r)
+			plan, err := p.OptimalPlan()
+			if err != nil {
+				t.Fatalf("a=%v r=%v: %v", a, r, err)
+			}
+			if plan.Stretch > plan.Flat+1e-9 {
+				t.Fatalf("a=%v r=%v: plan stretch %v worse than flat %v", a, r, plan.Stretch, plan.Flat)
+			}
+			if plan.M < 1 || plan.M >= 32 {
+				t.Fatalf("a=%v r=%v: implausible master count %d", a, r, plan.M)
+			}
+			if plan.Improvement() < 0 {
+				t.Fatalf("a=%v r=%v: negative improvement %v", a, r, plan.Improvement())
+			}
+		}
+	}
+}
+
+func TestOptimalPlanExhaustiveAgreement(t *testing.T) {
+	// The plan must match brute-force minimization over (m, θ-grid) to
+	// within grid resolution.
+	p := paperParams(3.0/7.0, 1.0/40.0)
+	plan, err := p.OptimalPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestS := math.Inf(1)
+	for m := 1; m < 32; m++ {
+		theta, ok := p.OptimalTheta(m)
+		if !ok {
+			continue
+		}
+		if s := p.MSStretch(m, theta); s < bestS {
+			bestS = s
+		}
+	}
+	if !approx(plan.Stretch, bestS, 1e-12) {
+		t.Fatalf("plan stretch %v != brute force %v", plan.Stretch, bestS)
+	}
+}
+
+func TestOptimalPlanErrors(t *testing.T) {
+	over := Params{P: 2, LambdaH: 1000, LambdaC: 100, MuH: 100, MuC: 10}
+	if _, err := over.OptimalPlan(); err == nil {
+		t.Fatal("saturated system produced a plan")
+	}
+	invalid := Params{P: 0}
+	if _, err := invalid.OptimalPlan(); err == nil {
+		t.Fatal("invalid params produced a plan")
+	}
+}
+
+func TestExactOptimalThetaNoWorseThanHeuristic(t *testing.T) {
+	p := paperParams(3.0/7.0, 1.0/40.0)
+	for _, m := range []int{4, 6, 8, 12} {
+		heur, ok := p.OptimalTheta(m)
+		if !ok {
+			continue
+		}
+		exact := p.ExactOptimalTheta(m)
+		if p.MSStretch(m, exact) > p.MSStretch(m, heur)+1e-9 {
+			t.Fatalf("m=%d: exact θ %v worse than heuristic %v", m, exact, heur)
+		}
+	}
+}
+
+// Property: for random stable configurations, S_M at the heuristic θ
+// never exceeds S_F (Theorem 1's guarantee within the root interval).
+func TestTheoremOneProperty(t *testing.T) {
+	f := func(aRaw, rRaw, loadRaw uint8) bool {
+		a := 0.1 + float64(aRaw%80)/100          // 0.10..0.89
+		r := 1.0 / (10 + float64(rRaw%150))      // 1/10..1/160
+		load := 0.2 + 0.6*float64(loadRaw%64)/64 // flat utilization target
+		muH := 1200.0
+		// Choose λ so the flat utilization equals `load`.
+		p := NewParams(32, 1, a, muH, r)
+		lambda := load / p.FlatUtilization()
+		p = NewParams(32, lambda, a, muH, r)
+		plan, err := p.OptimalPlan()
+		if err != nil {
+			return true // infeasible configurations are out of scope
+		}
+		return plan.Stretch <= plan.Flat+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"msweb/internal/metrics"
+	"msweb/internal/trace"
+	"msweb/internal/workload"
+)
+
+// RunClosed drives a live cluster with closed-loop sessions: each
+// session is a goroutine-user that waits for every response before
+// thinking and issuing its next request — the live counterpart of
+// cluster.RunClosedLoop. Master URLs are assigned to sessions round
+// robin (a user keeps its front-end server, as a browser keeps its
+// connection).
+func RunClosed(ctx context.Context, masterURLs []string, sessions []workload.Session, opts Options) (*Result, error) {
+	if len(masterURLs) == 0 {
+		return nil, fmt.Errorf("replay: no master URLs")
+	}
+	for i, s := range sessions {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("replay: session %d: %w", i, err)
+		}
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 1
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 120 * time.Second
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+		Timeout:   opts.Timeout,
+	}
+
+	var (
+		mu        sync.Mutex
+		collector = metrics.NewCollector()
+		failed    int
+		sent      int
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+
+	runSession := func(master string, s workload.Session) {
+		defer wg.Done()
+		if wait := time.Duration(s.Start*opts.TimeScale*float64(time.Second)) - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return
+			}
+		}
+		for i, req := range s.Requests {
+			if ctx.Err() != nil {
+				return
+			}
+			cls := "s"
+			if req.Class == trace.Dynamic {
+				cls = "d"
+			}
+			url := fmt.Sprintf("%s/req?class=%s&demand=%g&w=%g&script=%d&size=%d",
+				master, cls, req.Demand, req.CPUWeight, req.Script, req.Size)
+			t0 := time.Now()
+			resp, err := client.Get(url)
+			var got int64
+			if resp != nil {
+				got, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			elapsed := time.Since(t0)
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			if ok && req.Size > 0 && got != req.Size {
+				ok = false
+			}
+			mu.Lock()
+			sent++
+			if ok {
+				collector.Add(metrics.Sample{
+					Demand:   req.Demand,
+					Response: elapsed.Seconds() / opts.TimeScale,
+					Class:    req.Class.String(),
+				})
+			} else {
+				failed++
+			}
+			mu.Unlock()
+			if i < len(s.Thinks) {
+				think := time.Duration(s.Thinks[i] * opts.TimeScale * float64(time.Second))
+				select {
+				case <-time.After(think):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}
+
+	for i, s := range sessions {
+		wg.Add(1)
+		go runSession(masterURLs[i%len(masterURLs)], s)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return &Result{
+		Summary:  collector.Summarize(),
+		Sent:     sent,
+		Failed:   failed,
+		Duration: time.Since(start),
+	}, nil
+}

@@ -1,0 +1,156 @@
+// Package replay drives a live msweb cluster with a trace: an open-loop
+// client that fires each request at its (scaled) arrival time against
+// the master tier in round-robin order — the paper's replay methodology
+// ("requests are sent to servers in a round-robin fashion") — and
+// measures per-request server-site response times for the stretch
+// factor.
+package replay
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"msweb/internal/metrics"
+	"msweb/internal/trace"
+)
+
+// Options configure a replay.
+type Options struct {
+	// TimeScale compresses (<1) or dilates (>1) the trace's arrival
+	// intervals and demands; it must match the cluster's TimeScale so
+	// stretch factors stay dimensionless.
+	TimeScale float64
+	// Timeout bounds each request.
+	Timeout time.Duration
+	// Concurrency caps in-flight requests (0 = unlimited).
+	Concurrency int
+}
+
+// DefaultOptions replays in real time.
+func DefaultOptions() Options {
+	return Options{TimeScale: 1, Timeout: 120 * time.Second}
+}
+
+// Result carries replay statistics.
+type Result struct {
+	Summary  metrics.Summary
+	Sent     int
+	Failed   int
+	Duration time.Duration
+}
+
+// StretchFactor is the headline metric.
+func (r *Result) StretchFactor() float64 { return r.Summary.StretchFactor }
+
+// Run replays tr against the given master URLs and blocks until every
+// request has completed or failed.
+func Run(ctx context.Context, masterURLs []string, tr *trace.Trace, opts Options) (*Result, error) {
+	if len(masterURLs) == 0 {
+		return nil, fmt.Errorf("replay: no master URLs")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 1
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 120 * time.Second
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+		Timeout:   opts.Timeout,
+	}
+
+	var (
+		mu        sync.Mutex
+		collector = metrics.NewCollector()
+		failed    int
+		wg        sync.WaitGroup
+	)
+	var gate chan struct{}
+	if opts.Concurrency > 0 {
+		gate = make(chan struct{}, opts.Concurrency)
+	}
+
+	start := time.Now()
+	base := 0.0
+	if len(tr.Requests) > 0 {
+		base = tr.Requests[0].Arrival
+	}
+	sent := 0
+	for i, req := range tr.Requests {
+		if ctx.Err() != nil {
+			break
+		}
+		at := time.Duration((req.Arrival - base) * opts.TimeScale * float64(time.Second))
+		if wait := at - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		master := masterURLs[i%len(masterURLs)]
+		req := req
+		sent++
+		if gate != nil {
+			gate <- struct{}{}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if gate != nil {
+				defer func() { <-gate }()
+			}
+			cls := "s"
+			if req.Class == trace.Dynamic {
+				cls = "d"
+			}
+			url := fmt.Sprintf("%s/req?class=%s&demand=%g&w=%g&script=%d&size=%d",
+				master, cls, req.Demand, req.CPUWeight, req.Script, req.Size)
+			t0 := time.Now()
+			resp, err := client.Get(url)
+			var got int64
+			if resp != nil {
+				got, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			elapsed := time.Since(t0)
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			if ok && req.Size > 0 && got != req.Size {
+				ok = false // truncated or padded body: count as failure
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if !ok {
+				failed++
+				return
+			}
+			// Normalize the measured response back to unscaled seconds
+			// so stretch = response/demand is scale-free.
+			collector.Add(metrics.Sample{
+				Demand:   req.Demand,
+				Response: elapsed.Seconds() / opts.TimeScale,
+				Class:    req.Class.String(),
+			})
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return &Result{
+		Summary:  collector.Summarize(),
+		Sent:     sent,
+		Failed:   failed,
+		Duration: time.Since(start),
+	}, nil
+}

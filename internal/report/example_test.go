@@ -1,0 +1,43 @@
+package report_test
+
+import (
+	"os"
+
+	"msweb/internal/report"
+)
+
+// Build a table programmatically and emit CSV.
+func ExampleTable_WriteCSV() {
+	t := &report.Table{
+		Title:   "Figure 4 excerpt",
+		Columns: []string{"trace", "inv_r", "over_nr_pct"},
+	}
+	t.AddRow("UCB", 80, 51.3)
+	t.AddRow("ADL", 160, 64.6)
+	if err := t.WriteCSV(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// trace,inv_r,over_nr_pct
+	// UCB,80,51.3
+	// ADL,160,64.6
+}
+
+// The generic text renderer aligns columns for terminal output.
+func ExampleTable_WriteText() {
+	t := &report.Table{
+		Title:   "Tiny table",
+		Columns: []string{"k", "value"},
+	}
+	t.AddRow("alpha", 1)
+	t.AddRow("b", 123456)
+	if err := t.WriteText(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// Tiny table
+	// k      value
+	// -------------
+	// alpha  1
+	// b      123456
+}

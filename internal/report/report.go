@@ -1,0 +1,170 @@
+// Package report renders experiment results as machine-readable tables.
+// Every experiment in internal/experiments has a text formatter for the
+// terminal; this package adds a uniform tabular form with CSV emission
+// so results can be loaded into plotting tools and spreadsheets (the
+// figures of the paper were plots; regeneration pipelines want data, not
+// prose).
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Validate checks that every row matches the column count.
+func (t *Table) Validate() error {
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("report: table %q has no columns", t.Title)
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("report: table %q row %d has %d cells for %d columns",
+				t.Title, i, len(row), len(t.Columns))
+		}
+	}
+	return nil
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Cell stringifies one value with stable formatting: floats use up to 4
+// significant decimals without trailing zeros, everything else uses fmt.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'f', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'f', -1, 32)
+	case string:
+		return x
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// WriteCSV emits the table as RFC-4180 CSV with a leading header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText emits a fixed-width text rendering (columns padded to their
+// widest cell), a generic fallback for tables without a bespoke
+// formatter.
+func (t *Table) WriteText(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintln(w, t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Slug converts a title into a filesystem-friendly name for CSV files.
+func Slug(title string) string {
+	var b strings.Builder
+	lastDash := false
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash && b.Len() > 0 {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+// SortRows orders rows lexically by the given column indexes, a
+// convenience for deterministic output when rows are built from maps.
+func (t *Table) SortRows(byColumns ...int) {
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		for _, c := range byColumns {
+			if c < 0 || c >= len(t.Columns) {
+				continue
+			}
+			if t.Rows[a][c] != t.Rows[b][c] {
+				return t.Rows[a][c] < t.Rows[b][c]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,223 @@
+// Package sim implements the discrete-event simulation engine underlying
+// the cluster simulator.
+//
+// The engine is a classic event-heap design: callbacks are scheduled at
+// absolute virtual times and executed in non-decreasing time order. Events
+// scheduled for the same instant run in FIFO order of scheduling, which
+// keeps simulations deterministic. Virtual time is a float64 measured in
+// seconds; it has no relation to wall-clock time, so a simulated 4-hour
+// trace replay can run in milliseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time = float64
+
+// Event is a scheduled callback. Cancel marks the event so the engine
+// skips it when its time arrives; the engine never compacts the heap, so
+// cancellation is O(1).
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int
+	canceled bool
+	fn       func()
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine drives a single simulation. It is not safe for concurrent use;
+// one simulation runs on one goroutine (separate experiment configurations
+// parallelize by running independent Engines).
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far, a useful progress
+// and cost metric for large simulations.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been skipped).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// (before Now) panics: it always indicates a logic error in the model.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: schedule at non-finite time %v", at))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After runs fn after delay d from the current time. Negative delays are
+// clamped to zero.
+func (e *Engine) After(d float64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event. It returns false when the queue is
+// empty. Canceled events are skipped without advancing the clock beyond
+// their timestamps.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if the simulation has not already passed it). Events
+// scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// peek returns the timestamp of the next non-canceled event.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.heap) > 0 {
+		if e.heap[0].canceled {
+			heap.Pop(&e.heap)
+			continue
+		}
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
+// NextEventTime exposes peek for callers that interleave simulation with
+// external control, e.g. the experiment harness's warm-up logic.
+func (e *Engine) NextEventTime() (Time, bool) { return e.peek() }
+
+// Ticker invokes fn every interval until canceled, a convenience for
+// periodic activities such as load-information refresh and the BSD
+// priority recomputation.
+type Ticker struct {
+	engine   *Engine
+	interval float64
+	fn       func()
+	next     *Event
+	stopped  bool
+}
+
+// Every schedules fn to run every interval seconds, first at now+interval.
+// It panics if interval is not positive: a zero-period ticker would wedge
+// virtual time.
+func (e *Engine) Every(interval float64, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.next = t.engine.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	times := []float64{5, 1, 3, 2, 4, 0.5}
+	for _, at := range times {
+		at := at
+		e.Schedule(at, func() { order = append(order, at) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(order), len(times))
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1.0, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(2.5, func() {
+		if e.Now() != 2.5 {
+			t.Errorf("Now() = %v inside event at 2.5", e.Now())
+		}
+	})
+	e.Run()
+	if e.Now() != 2.5 {
+		t.Fatalf("final Now() = %v, want 2.5", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(1, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling at NaN did not panic")
+		}
+	}()
+	e.Schedule(nan(), func() {})
+}
+
+func nan() float64 {
+	zero := 0.0
+	return zero / zero
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestAfterClampsNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(3, func() {
+		ev := e.After(-1, func() {})
+		if ev.At() != 3 {
+			t.Errorf("After(-1) scheduled at %v, want 3", ev.At())
+		}
+	})
+	e.Run()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(0.1, recurse)
+		}
+	}
+	e.After(0.1, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("nested chain fired %d times, want 100", depth)
+	}
+	if got, want := e.Now(), 10.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("final time %v, want %v", got, want)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v after RunUntil(3)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("second RunUntil fired total %d, want 5", len(fired))
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want deadline 10", e.Now())
+	}
+}
+
+func TestRunUntilAdvancesEmptyClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(7)
+	if e.Now() != 7 {
+		t.Fatalf("Now() = %v, want 7", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt run: %d events fired", count)
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("resumed Run fired total %d, want 10", count)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	ev := e.Schedule(10, func() {})
+	ev.Cancel()
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5 (canceled events do not count)", e.Fired())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []float64
+	tk := e.Every(1.5, func() { ticks = append(ticks, e.Now()) })
+	e.Schedule(7, func() { tk.Stop() })
+	e.Run()
+	want := []float64{1.5, 3.0, 4.5, 6.0}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticker fired %d times: %v", len(ticks), ticks)
+	}
+	for i := range want {
+		if diff := ticks[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerZeroIntervalPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-interval ticker did not panic")
+		}
+	}()
+	e.Every(0, func() {})
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("NextEventTime on empty engine returned ok")
+	}
+	ev := e.Schedule(4, func() {})
+	e.Schedule(6, func() {})
+	if at, ok := e.NextEventTime(); !ok || at != 4 {
+		t.Fatalf("NextEventTime = %v, %v; want 4, true", at, ok)
+	}
+	ev.Cancel()
+	if at, ok := e.NextEventTime(); !ok || at != 6 {
+		t.Fatalf("NextEventTime after cancel = %v, %v; want 6, true", at, ok)
+	}
+}
+
+// Property: for any set of scheduling times, execution order is sorted.
+func TestOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []float64
+		for _, r := range raw {
+			at := float64(r) / 100
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		return sort.Float64sAreSorted(fired) && len(fired) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package simos
+
+import (
+	"testing"
+
+	"msweb/internal/sim"
+)
+
+func TestDrainReturnsOutstandingJobs(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(t, eng, DefaultConfig())
+	completed := 0
+	for i := 0; i < 5; i++ {
+		n.Submit(Job{CPUTime: 0.050, MemPages: 10, Done: func(float64) { completed++ }})
+	}
+	eng.RunUntil(0.020) // partway through the first job
+	jobs := n.Drain()
+	if len(jobs) != 5 {
+		t.Fatalf("Drain returned %d jobs, want 5", len(jobs))
+	}
+	if completed != 0 {
+		t.Fatalf("%d jobs completed before the crash", completed)
+	}
+	if n.Stats().Aborted != 5 {
+		t.Fatalf("Aborted = %d, want 5", n.Stats().Aborted)
+	}
+}
+
+func TestDrainReleasesMemory(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.TotalPages = 500
+	n := newTestNode(t, eng, cfg)
+	n.Submit(Job{CPUTime: 0.050, MemPages: 300})
+	eng.RunUntil(0.010)
+	if n.FreePages() != 200 {
+		t.Fatalf("free pages before drain = %d", n.FreePages())
+	}
+	n.Drain()
+	if n.FreePages() != 500 {
+		t.Fatalf("free pages after drain = %d, want 500", n.FreePages())
+	}
+}
+
+func TestDrainedJobsDoNotComplete(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(t, eng, DefaultConfig())
+	completed := 0
+	n.Submit(Job{CPUTime: 0.030, IOTime: 0.010, Done: func(float64) { completed++ }})
+	eng.RunUntil(0.005)
+	n.Drain()
+	eng.Run() // in-flight burst events of the old epoch must be ignored
+	if completed != 0 {
+		t.Fatalf("drained job completed %d times", completed)
+	}
+	cpu, disk := n.QueueLengths()
+	if cpu != 0 || disk != 0 {
+		t.Fatalf("queues after drain: cpu=%d disk=%d", cpu, disk)
+	}
+}
+
+func TestNodeUsableAfterDrain(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(t, eng, DefaultConfig())
+	n.Submit(Job{CPUTime: 0.050})
+	eng.RunUntil(0.005)
+	n.Drain()
+
+	// The recovered node must execute new work normally.
+	var done float64 = -1
+	eng.Schedule(0.100, func() {
+		n.Submit(Job{CPUTime: 0.010, Done: func(now float64) { done = now }})
+	})
+	eng.Run()
+	if done < 0 {
+		t.Fatal("post-drain job never completed")
+	}
+	if n.Stats().Completed != 1 {
+		t.Fatalf("Completed = %d, want 1", n.Stats().Completed)
+	}
+}
+
+func TestDrainResubmittedJobsComplete(t *testing.T) {
+	// The cluster's failure handling: drain one node, resubmit the
+	// returned jobs on another node; every job must complete exactly once.
+	eng := sim.NewEngine()
+	a := newTestNode(t, eng, DefaultConfig())
+	b := newTestNode(t, eng, DefaultConfig())
+	completed := 0
+	for i := 0; i < 4; i++ {
+		a.Submit(Job{CPUTime: 0.030, IOTime: 0.010, Done: func(float64) { completed++ }})
+	}
+	eng.RunUntil(0.010)
+	for _, j := range a.Drain() {
+		b.Submit(j)
+	}
+	eng.Run()
+	if completed != 4 {
+		t.Fatalf("completed %d jobs after migration, want 4", completed)
+	}
+}
+
+func TestDrainIdleNode(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(t, eng, DefaultConfig())
+	if jobs := n.Drain(); len(jobs) != 0 {
+		t.Fatalf("idle drain returned %d jobs", len(jobs))
+	}
+}
+
+func TestDrainClearsUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(t, eng, DefaultConfig())
+	n.Submit(Job{CPUTime: 10})
+	eng.RunUntil(0.050)
+	n.Drain()
+	eng.RunUntil(0.100)
+	_ = n.CPUIdleRatio() // reset window
+	eng.RunUntil(0.200)
+	if idle := n.CPUIdleRatio(); idle < 0.99 {
+		t.Fatalf("drained node still looks busy: idle=%v", idle)
+	}
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the trace parser: arbitrary input must never panic,
+// and anything it accepts must round-trip through Write/Read untouched.
+func FuzzRead(f *testing.F) {
+	f.Add("# msweb-trace v1 demo\n1.0 s 100 0.001 0.30 1 0\n")
+	f.Add("# msweb-trace v1 x\n1.0 d 500 0.040 0.90 8 2 17\n")
+	f.Add("# msweb-trace v1\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("# msweb-trace v1 a\n1 s 1 1 1 1 1\n2 d 2 2 0.5 2 2 2\n")
+	f.Add("# msweb-trace v1 nan\nNaN s 100 0.001 0.30 1 0\n")
+	f.Add("# msweb-trace v1 inf\n+Inf s 100 0.001 0.30 1 0\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted traces must satisfy the validator...
+		if vErr := tr.Validate(); vErr != nil {
+			t.Fatalf("Read accepted a trace Validate rejects: %v", vErr)
+		}
+		// ...and survive a Write/Read round trip.
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write failed on accepted trace: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip Read failed: %v", err)
+		}
+		if len(back.Requests) != len(tr.Requests) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(back.Requests), len(tr.Requests))
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := genTestTrace(t, KSU, 500, 100)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name {
+		t.Fatalf("name %q, want %q", got.Name, tr.Name)
+	}
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("%d records, want %d", len(got.Requests), len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		a, b := tr.Requests[i], got.Requests[i]
+		if a.Class != b.Class || a.Size != b.Size || a.MemPages != b.MemPages || a.Script != b.Script {
+			t.Fatalf("record %d: %+v != %+v", i, a, b)
+		}
+		if !approx(a.Arrival, b.Arrival, 1e-8) || !approx(a.Demand, b.Demand, 1e-8) {
+			t.Fatalf("record %d times: %+v != %+v", i, a, b)
+		}
+		if !approx(a.CPUWeight, b.CPUWeight, 1e-3) {
+			t.Fatalf("record %d weight: %v != %v", i, a.CPUWeight, b.CPUWeight)
+		}
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadRejectsMalformedRecords(t *testing.T) {
+	cases := []string{
+		"# msweb-trace v1 x\n1.0 s 100\n",                                    // too few fields
+		"# msweb-trace v1 x\n1.0 z 100 0.1 0.5 1 0\n",                        // bad class
+		"# msweb-trace v1 x\nabc s 100 0.1 0.5 1 0\n",                        // bad arrival
+		"# msweb-trace v1 x\n1.0 s xx 0.1 0.5 1 0\n",                         // bad size
+		"# msweb-trace v1 x\n1.0 s 100 yy 0.5 1 0\n",                         // bad demand
+		"# msweb-trace v1 x\n1.0 s 100 0.1 zz 1 0\n",                         // bad weight
+		"# msweb-trace v1 x\n1.0 s 100 0.1 0.5 qq 0\n",                       // bad mem
+		"# msweb-trace v1 x\n1.0 s 100 0.1 0.5 1 rr\n",                       // bad script
+		"# msweb-trace v1 x\n2.0 s 100 0.1 0.5 1 0\n1.0 s 100 0.1 0.5 1 0\n", // unsorted
+		"# msweb-trace v1 x\n1.0 s 100 0.1 1.5 1 0\n",                        // weight out of range
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: malformed trace accepted", i)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlankLines(t *testing.T) {
+	in := "# msweb-trace v1 demo\n\n# comment\n1.0 s 100 0.001 0.30 1 0\n2.0 d 500 0.040 0.90 8 2\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 2 {
+		t.Fatalf("%d records, want 2", len(tr.Requests))
+	}
+	if tr.Requests[1].Class != Dynamic || tr.Requests[1].Script != 2 {
+		t.Fatalf("second record = %+v", tr.Requests[1])
+	}
+	if tr.Name != "demo" {
+		t.Fatalf("name = %q", tr.Name)
+	}
+}
+
+func TestReadAssignsSequentialIDs(t *testing.T) {
+	tr := genTestTrace(t, UCB, 50, 100)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got.Requests {
+		if r.ID != int64(i) {
+			t.Fatalf("record %d has ID %d", i, r.ID)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import "msweb/internal/rng"
+
+// SPECweb96 fileset. The paper replaces every static fetch in its logs
+// with the closest-sized file from the 40 representative SPECweb96 files.
+// SPECweb96 organizes files in four size classes, accessed with fixed
+// probabilities, with files spread across each class's size range:
+//
+//	class 0:   0.1–0.9 KB  (35% of accesses)
+//	class 1:     1–9 KB    (50%)
+//	class 2:   10–90 KB    (14%)
+//	class 3: 100–900 KB    (1%)
+//
+// Within a class this implementation uses 10 files at 1x..9x the class
+// base size plus the class midpoint, giving the canonical 40 files.
+
+// SPECFile is one file of the fileset.
+type SPECFile struct {
+	ID    int
+	Class int   // size class 0..3
+	Size  int64 // bytes
+}
+
+// SPECWebFileSet is the 40-file SPECweb96-like fileset with its class
+// access weights.
+type SPECWebFileSet struct {
+	Files   []SPECFile
+	weights []float64 // per-class access probability
+}
+
+// NewSPECWebFileSet constructs the canonical 40-file set.
+func NewSPECWebFileSet() *SPECWebFileSet {
+	fs := &SPECWebFileSet{weights: []float64{0.35, 0.50, 0.14, 0.01}}
+	id := 0
+	for class := 0; class < 4; class++ {
+		base := int64(102) // 0.1 KB
+		for c := 0; c < class; c++ {
+			base *= 10
+		}
+		for i := 1; i <= 9; i++ {
+			fs.Files = append(fs.Files, SPECFile{ID: id, Class: class, Size: base * int64(i)})
+			id++
+		}
+		// The 10th file per class sits at the class midpoint (4.5x),
+		// rounding the set out to 40 files.
+		fs.Files = append(fs.Files, SPECFile{ID: id, Class: class, Size: base*4 + base/2})
+		id++
+	}
+	return fs
+}
+
+// Pick draws a file according to SPECweb96 access weights: first a class
+// by weight, then a uniform file within the class.
+func (fs *SPECWebFileSet) Pick(s *rng.Stream) SPECFile {
+	class := s.WeightedChoice(fs.weights)
+	var inClass []SPECFile
+	for _, f := range fs.Files {
+		if f.Class == class {
+			inClass = append(inClass, f)
+		}
+	}
+	return inClass[s.Intn(len(inClass))]
+}
+
+// Closest returns the file whose size is nearest to want, the mapping the
+// paper applies to each logged static fetch.
+func (fs *SPECWebFileSet) Closest(want int64) SPECFile {
+	best := fs.Files[0]
+	bestDiff := absInt64(best.Size - want)
+	for _, f := range fs.Files[1:] {
+		if d := absInt64(f.Size - want); d < bestDiff {
+			best, bestDiff = f, d
+		}
+	}
+	return best
+}
+
+// MeanSize returns the access-weighted mean file size in bytes.
+func (fs *SPECWebFileSet) MeanSize() float64 {
+	total := 0.0
+	for class := 0; class < 4; class++ {
+		var sum, n float64
+		for _, f := range fs.Files {
+			if f.Class == class {
+				sum += float64(f.Size)
+				n++
+			}
+		}
+		if n > 0 {
+			total += fs.weights[class] * sum / n
+		}
+	}
+	return total
+}
+
+func absInt64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

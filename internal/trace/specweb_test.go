@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+
+	"msweb/internal/rng"
+)
+
+func TestFileSetHas40Files(t *testing.T) {
+	fs := NewSPECWebFileSet()
+	if len(fs.Files) != 40 {
+		t.Fatalf("fileset has %d files, want 40", len(fs.Files))
+	}
+	perClass := map[int]int{}
+	for _, f := range fs.Files {
+		perClass[f.Class]++
+		if f.Size <= 0 {
+			t.Fatalf("file %d has size %d", f.ID, f.Size)
+		}
+	}
+	for class := 0; class < 4; class++ {
+		if perClass[class] != 10 {
+			t.Fatalf("class %d has %d files, want 10", class, perClass[class])
+		}
+	}
+}
+
+func TestFileSetSizeRanges(t *testing.T) {
+	fs := NewSPECWebFileSet()
+	ranges := [][2]int64{
+		{102, 1024},           // ~0.1–0.9 KB
+		{1020, 10240},         // ~1–9 KB
+		{10200, 102400},       // ~10–90 KB
+		{102000, 1024 * 1024}, // ~100–900 KB
+	}
+	for _, f := range fs.Files {
+		lo, hi := ranges[f.Class][0], ranges[f.Class][1]
+		if f.Size < lo || f.Size > hi {
+			t.Fatalf("class %d file size %d outside [%d, %d]", f.Class, f.Size, lo, hi)
+		}
+	}
+}
+
+func TestPickFollowsClassWeights(t *testing.T) {
+	fs := NewSPECWebFileSet()
+	s := rng.New(5)
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[fs.Pick(s).Class]++
+	}
+	want := []float64{0.35, 0.50, 0.14, 0.01}
+	for class, w := range want {
+		got := float64(counts[class]) / n
+		if got < w-0.02 || got > w+0.02 {
+			t.Fatalf("class %d picked with frequency %.3f, want %.2f", class, got, w)
+		}
+	}
+}
+
+func TestClosest(t *testing.T) {
+	fs := NewSPECWebFileSet()
+	cases := []struct {
+		want int64
+	}{
+		{1}, {102}, {500}, {5000}, {51200}, {800000}, {5 << 20},
+	}
+	for _, c := range cases {
+		f := fs.Closest(c.want)
+		// No other file may be strictly closer.
+		best := absInt64(f.Size - c.want)
+		for _, g := range fs.Files {
+			if absInt64(g.Size-c.want) < best {
+				t.Fatalf("Closest(%d) = %d but %d is closer", c.want, f.Size, g.Size)
+			}
+		}
+	}
+}
+
+func TestClosestExactMatch(t *testing.T) {
+	fs := NewSPECWebFileSet()
+	for _, f := range fs.Files {
+		if got := fs.Closest(f.Size); got.Size != f.Size {
+			t.Fatalf("Closest(%d) = %d", f.Size, got.Size)
+		}
+	}
+}
+
+func TestMeanSize(t *testing.T) {
+	fs := NewSPECWebFileSet()
+	m := fs.MeanSize()
+	// Class means: ~510B·0.35 + ~5.1KB·0.50 + ~51KB·0.14 + ~510KB·0.01
+	// ≈ 0.18 + 2.6 + 7.1 + 5.2 ≈ 15 KB.
+	if m < 8_000 || m > 25_000 {
+		t.Fatalf("MeanSize = %.0f bytes, want ~15KB", m)
+	}
+}

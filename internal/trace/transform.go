@@ -1,0 +1,117 @@
+package trace
+
+// Trace transformation utilities: combining logs from multiple front
+// ends, filtering classes, and rate statistics — the plumbing a site
+// needs when feeding its own history (several CLF files, one per
+// server) into the simulator.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge interleaves several traces by arrival time into one. Inputs are
+// not modified. The merged trace keeps absolute arrival times (callers
+// rebase with Rebase if desired) and renumbers IDs.
+func Merge(name string, traces ...*Trace) *Trace {
+	out := &Trace{Name: name}
+	total := 0
+	for _, t := range traces {
+		total += len(t.Requests)
+	}
+	out.Requests = make([]Request, 0, total)
+	for _, t := range traces {
+		out.Requests = append(out.Requests, t.Requests...)
+	}
+	sort.SliceStable(out.Requests, func(i, j int) bool {
+		return out.Requests[i].Arrival < out.Requests[j].Arrival
+	})
+	for i := range out.Requests {
+		out.Requests[i].ID = int64(i)
+	}
+	return out
+}
+
+// Rebase shifts arrivals so the first request arrives at zero.
+func Rebase(t *Trace) *Trace {
+	out := &Trace{Name: t.Name, Requests: make([]Request, len(t.Requests))}
+	copy(out.Requests, t.Requests)
+	if len(out.Requests) == 0 {
+		return out
+	}
+	base := out.Requests[0].Arrival
+	for i := range out.Requests {
+		out.Requests[i].Arrival -= base
+	}
+	return out
+}
+
+// FilterClass keeps only requests of the given class.
+func FilterClass(t *Trace, class Class) *Trace {
+	out := &Trace{Name: t.Name}
+	for _, r := range t.Requests {
+		if r.Class == class {
+			out.Requests = append(out.Requests, r)
+		}
+	}
+	for i := range out.Requests {
+		out.Requests[i].ID = int64(i)
+	}
+	return out
+}
+
+// Filter keeps requests satisfying keep.
+func Filter(t *Trace, keep func(Request) bool) *Trace {
+	out := &Trace{Name: t.Name}
+	for _, r := range t.Requests {
+		if keep(r) {
+			out.Requests = append(out.Requests, r)
+		}
+	}
+	for i := range out.Requests {
+		out.Requests[i].ID = int64(i)
+	}
+	return out
+}
+
+// RateWindows returns the arrival rate in consecutive windows of the
+// given width — the quick way to eyeball a trace's burstiness before
+// replaying it.
+func RateWindows(t *Trace, window float64) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window %v must be positive", window)
+	}
+	if len(t.Requests) == 0 {
+		return nil, nil
+	}
+	base := t.Requests[0].Arrival
+	end := t.Requests[len(t.Requests)-1].Arrival
+	bins := int((end-base)/window) + 1
+	counts := make([]float64, bins)
+	for _, r := range t.Requests {
+		idx := int((r.Arrival - base) / window)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	for i := range counts {
+		counts[i] /= window
+	}
+	return counts, nil
+}
+
+// PeakRate returns the maximum windowed arrival rate.
+func PeakRate(t *Trace, window float64) (float64, error) {
+	rates, err := RateWindows(t, window)
+	if err != nil {
+		return 0, err
+	}
+	peak := 0.0
+	for _, r := range rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	return peak, nil
+}

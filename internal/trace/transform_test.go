@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func mkTrace(name string, arrivals ...float64) *Trace {
+	t := &Trace{Name: name}
+	for _, a := range arrivals {
+		t.Requests = append(t.Requests, Request{Arrival: a, Class: Static})
+	}
+	return t
+}
+
+func TestMerge(t *testing.T) {
+	a := mkTrace("a", 1, 4, 7)
+	b := mkTrace("b", 2, 3, 9)
+	m := Merge("ab", a, b)
+	if m.Name != "ab" || len(m.Requests) != 6 {
+		t.Fatalf("merge: %s, %d requests", m.Name, len(m.Requests))
+	}
+	want := []float64{1, 2, 3, 4, 7, 9}
+	for i, r := range m.Requests {
+		if r.Arrival != want[i] || r.ID != int64(i) {
+			t.Fatalf("merged[%d] = %+v, want arrival %v id %d", i, r, want[i], i)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Inputs untouched.
+	if a.Requests[0].ID != 0 || len(a.Requests) != 3 {
+		t.Fatal("Merge mutated an input")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge("empty")
+	if len(m.Requests) != 0 {
+		t.Fatal("empty merge has requests")
+	}
+	m2 := Merge("one", mkTrace("a", 5))
+	if len(m2.Requests) != 1 {
+		t.Fatal("single merge lost requests")
+	}
+}
+
+func TestRebase(t *testing.T) {
+	tr := mkTrace("x", 10, 12, 15)
+	out := Rebase(tr)
+	if out.Requests[0].Arrival != 0 || out.Requests[2].Arrival != 5 {
+		t.Fatalf("rebased: %+v", out.Requests)
+	}
+	if tr.Requests[0].Arrival != 10 {
+		t.Fatal("Rebase mutated input")
+	}
+	if len(Rebase(&Trace{}).Requests) != 0 {
+		t.Fatal("empty rebase")
+	}
+}
+
+func TestFilterClass(t *testing.T) {
+	tr := &Trace{Name: "x", Requests: []Request{
+		{Arrival: 1, Class: Static},
+		{Arrival: 2, Class: Dynamic},
+		{Arrival: 3, Class: Static},
+	}}
+	statics := FilterClass(tr, Static)
+	if len(statics.Requests) != 2 || statics.Requests[1].Arrival != 3 {
+		t.Fatalf("statics: %+v", statics.Requests)
+	}
+	dynamics := FilterClass(tr, Dynamic)
+	if len(dynamics.Requests) != 1 || dynamics.Requests[0].ID != 0 {
+		t.Fatalf("dynamics: %+v", dynamics.Requests)
+	}
+}
+
+func TestFilterPredicate(t *testing.T) {
+	tr := mkTrace("x", 1, 2, 3, 4, 5)
+	out := Filter(tr, func(r Request) bool { return r.Arrival > 2.5 })
+	if len(out.Requests) != 3 {
+		t.Fatalf("filtered: %d", len(out.Requests))
+	}
+}
+
+func TestRateWindows(t *testing.T) {
+	tr := mkTrace("x", 0, 0.1, 0.2, 1.5, 2.9)
+	rates, err := RateWindows(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 3 {
+		t.Fatalf("%d windows", len(rates))
+	}
+	if rates[0] != 3 || rates[1] != 1 || rates[2] != 1 {
+		t.Fatalf("rates: %v", rates)
+	}
+	peak, err := PeakRate(tr, 1)
+	if err != nil || peak != 3 {
+		t.Fatalf("peak %v err %v", peak, err)
+	}
+}
+
+func TestRateWindowsErrors(t *testing.T) {
+	if _, err := RateWindows(mkTrace("x", 1), 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	rates, err := RateWindows(&Trace{}, 1)
+	if err != nil || rates != nil {
+		t.Fatalf("empty trace: %v, %v", rates, err)
+	}
+}
+
+func TestMMPPPeakExceedsMean(t *testing.T) {
+	tr := genArrival(t, GenConfig{
+		Lambda: 300, Requests: 20000, Seed: 9,
+		Arrival: MMPPArrivals, BurstFactor: 4,
+		BurstDuration: 2, NormalDuration: 6,
+	})
+	peak, err := PeakRate(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 1 / Characterize(tr).MeanInterval
+	if peak < 1.5*mean {
+		t.Fatalf("MMPP peak %v not well above mean %v", peak, mean)
+	}
+	if math.IsNaN(peak) {
+		t.Fatal("NaN peak")
+	}
+}

@@ -1,0 +1,32 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"msweb/internal/trace"
+	"msweb/internal/workload"
+)
+
+// Generate browsing sessions for a closed-loop run.
+func ExampleGenerate() {
+	sessions, err := workload.Generate(workload.Config{
+		Profile:      trace.KSU,
+		Sessions:     100,
+		SessionRate:  10,  // ten users arrive per second
+		MeanRequests: 8,   // pages per visit (geometric)
+		MeanThink:    2.0, // seconds of reading between clicks
+		MuH:          1200,
+		R:            1.0 / 40,
+		Seed:         1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sessions: %d\n", len(sessions))
+	fmt.Printf("total requests: %v\n", workload.TotalRequests(sessions) > 400)
+	fmt.Printf("first session starts first: %v\n", sessions[0].Start < sessions[99].Start)
+	// Output:
+	// sessions: 100
+	// total requests: true
+	// first session starts first: true
+}
