@@ -2,9 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments csv clean
+.PHONY: all build vet test test-short race check bench experiments csv clean help
 
 all: build vet test
+
+help:
+	@echo "msweb targets:"
+	@echo "  build       compile every package"
+	@echo "  vet         go vet ./..."
+	@echo "  test        full test suite (includes live loopback replays)"
+	@echo "  test-short  test suite minus the wall-clock replays"
+	@echo "  check       go vet + go test -race ./... (the pre-merge gate;"
+	@echo "              exercises the parallel experiment grid under the race detector)"
+	@echo "  race        race detector on the live-cluster packages only"
+	@echo "  bench       all benchmarks with -benchmem, JSON summary in BENCH_results.json"
+	@echo "  experiments regenerate every table and figure (minutes)"
+	@echo "  csv         experiments plus CSV output in results/csv"
+	@echo "  clean       go clean ./..."
 
 build:
 	$(GO) build ./...
@@ -22,8 +36,17 @@ test-short:
 race:
 	$(GO) test -race ./internal/httpcluster/ ./internal/replay/ ./cmd/msload/
 
+# The pre-merge gate: vet plus the whole suite under the race detector.
+# The experiment grids run parallel by default, so this exercises the
+# worker pool, the shared trace cache, and the engine pool under -race.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Benchmarks with allocation counts; the parsed summary lands in
+# BENCH_results.json for machine consumption (see cmd/benchjson).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_results.json
 
 # Regenerate every table and figure (minutes; table3 replays in real time).
 experiments:

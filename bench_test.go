@@ -183,6 +183,46 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineScheduleFire measures the schedule→fire hot path in
+// steady state. With the event free list this must run at 0 allocs/op:
+// every fired event is recycled into the next After call.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	eng := sim.NewEngine()
+	eng.After(1, func() {}) // prime the free list
+	eng.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(1, func() {})
+		eng.Step()
+	}
+}
+
+// BenchmarkParallelGrid runs the Figure 4 grid end-to-end at both pool
+// widths; the ratio of the two is the harness speedup on this machine.
+func BenchmarkParallelGrid(b *testing.B) {
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			opts := experiments.Quick()
+			opts.InvRs = []float64{40}
+			experiments.SetParallelism(workers)
+			defer experiments.SetParallelism(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunFig4(32, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		}
+	}
+	b.Run("sequential", bench(1))
+	b.Run("gomaxprocs", bench(0))
+}
+
 func BenchmarkNodeJobThroughput(b *testing.B) {
 	eng := sim.NewEngine()
 	node, err := simos.NewNode(eng, 0, simos.DefaultConfig())

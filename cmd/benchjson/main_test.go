@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: msweb
+cpu: Example CPU @ 2.00GHz
+BenchmarkEngineScheduleFire-4   	12034518	        99.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkParallelGrid/sequential-4         	       8	 140123456 ns/op
+BenchmarkClusterSimulation-4    	      36	  31456789 ns/op	        13.02 events/req
+PASS
+ok  	msweb	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "msweb" {
+		t.Fatalf("header mis-parsed: %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkEngineScheduleFire" || r.Procs != 4 || r.Iterations != 12034518 {
+		t.Fatalf("first result mis-parsed: %+v", r)
+	}
+	if r.Metrics["allocs/op"] != 0 || r.Metrics["ns/op"] != 99.3 {
+		t.Fatalf("metrics mis-parsed: %+v", r.Metrics)
+	}
+	if rep.Results[1].Name != "BenchmarkParallelGrid/sequential" {
+		t.Fatalf("sub-benchmark name mis-parsed: %+v", rep.Results[1])
+	}
+	if rep.Results[2].Metrics["events/req"] != 13.02 {
+		t.Fatalf("custom metric lost: %+v", rep.Results[2].Metrics)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	if _, ok := parseLine("BenchmarkBroken"); ok {
+		t.Fatal("accepted a line without an iteration count")
+	}
+	if _, ok := parseLine("BenchmarkBroken notanumber"); ok {
+		t.Fatal("accepted a non-numeric iteration count")
+	}
+}

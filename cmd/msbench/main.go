@@ -10,6 +10,11 @@
 // fig5 (the paper's artifacts); cachesweep, failover, flashcrowd,
 // hetero (extension studies); wsense, staleness (ablations). "all" runs
 // everything.
+//
+// Simulation grids run on a bounded worker pool (-parallel, default
+// GOMAXPROCS; -parallel 1 forces the sequential order — output is
+// byte-identical either way). -cpuprofile/-memprofile write pprof
+// profiles for the run.
 package main
 
 import (
@@ -18,6 +23,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"msweb/internal/experiments"
@@ -40,8 +47,38 @@ func run(args []string, stdout io.Writer) error {
 	seeds := fs.Int("seeds", 0, "override the number of seeds averaged per cell")
 	rho := fs.Float64("rho", 0, "override the target flat utilization (0 = default 0.65)")
 	csvDir := fs.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	par := fs.Int("parallel", 0, "grid worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	experiments.SetParallelism(*par)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "msbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "msbench: memprofile:", err)
+			}
+		}()
 	}
 
 	emit := func(t *report.Table) error { return nil }
@@ -213,6 +250,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	order := []string{"table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "cachesweep", "failover", "flashcrowd", "hetero", "discipline", "openclosed", "wsense", "staleness", "table3"}
+	// Experiments that never read the shared Options: table1 sizes
+	// itself, fig3 is closed-form, table3 has its own Table3Options.
+	ignoresOptions := map[string]bool{"table1": true, "fig3a": true, "fig3b": true, "table3": true}
 	var selected []string
 	if *exp == "all" {
 		selected = order
@@ -220,6 +260,19 @@ func run(args []string, stdout io.Writer) error {
 		selected = []string{*exp}
 	} else {
 		return fmt.Errorf("unknown experiment %q; choose from %v or all", *exp, order)
+	}
+
+	if *seeds > 0 || *rho > 0 {
+		affected := false
+		for _, name := range selected {
+			if !ignoresOptions[name] {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			fmt.Fprintf(stdout, "warning: -seeds/-rho have no effect on %v\n", selected)
+		}
 	}
 
 	for _, name := range selected {

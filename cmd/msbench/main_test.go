@@ -52,6 +52,39 @@ func TestSeedAndRhoOverrides(t *testing.T) {
 	}
 }
 
+func TestSeedsRhoWarningForNoOptionsExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig3a", "-seeds", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warning: -seeds/-rho have no effect") {
+		t.Fatalf("missing ignored-flag warning:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-experiment", "table2", "-quick", "-seeds", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "warning: -seeds/-rho") {
+		t.Fatalf("spurious warning for an Options experiment:\n%s", out.String())
+	}
+}
+
+func TestParallelAndProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{"-experiment", "table2", "-quick", "-parallel", "2",
+		"-cpuprofile", dir + "/cpu.pprof", "-memprofile", dir + "/mem.pprof"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "completed in") {
+		t.Fatalf("no completion marker:\n%s", out.String())
+	}
+	if _, err := os.Stat(dir + "/cpu.pprof"); err != nil {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+}
+
 func TestCSVEmission(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer

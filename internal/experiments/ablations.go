@@ -55,23 +55,35 @@ func RunWSensitivity(p int, opts Options) ([]WSensitivityRow, error) {
 		}},
 	}
 
+	// One cell per (corruption, seed); merged means keep corruption order.
+	type cell struct {
+		ci   int
+		seed int64
+	}
+	var cells []cell
+	for ci := range corruptions {
+		for _, seed := range opts.Seeds {
+			cells = append(cells, cell{ci, seed})
+		}
+	}
+	stretches, err := runGrid(cells, func(c cell) (float64, error) {
+		tr, exact, err := genTraceW(prof, lambda, r, n, c.seed)
+		if err != nil {
+			return 0, err
+		}
+		wt := corruptions[c.ci].make(exact, rng.New(c.seed+int64(c.ci)*1000))
+		return simulateOnce(p, plan.M, core.NewMS(wt, c.seed), tr, opts.Warmup)
+	})
+	if err != nil {
+		return nil, err
+	}
+	nSeeds := len(opts.Seeds)
 	var rows []WSensitivityRow
 	for ci, c := range corruptions {
-		var sum float64
-		for _, seed := range opts.Seeds {
-			tr, err := genTrace(prof, lambda, r, n, seed)
-			if err != nil {
-				return nil, err
-			}
-			exact := core.SampleW(tr, 16)
-			wt := c.make(exact, rng.New(seed+int64(ci)*1000))
-			res, err := simulateOnce(p, plan.M, core.NewMS(wt, seed), tr, opts.Warmup)
-			if err != nil {
-				return nil, err
-			}
-			sum += res
-		}
-		rows = append(rows, WSensitivityRow{Label: c.label, Stretch: sum / float64(len(opts.Seeds))})
+		rows = append(rows, WSensitivityRow{
+			Label:   c.label,
+			Stretch: seedMean(stretches[ci*nSeeds : (ci+1)*nSeeds]),
+		})
 	}
 	return rows, nil
 }
@@ -136,35 +148,47 @@ func RunStaleness(p int, opts Options) ([]StalenessRow, error) {
 		return nil, err
 	}
 
-	var rows []StalenessRow
-	for _, refresh := range []float64{0.05, 0.2, 1.0, 5.0} {
-		measure := func(impact float64) (float64, error) {
-			var sum float64
+	refreshes := []float64{0.05, 0.2, 1.0, 5.0}
+	impacts := []float64{core.DefaultPlacementImpact, 0}
+	type cell struct {
+		refresh float64
+		impact  float64
+		seed    int64
+	}
+	var cells []cell
+	for _, refresh := range refreshes {
+		for _, impact := range impacts {
 			for _, seed := range opts.Seeds {
-				tr, err := genTrace(prof, lambda, r, n, seed)
-				if err != nil {
-					return 0, err
-				}
-				cfg := cluster.DefaultConfig(p, plan.M)
-				cfg.WarmupFraction = opts.Warmup
-				cfg.LoadRefresh = refresh
-				pol := core.NewMS(core.SampleW(tr, 16), seed, core.WithPlacementImpact(impact))
-				res, err := cluster.Simulate(cfg, pol, tr)
-				if err != nil {
-					return 0, err
-				}
-				sum += res.StretchFactor
+				cells = append(cells, cell{refresh, impact, seed})
 			}
-			return sum / float64(len(opts.Seeds)), nil
 		}
-		with, err := measure(core.DefaultPlacementImpact)
+	}
+	stretches, err := runGrid(cells, func(c cell) (float64, error) {
+		tr, wt, err := genTraceW(prof, lambda, r, n, c.seed)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		without, err := measure(0)
+		cfg := cluster.DefaultConfig(p, plan.M)
+		cfg.WarmupFraction = opts.Warmup
+		cfg.LoadRefresh = c.refresh
+		pol := core.NewMS(wt, c.seed, core.WithPlacementImpact(c.impact))
+		res, err := cluster.Simulate(cfg, pol, tr)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return res.StretchFactor, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	nSeeds := len(opts.Seeds)
+	var rows []StalenessRow
+	i := 0
+	for _, refresh := range refreshes {
+		with := seedMean(stretches[i : i+nSeeds])
+		i += nSeeds
+		without := seedMean(stretches[i : i+nSeeds])
+		i += nSeeds
 		rows = append(rows, StalenessRow{RefreshSeconds: refresh, WithBooking: with, NoBooking: without})
 	}
 	return rows, nil

@@ -108,29 +108,20 @@ func (o Options) requestCount(lambda float64) int {
 	return n
 }
 
-// genTrace builds the replay trace for one cell.
+// genTrace builds the replay trace for one cell, via the shared cache.
 func genTrace(p trace.Profile, lambda, r float64, n int, seed int64) (*trace.Trace, error) {
-	return trace.Generate(trace.GenConfig{
-		Profile:  p,
-		Lambda:   lambda,
-		Requests: n,
-		MuH:      MuH,
-		R:        r,
-		Seed:     seed,
-	})
+	tr, _, err := genTraceW(p, lambda, r, n, seed)
+	return tr, err
 }
 
-// meanOver runs f once per seed and averages the returned stretch.
-func meanOver(seeds []int64, f func(seed int64) (float64, error)) (float64, error) {
+// seedMean averages one float per seed, summing in seed order so the
+// result is bit-identical however the per-seed cells were scheduled.
+func seedMean(vals []float64) float64 {
 	sum := 0.0
-	for _, s := range seeds {
-		v, err := f(s)
-		if err != nil {
-			return 0, err
-		}
+	for _, v := range vals {
 		sum += v
 	}
-	return sum / float64(len(seeds)), nil
+	return sum / float64(len(vals))
 }
 
 // simulateOnce builds the cluster for one policy and replays the trace.

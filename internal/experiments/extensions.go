@@ -34,33 +34,59 @@ func RunCacheSweep(p int, opts Options) ([]CacheSweepRow, error) {
 	lambda := LambdaForRho(p, prof.ArrivalRatio(), r, opts.TargetRho)
 	n := opts.requestCount(lambda)
 
-	var rows []CacheSweepRow
-	for _, capacity := range []int{0, 64, 256, 1024, 4096} {
-		var sumSF, sumResp, sumHit float64
+	plan, err := queuemodel.NewParams(p, lambda, prof.ArrivalRatio(), MuH, r).OptimalPlan()
+	if err != nil {
+		return nil, err
+	}
+
+	capacities := []int{0, 64, 256, 1024, 4096}
+	type cell struct {
+		capacity int
+		seed     int64
+	}
+	type sample struct{ sf, resp, hit float64 }
+	var cells []cell
+	for _, capacity := range capacities {
 		for _, seed := range opts.Seeds {
-			tr, err := genTrace(prof, lambda, r, n, seed)
-			if err != nil {
-				return nil, err
-			}
-			cfg := cluster.DefaultConfig(p, 0)
-			plan, err := queuemodel.NewParams(p, lambda, prof.ArrivalRatio(), MuH, r).OptimalPlan()
-			if err != nil {
-				return nil, err
-			}
-			cfg.Masters = plan.M
-			cfg.WarmupFraction = opts.Warmup
-			if capacity > 0 {
-				cfg.Cache = &cluster.CacheConfig{Capacity: capacity, TTL: 120}
-			}
-			res, err := cluster.Simulate(cfg, core.NewMS(core.SampleW(tr, 16), seed), tr)
-			if err != nil {
-				return nil, err
-			}
-			sumSF += res.StretchFactor
-			sumResp += res.Summary.ByClass["dynamic"].MeanResponse
-			sumHit += res.CacheStats.HitRatio()
+			cells = append(cells, cell{capacity, seed})
 		}
-		k := float64(len(opts.Seeds))
+	}
+	samples, err := runGrid(cells, func(c cell) (sample, error) {
+		tr, wt, err := genTraceW(prof, lambda, r, n, c.seed)
+		if err != nil {
+			return sample{}, err
+		}
+		cfg := cluster.DefaultConfig(p, 0)
+		cfg.Masters = plan.M
+		cfg.WarmupFraction = opts.Warmup
+		if c.capacity > 0 {
+			cfg.Cache = &cluster.CacheConfig{Capacity: c.capacity, TTL: 120}
+		}
+		res, err := cluster.Simulate(cfg, core.NewMS(wt, c.seed), tr)
+		if err != nil {
+			return sample{}, err
+		}
+		return sample{
+			sf:   res.StretchFactor,
+			resp: res.Summary.ByClass["dynamic"].MeanResponse,
+			hit:  res.CacheStats.HitRatio(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	k := float64(len(opts.Seeds))
+	var rows []CacheSweepRow
+	i := 0
+	for _, capacity := range capacities {
+		var sumSF, sumResp, sumHit float64
+		for s := 0; s < len(opts.Seeds); s++ {
+			sumSF += samples[i].sf
+			sumResp += samples[i].resp
+			sumHit += samples[i].hit
+			i++
+		}
 		rows = append(rows, CacheSweepRow{
 			Capacity:    capacity,
 			TTL:         120,
@@ -109,11 +135,10 @@ func RunFailoverStudy(p int, opts Options) ([]FailoverRow, error) {
 	// recruits are spare capacity.
 	lambda := LambdaForRho(p-2, prof.ArrivalRatio(), r, opts.TargetRho)
 	n := opts.requestCount(lambda)
-	tr, err := genTrace(prof, lambda, r, n, opts.Seeds[0])
+	tr, wt, err := genTraceW(prof, lambda, r, n, opts.Seeds[0])
 	if err != nil {
 		return nil, err
 	}
-	wt := core.SampleW(tr, 16)
 	span := tr.Duration()
 
 	plan, err := queuemodel.NewParams(p-2, lambda, prof.ArrivalRatio(), MuH, r).OptimalPlan()
@@ -159,13 +184,20 @@ func RunFailoverStudy(p int, opts Options) ([]FailoverRow, error) {
 			{Node: p - 1, At: crashAt + 1, Available: true},
 		}},
 	}
-	var rows []FailoverRow
-	for _, sc := range scenarios {
+	// The scenarios replay the same shared (read-only) trace, each on an
+	// independent engine, so they run as parallel grid cells.
+	rows, err := runGrid(scenarios, func(sc struct {
+		name   string
+		events []cluster.AvailabilityEvent
+	}) (FailoverRow, error) {
 		row, err := run(sc.name, sc.events)
 		if err != nil {
-			return nil, fmt.Errorf("failover %s: %w", sc.name, err)
+			return FailoverRow{}, fmt.Errorf("failover %s: %w", sc.name, err)
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -222,7 +254,16 @@ func RunHeteroStudy(p int, opts Options) ([]HeteroRow, error) {
 		}},
 	}
 
-	var rows []HeteroRow
+	// Plan each mix analytically up front, then fan the simulations out:
+	// one cell per (mix, seed, M/S-or-flat).
+	type mixPlan struct {
+		name    string
+		lambda  float64
+		n       int
+		ordered []float64
+		plan    queuemodel.HeteroPlan
+	}
+	plans := make([]mixPlan, 0, len(mixes))
 	for _, mix := range mixes {
 		speeds := make([]float64, p)
 		total := 0.0
@@ -232,7 +273,6 @@ func RunHeteroStudy(p int, opts Options) ([]HeteroRow, error) {
 		}
 		// Load the mixed cluster to TargetRho of its actual capacity.
 		lambda := LambdaForRho(p, prof.ArrivalRatio(), r, opts.TargetRho) * total / float64(p)
-		n := opts.requestCount(lambda)
 
 		hp := queuemodel.HeteroParams{Speeds: speeds, MuH: MuH, MuC: r * MuH}
 		hp.LambdaH = lambda / (1 + prof.ArrivalRatio())
@@ -255,40 +295,67 @@ func RunHeteroStudy(p int, opts Options) ([]HeteroRow, error) {
 				ordered = append(ordered, s)
 			}
 		}
+		plans = append(plans, mixPlan{
+			name: mix.name, lambda: lambda, n: opts.requestCount(lambda),
+			ordered: ordered, plan: plan,
+		})
+	}
 
-		var simMS, simFlat float64
+	type cell struct {
+		mi   int
+		seed int64
+		flat bool
+	}
+	var cells []cell
+	for mi := range plans {
 		for _, seed := range opts.Seeds {
-			tr, err := genTrace(prof, lambda, r, n, seed)
-			if err != nil {
-				return nil, err
-			}
-			wt := core.SampleW(tr, 16)
-			cfg := cluster.DefaultConfig(p, len(plan.Masters))
-			cfg.WarmupFraction = opts.Warmup
-			cfg.Speeds = ordered
-			res, err := cluster.Simulate(cfg, core.NewMS(wt, seed), tr)
-			if err != nil {
-				return nil, err
-			}
-			simMS += res.StretchFactor
-
-			fcfg := cluster.DefaultConfig(p, p)
-			fcfg.WarmupFraction = opts.Warmup
-			fcfg.Speeds = ordered
-			fres, err := cluster.Simulate(fcfg, core.NewFlat(), tr)
-			if err != nil {
-				return nil, err
-			}
-			simFlat += fres.StretchFactor
+			cells = append(cells, cell{mi, seed, false}, cell{mi, seed, true})
 		}
-		k := float64(len(opts.Seeds))
+	}
+	stretches, err := runGrid(cells, func(c cell) (float64, error) {
+		mp := plans[c.mi]
+		tr, wt, err := genTraceW(prof, mp.lambda, r, mp.n, c.seed)
+		if err != nil {
+			return 0, err
+		}
+		var cfg cluster.Config
+		var pol core.Policy
+		if c.flat {
+			cfg = cluster.DefaultConfig(p, p)
+			pol = core.NewFlat()
+		} else {
+			cfg = cluster.DefaultConfig(p, len(mp.plan.Masters))
+			pol = core.NewMS(wt, c.seed)
+		}
+		cfg.WarmupFraction = opts.Warmup
+		cfg.Speeds = mp.ordered
+		res, err := cluster.Simulate(cfg, pol, tr)
+		if err != nil {
+			return 0, fmt.Errorf("hetero %s: %w", mp.name, err)
+		}
+		return res.StretchFactor, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	k := float64(len(opts.Seeds))
+	var rows []HeteroRow
+	i := 0
+	for _, mp := range plans {
+		var simMS, simFlat float64
+		for s := 0; s < len(opts.Seeds); s++ {
+			simMS += stretches[i]
+			simFlat += stretches[i+1]
+			i += 2
+		}
 		simMS /= k
 		simFlat /= k
 		rows = append(rows, HeteroRow{
-			Mix:           mix.name,
-			AnalyticFlat:  plan.Flat,
-			AnalyticMS:    plan.Stretch,
-			Masters:       plan.Masters,
+			Mix:           mp.name,
+			AnalyticFlat:  mp.plan.Flat,
+			AnalyticMS:    mp.plan.Stretch,
+			Masters:       mp.plan.Masters,
 			SimFlat:       simFlat,
 			SimMS:         simMS,
 			SimImprovePct: (simFlat/simMS - 1) * 100,

@@ -32,6 +32,19 @@ type Fig5Result struct {
 	Rows     []Fig5Row
 }
 
+// fig5Cell is one simulation: a (trace, combo, master count, seed)
+// tuple. The fixed and re-planned columns of one bar share the trace,
+// so the cache generates it once.
+type fig5Cell struct {
+	prof    trace.Profile
+	invR    float64
+	rho     float64
+	lambda  float64
+	n       int
+	masters int
+	seed    int64
+}
+
 // RunFig5 reproduces the Figure 5 sensitivity study for cluster size p.
 // The master count is fixed from the nominal parameters the paper uses
 // (r=1/60, a=0.44, λ=750 for p=32 scaled by cluster size), then traces
@@ -62,55 +75,73 @@ func RunFig5(p int, opts Options) (*Fig5Result, error) {
 		{20, 0.40}, {40, 0.55}, {80, 0.70}, {160, 0.80},
 	}
 
-	res := &Fig5Result{P: p, NominalM: fixedM}
+	type group struct {
+		prof     trace.Profile
+		invR     float64
+		rho      float64
+		lambda   float64
+		adaptedM int
+	}
+	var groups []group
+	var cells []fig5Cell
 	for _, prof := range trace.Profiles() {
 		a := prof.ArrivalRatio()
 		for _, cb := range combos {
 			r := 1 / cb.invR
 			lambda := LambdaForRho(p, a, r, cb.rho)
 			n := opts.requestCount(lambda)
-
 			cellPlan, err := queuemodel.NewParams(p, lambda, a, MuH, r).OptimalPlan()
 			if err != nil {
 				return nil, fmt.Errorf("fig5 %s 1/r=%.0f plan: %w", prof.Name, cb.invR, err)
 			}
-			runWith := func(masters int) (float64, error) {
-				return meanOver(opts.Seeds, func(seed int64) (float64, error) {
-					tr, err := genTrace(prof, lambda, r, n, seed)
-					if err != nil {
-						return 0, err
-					}
-					cfg := cluster.DefaultConfig(p, masters)
-					cfg.WarmupFraction = opts.Warmup
-					rr, err := cluster.Simulate(cfg, core.NewMS(core.SampleW(tr, 16), seed), tr)
-					if err != nil {
-						return 0, err
-					}
-					return rr.StretchFactor, nil
-				})
+			groups = append(groups, group{prof, cb.invR, cb.rho, lambda, cellPlan.M})
+			for _, masters := range []int{fixedM, cellPlan.M} {
+				for _, seed := range opts.Seeds {
+					cells = append(cells, fig5Cell{
+						prof: prof, invR: cb.invR, rho: cb.rho, lambda: lambda,
+						n: n, masters: masters, seed: seed,
+					})
+				}
 			}
-
-			fixedSF, err := runWith(fixedM)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s 1/r=%.0f fixed: %w", prof.Name, cb.invR, err)
-			}
-			adaptSF, err := runWith(cellPlan.M)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s 1/r=%.0f re-planned: %w", prof.Name, cb.invR, err)
-			}
-
-			res.Rows = append(res.Rows, Fig5Row{
-				Trace:     prof.Name,
-				InvR:      cb.invR,
-				Rho:       cb.rho,
-				Lambda:    lambda,
-				FixedM:    fixedM,
-				AdaptedM:  cellPlan.M,
-				FixedSF:   fixedSF,
-				AdaptSF:   adaptSF,
-				DegradPct: (fixedSF/adaptSF - 1) * 100,
-			})
 		}
+	}
+
+	stretches, err := runGrid(cells, func(c fig5Cell) (float64, error) {
+		tr, wt, err := genTraceW(c.prof, c.lambda, 1/c.invR, c.n, c.seed)
+		if err != nil {
+			return 0, fmt.Errorf("fig5 %s 1/r=%.0f seed %d: %w", c.prof.Name, c.invR, c.seed, err)
+		}
+		cfg := cluster.DefaultConfig(p, c.masters)
+		cfg.WarmupFraction = opts.Warmup
+		rr, err := cluster.Simulate(cfg, core.NewMS(wt, c.seed), tr)
+		if err != nil {
+			return 0, fmt.Errorf("fig5 %s 1/r=%.0f m=%d: %w", c.prof.Name, c.invR, c.masters, err)
+		}
+		return rr.StretchFactor, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nSeeds := len(opts.Seeds)
+	res := &Fig5Result{P: p, NominalM: fixedM}
+	i := 0
+	for _, g := range groups {
+		fixedSF := seedMean(stretches[i : i+nSeeds])
+		i += nSeeds
+		adaptSF := seedMean(stretches[i : i+nSeeds])
+		i += nSeeds
+		res.Rows = append(res.Rows, Fig5Row{
+			Trace:     g.prof.Name,
+			InvR:      g.invR,
+			Rho:       g.rho,
+			Lambda:    g.lambda,
+			FixedM:    fixedM,
+			AdaptedM:  g.adaptedM,
+			FixedSF:   fixedSF,
+			AdaptSF:   adaptSF,
+			DegradPct: (fixedSF/adaptSF - 1) * 100,
+		})
 	}
 	return res, nil
 }

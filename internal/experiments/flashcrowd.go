@@ -35,7 +35,7 @@ func RunFlashCrowd(p int, opts Options) ([]FlashCrowdRow, error) {
 	// Short burst/normal sojourns guarantee several flash-crowd cycles
 	// within even the quick-sized replay.
 	n := opts.requestCount(lambda) * 3
-	tr, err := trace.Generate(trace.GenConfig{
+	tr, wt, err := cachedTrace(trace.GenConfig{
 		Profile: prof, Lambda: lambda, Requests: n, MuH: MuH, R: r,
 		Arrival: trace.MMPPArrivals, BurstFactor: 3,
 		BurstDuration: 2, NormalDuration: 5, Seed: opts.Seeds[0],
@@ -43,7 +43,6 @@ func RunFlashCrowd(p int, opts Options) ([]FlashCrowdRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	wt := core.SampleW(tr, 16)
 	plan, err := queuemodel.NewParams(dedicated, lambda, prof.ArrivalRatio(), MuH, r).OptimalPlan()
 	if err != nil {
 		return nil, err
@@ -88,13 +87,20 @@ func RunFlashCrowd(p int, opts Options) ([]FlashCrowdRow, error) {
 		}},
 	}
 
-	var rows []FlashCrowdRow
-	for _, sc := range scenarios {
+	// Scenarios share the read-only trace and run as parallel grid cells,
+	// each with its own engine and time-series collector.
+	rows, err := runGrid(scenarios, func(sc struct {
+		name string
+		tune func(*cluster.Config)
+	}) (FlashCrowdRow, error) {
 		row, err := run(sc.name, sc.tune)
 		if err != nil {
-			return nil, fmt.Errorf("flashcrowd %s: %w", sc.name, err)
+			return FlashCrowdRow{}, fmt.Errorf("flashcrowd %s: %w", sc.name, err)
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

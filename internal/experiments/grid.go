@@ -1,0 +1,119 @@
+package experiments
+
+// Parallel simulation-grid runner. Every experiment in this package is a
+// grid of independent cells — (trace, 1/r, seed, policy variant) — each
+// replaying its own trace on its own sim.Engine with its own seeded RNG.
+// runGrid executes the cells over a bounded worker pool and returns
+// results in cell order, so the merged rows (and therefore the formatted
+// tables) are byte-identical to a sequential run regardless of worker
+// count. Generated traces are cached per GenConfig so the four Figure 4
+// variants (and the seeds shared between fixed/re-planned Figure 5
+// columns) stop regenerating the identical trace.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"msweb/internal/core"
+	"msweb/internal/parallel"
+	"msweb/internal/trace"
+)
+
+// parallelism is the worker-pool width for experiment grids;
+// 0 selects runtime.GOMAXPROCS. Set via SetParallelism (msbench
+// -parallel); atomic because independent experiment runs may race a
+// CLI-driven update in tests.
+var parallelism atomic.Int32
+
+// SetParallelism bounds the number of concurrent simulation cells across
+// subsequent experiment runs. n <= 0 restores the default (GOMAXPROCS).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the configured worker bound (0 = GOMAXPROCS).
+func Parallelism() int { return int(parallelism.Load()) }
+
+// runGrid executes one experiment's cells on the shared worker bound,
+// returning results in cell order. Cell functions must be self-contained:
+// each builds its own engine, cluster and RNG from the cell's seed.
+func runGrid[C, R any](cells []C, run func(C) (R, error)) ([]R, error) {
+	return parallel.Map(Parallelism(), cells, func(_ int, c C) (R, error) {
+		return run(c)
+	})
+}
+
+// wSampleDepth is the off-line sampling depth every experiment uses for
+// core.SampleW (16 instances per script, mimicking a short profiling run).
+const wSampleDepth = 16
+
+// traceCacheCap bounds the number of generated traces retained. Grids
+// reuse a trace at most a few cells apart (the policy variants of one
+// (trace, 1/r, seed) tuple), so a small FIFO window captures all reuse
+// while bounding memory to a few tens of megabytes at full fidelity.
+const traceCacheCap = 32
+
+// traceCacheEntry is one generated trace plus its off-line w sample,
+// built exactly once even when several workers request it concurrently.
+type traceCacheEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	wt   core.WTable
+	err  error
+}
+
+// traceCache memoizes trace.Generate keyed by the full GenConfig.
+// Entries are immutable after generation: simulations only read traces,
+// so one instance is safely shared across concurrent cells.
+type traceCache struct {
+	mu      sync.Mutex
+	entries map[trace.GenConfig]*traceCacheEntry
+	order   []trace.GenConfig // FIFO eviction order
+}
+
+var sharedTraces = &traceCache{entries: map[trace.GenConfig]*traceCacheEntry{}}
+
+// get returns the cached (trace, w table) for cfg, generating on miss.
+func (c *traceCache) get(cfg trace.GenConfig) (*trace.Trace, core.WTable, error) {
+	c.mu.Lock()
+	e, ok := c.entries[cfg]
+	if !ok {
+		e = &traceCacheEntry{}
+		c.entries[cfg] = e
+		c.order = append(c.order, cfg)
+		if len(c.order) > traceCacheCap {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.tr, e.err = trace.Generate(cfg)
+		if e.err == nil {
+			e.wt = core.SampleW(e.tr, wSampleDepth)
+		}
+	})
+	return e.tr, e.wt, e.err
+}
+
+// cachedTrace is the grid-facing entry point: the trace plus its sampled
+// w table for one fully specified generation config.
+func cachedTrace(cfg trace.GenConfig) (*trace.Trace, core.WTable, error) {
+	return sharedTraces.get(cfg)
+}
+
+// genTraceW builds (or fetches) the standard experiment trace for one
+// cell and its off-line w sample.
+func genTraceW(p trace.Profile, lambda, r float64, n int, seed int64) (*trace.Trace, core.WTable, error) {
+	return cachedTrace(trace.GenConfig{
+		Profile:  p,
+		Lambda:   lambda,
+		Requests: n,
+		MuH:      MuH,
+		R:        r,
+		Seed:     seed,
+	})
+}

@@ -32,25 +32,36 @@ func RunOpenClosed(p int, opts Options) ([]OpenClosedRow, error) {
 		return nil, err
 	}
 
-	var rows []OpenClosedRow
-	for _, load := range []float64{0.5, 0.8, 1.1, 1.4} {
-		lambda := LambdaForRho(p, prof.ArrivalRatio(), r, 1) * load
+	// One cell per (load factor, loop mode); the open and closed replays
+	// of one load share a cached trace but run on independent engines.
+	loads := []float64{0.5, 0.8, 1.1, 1.4}
+	type cell struct {
+		load   float64
+		closed bool
+	}
+	var cells []cell
+	for _, load := range loads {
+		cells = append(cells, cell{load, false}, cell{load, true})
+	}
+	sfs, err := runGrid(cells, func(c cell) (float64, error) {
+		lambda := LambdaForRho(p, prof.ArrivalRatio(), r, 1) * c.load
 		n := opts.requestCount(lambda)
 		if n > 30000 {
 			n = 30000 // cap the overloaded open-loop run
 		}
-
-		// Open loop: fixed-schedule trace replay.
-		tr, err := genTrace(prof, lambda, r, n, opts.Seeds[0])
+		tr, wt, err := genTraceW(prof, lambda, r, n, opts.Seeds[0])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		wt := core.SampleW(tr, 16)
-		openCfg := cluster.DefaultConfig(p, plan.M)
-		openCfg.WarmupFraction = opts.Warmup
-		openRes, err := cluster.Simulate(openCfg, core.NewMS(wt, opts.Seeds[0]), tr)
-		if err != nil {
-			return nil, err
+		if !c.closed {
+			// Open loop: fixed-schedule trace replay.
+			openCfg := cluster.DefaultConfig(p, plan.M)
+			openCfg.WarmupFraction = opts.Warmup
+			openRes, err := cluster.Simulate(openCfg, core.NewMS(wt, opts.Seeds[0]), tr)
+			if err != nil {
+				return 0, err
+			}
+			return openRes.StretchFactor, nil
 		}
 
 		// Closed loop: sessions issuing the same per-user rate. Mean
@@ -70,21 +81,27 @@ func RunOpenClosed(p int, opts Options) ([]OpenClosedRow, error) {
 			Seed:         opts.Seeds[0],
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		c, err := newSimCluster(p, plan.M, wt, opts)
+		cl, err := newSimCluster(p, plan.M, wt, opts)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		closedRes, err := c.RunClosedLoop(sessions)
+		closedRes, err := cl.RunClosedLoop(sessions)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-
+		return closedRes.StretchFactor, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []OpenClosedRow
+	for li, load := range loads {
 		rows = append(rows, OpenClosedRow{
 			LoadFactor: load,
-			OpenSF:     openRes.StretchFactor,
-			ClosedSF:   closedRes.StretchFactor,
+			OpenSF:     sfs[2*li],
+			ClosedSF:   sfs[2*li+1],
 		})
 	}
 	return rows, nil

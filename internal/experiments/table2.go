@@ -21,25 +21,34 @@ type Table2Row struct {
 }
 
 // RunTable2 derives the examined workload parameters for both cluster
-// sizes.
+// sizes. The (p, trace) cells are independent closed-form evaluations,
+// so they run on the shared grid like every other driver; the merge
+// keeps the paper's p-major row order.
 func RunTable2(opts Options) []Table2Row {
 	opts = opts.withDefaults()
-	var rows []Table2Row
+	type cell struct {
+		p    int
+		prof trace.Profile
+	}
+	var cells []cell
 	for _, p := range []int{32, 128} {
 		for _, prof := range trace.Profiles() {
-			row := Table2Row{
-				Trace:     prof.Name,
-				A:         prof.ArrivalRatio(),
-				P:         p,
-				TargetRho: opts.TargetRho,
-				InvRs:     opts.InvRs,
-			}
-			for _, invR := range opts.InvRs {
-				row.Lambdas = append(row.Lambdas, LambdaForRho(p, row.A, 1/invR, opts.TargetRho))
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{p, prof})
 		}
 	}
+	rows, _ := runGrid(cells, func(c cell) (Table2Row, error) {
+		row := Table2Row{
+			Trace:     c.prof.Name,
+			A:         c.prof.ArrivalRatio(),
+			P:         c.p,
+			TargetRho: opts.TargetRho,
+			InvRs:     opts.InvRs,
+		}
+		for _, invR := range opts.InvRs {
+			row.Lambdas = append(row.Lambdas, LambdaForRho(c.p, row.A, 1/invR, opts.TargetRho))
+		}
+		return row, nil
+	})
 	return rows
 }
 

@@ -103,6 +103,21 @@ var table3Variants = []struct {
 	}, false},
 }
 
+// table3Cell is one (trace, λ, policy) measurement: a live loopback
+// replay plus the matching simulation. variant −1 is the M/S baseline;
+// 0..2 index table3Variants. Live replays burn wall-clock time
+// (Duration × TimeScale), so running the four policies of one (trace, λ)
+// pair concurrently is where the parallel harness saves real minutes —
+// each cell starts its own loopback cluster on ephemeral ports.
+type table3Cell struct {
+	prof    trace.Profile
+	lambda  float64
+	n       int
+	variant int
+}
+
+type table3Pair struct{ actual, sim float64 }
+
 // RunTable3 measures the improvement ratios of M/S over the three
 // alternatives both on the live loopback cluster and in the simulator,
 // reproducing the validation comparison (paper: average difference ≈3%,
@@ -116,59 +131,66 @@ func RunTable3(opts Table3Options) ([]Table3Row, error) {
 		profiles = trace.Profiles()
 	}
 
-	var rows []Table3Row
+	var cells []table3Cell
 	for _, prof := range profiles {
-		masters := table3Masters(prof.Name)
 		for _, lambda := range opts.Lambdas {
 			n := int(lambda * opts.Duration)
 			if n < 50 {
 				n = 50
 			}
-			tr, err := trace.Generate(trace.GenConfig{
-				Profile: prof, Lambda: lambda, Requests: n,
-				MuH: opts.MuHLive, R: opts.R, Seed: opts.Seed,
+			for variant := -1; variant < len(table3Variants); variant++ {
+				cells = append(cells, table3Cell{prof: prof, lambda: lambda, n: n, variant: variant})
+			}
+		}
+	}
+
+	pairs, err := runGrid(cells, func(c table3Cell) (table3Pair, error) {
+		tr, wt, err := cachedTrace(trace.GenConfig{
+			Profile: c.prof, Lambda: c.lambda, Requests: c.n,
+			MuH: opts.MuHLive, R: opts.R, Seed: opts.Seed,
+		})
+		if err != nil {
+			return table3Pair{}, err
+		}
+		mk := func(wt core.WTable, seed int64) core.Policy { return core.NewMS(wt, seed) }
+		key := "M/S"
+		m := table3Masters(c.prof.Name)
+		if c.variant >= 0 {
+			v := table3Variants[c.variant]
+			mk, key = v.mk, v.key
+			if v.full {
+				m = opts.Nodes
+			}
+		}
+		actual, err := runLive(opts, m, mk, wt, tr)
+		if err != nil {
+			return table3Pair{}, fmt.Errorf("table3 %s λ=%.0f %s: %w", c.prof.Name, c.lambda, key, err)
+		}
+		sim, err := runSimTable3(opts, m, mk(wt, opts.Seed), tr)
+		if err != nil {
+			return table3Pair{}, fmt.Errorf("table3 %s λ=%.0f %s: %w", c.prof.Name, c.lambda, key, err)
+		}
+		return table3Pair{actual, sim}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge: each group of 1+len(table3Variants) cells yields one row per
+	// variant, the ratios taken against the group's M/S baseline.
+	var rows []Table3Row
+	perGroup := 1 + len(table3Variants)
+	for gi := 0; gi < len(cells); gi += perGroup {
+		ms := pairs[gi]
+		for vi, v := range table3Variants {
+			alt := pairs[gi+1+vi]
+			rows = append(rows, Table3Row{
+				Trace:     cells[gi].prof.Name,
+				Lambda:    cells[gi].lambda,
+				Versus:    v.key,
+				ActualPct: (alt.actual/ms.actual - 1) * 100,
+				SimPct:    (alt.sim/ms.sim - 1) * 100,
 			})
-			if err != nil {
-				return nil, err
-			}
-			wt := core.SampleW(tr, 16)
-
-			type pair struct{ actual, sim float64 }
-			measure := func(mk func(core.WTable, int64) core.Policy, full bool) (pair, error) {
-				m := masters
-				if full {
-					m = opts.Nodes
-				}
-				actual, err := runLive(opts, m, mk, wt, tr)
-				if err != nil {
-					return pair{}, err
-				}
-				sim, err := runSimTable3(opts, m, mk(wt, opts.Seed), tr)
-				if err != nil {
-					return pair{}, err
-				}
-				return pair{actual, sim}, nil
-			}
-
-			ms, err := measure(func(wt core.WTable, seed int64) core.Policy {
-				return core.NewMS(wt, seed)
-			}, false)
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s λ=%.0f M/S: %w", prof.Name, lambda, err)
-			}
-			for _, v := range table3Variants {
-				alt, err := measure(v.mk, v.full)
-				if err != nil {
-					return nil, fmt.Errorf("table3 %s λ=%.0f %s: %w", prof.Name, lambda, v.key, err)
-				}
-				rows = append(rows, Table3Row{
-					Trace:     prof.Name,
-					Lambda:    lambda,
-					Versus:    v.key,
-					ActualPct: (alt.actual/ms.actual - 1) * 100,
-					SimPct:    (alt.sim/ms.sim - 1) * 100,
-				})
-			}
 		}
 	}
 	return rows, nil

@@ -1,0 +1,82 @@
+// Package parallel provides the bounded worker pool underlying the
+// experiment grid runner. The paper's evaluation is a grid of
+// independent trace-driven simulations — per trace, per 1/r, per seed,
+// per policy variant — so the natural execution model is "embarrassingly
+// parallel replications": run every cell on its own goroutine-confined
+// sim.Engine and merge results in deterministic cell order, so parallel
+// output is byte-identical to a sequential run.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: n <= 0 selects
+// runtime.GOMAXPROCS(0), and the count never exceeds the number of items
+// (no idle goroutines on small grids).
+func Workers(n, items int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Map runs f over every item on at most workers goroutines and returns
+// the results in input order (workers <= 0 means GOMAXPROCS). Each item
+// is processed exactly once; f receives the item's index and value and
+// must not share mutable state across calls. If any call fails, Map
+// returns the error of the lowest-indexed failing item — deterministic
+// regardless of scheduling — and the partial results; remaining items
+// are still processed (cells are cheap relative to restart cost and
+// callers discard results on error).
+func Map[T, R any](workers int, items []T, f func(int, T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	errs := make([]error, len(items))
+	workers = Workers(workers, len(items))
+	if workers == 1 {
+		// Fast path: run inline, no goroutines. Identical merge order.
+		for i, it := range items {
+			results[i], errs[i] = f(i, it)
+		}
+		return results, firstError(errs)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				results[i], errs[i] = f(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+// firstError returns the lowest-indexed non-nil error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 0} {
+		got, err := Map(workers, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, nil, func(i, v int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, items, func(i, v int) (int, error) {
+			if v%2 == 1 {
+				return 0, fmt.Errorf("item %d failed", v)
+			}
+			return v, nil
+		})
+		if err == nil || err.Error() != "item 1 failed" {
+			t.Fatalf("workers=%d: err = %v, want item 1 failed", workers, err)
+		}
+	}
+}
+
+func TestMapProcessesEachItemOnce(t *testing.T) {
+	var calls [256]atomic.Int32
+	items := make([]int, len(calls))
+	for i := range items {
+		items[i] = i
+	}
+	if _, err := Map(8, items, func(i, v int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("item %d processed %d times", i, n)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	items := make([]int, 64)
+	if _, err := Map(workers, items, func(i, v int) (struct{}, error) {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, cap is %d", p, workers)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3 (capped at items)", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Fatalf("Workers(-1, 0) = %d, want 1", got)
+	}
+}

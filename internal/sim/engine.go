@@ -7,6 +7,17 @@
 // keeps simulations deterministic. Virtual time is a float64 measured in
 // seconds; it has no relation to wall-clock time, so a simulated 4-hour
 // trace replay can run in milliseconds.
+//
+// Allocation discipline. Steady-state simulations schedule and fire
+// millions of events, so the engine recycles Event structs through a
+// free list: an event returns to the pool the moment it fires (or is
+// skipped after cancellation) and the next Schedule reuses it. The
+// consequence is an ownership rule — an *Event handle is valid only
+// until the event fires or its cancellation is reclaimed; keeping a
+// handle beyond that and calling Cancel on it is a logic error (the
+// struct may already represent a different scheduled event). Code that
+// must cancel "whatever I armed last, unless it already fired" should
+// remember the event's Seq and compare before canceling, as Ticker does.
 package sim
 
 import (
@@ -19,9 +30,10 @@ import (
 type Time = float64
 
 // Event is a scheduled callback. Cancel marks the event so the engine
-// skips it when its time arrives; the engine never compacts the heap, so
-// cancellation is O(1).
+// skips it when its time arrives; the engine never reorders the heap on
+// cancellation, so Cancel is O(1).
 type Event struct {
+	eng      *Engine
 	at       Time
 	seq      uint64
 	index    int
@@ -32,9 +44,21 @@ type Event struct {
 // At reports the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
+// Seq returns the engine-unique scheduling sequence number. Sequence
+// numbers are never reused, so a caller that retains a handle past the
+// event's firing can detect recycling by comparing the Seq it observed
+// at scheduling time with the handle's current value.
+func (e *Event) Seq() uint64 { return e.seq }
+
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+func (e *Event) Cancel() {
+	if e.canceled || e.index < 0 {
+		return
+	}
+	e.canceled = true
+	e.eng.liveCanceled++
+}
 
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -70,13 +94,19 @@ func (h *eventHeap) Pop() any {
 
 // Engine drives a single simulation. It is not safe for concurrent use;
 // one simulation runs on one goroutine (separate experiment configurations
-// parallelize by running independent Engines).
+// parallelize by running independent Engines, as internal/parallel does).
 type Engine struct {
 	now     Time
 	seq     uint64
 	heap    eventHeap
 	fired   uint64
 	stopped bool
+	// free is the Event free list; fired and reclaimed-canceled events
+	// are recycled here so steady-state scheduling allocates nothing.
+	free []*Event
+	// liveCanceled counts canceled events still sitting in the heap, so
+	// Pending can report live events without scanning.
+	liveCanceled int
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -91,9 +121,8 @@ func (e *Engine) Now() Time { return e.now }
 // and cost metric for large simulations.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still queued (including canceled
-// events that have not yet been skipped).
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of live (non-canceled) events still queued.
+func (e *Engine) Pending() int { return len(e.heap) - e.liveCanceled }
 
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // (before Now) panics: it always indicates a logic error in the model.
@@ -104,7 +133,16 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if math.IsNaN(at) || math.IsInf(at, 0) {
 		panic(fmt.Sprintf("sim: schedule at non-finite time %v", at))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.canceled = false
+	} else {
+		ev = &Event{eng: e}
+	}
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
 	e.seq++
 	heap.Push(&e.heap, ev)
 	return ev
@@ -122,6 +160,14 @@ func (e *Engine) After(d float64, fn func()) *Event {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// release returns a popped event to the free list. The callback
+// reference is dropped immediately so captured state is collectable even
+// while the struct waits in the pool.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // Step executes the single next event. It returns false when the queue is
 // empty. Canceled events are skipped without advancing the clock beyond
 // their timestamps.
@@ -129,11 +175,17 @@ func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		ev := heap.Pop(&e.heap).(*Event)
 		if ev.canceled {
+			e.liveCanceled--
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running so a callback that immediately
+		// re-schedules (a ticker re-arm) reuses this very struct.
+		e.release(ev)
+		fn()
 		return true
 	}
 	return false
@@ -148,7 +200,9 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline (if the simulation has not already passed it). Events
-// scheduled beyond the deadline remain queued.
+// scheduled beyond the deadline remain queued; canceled events are
+// compacted out of the queue on return, so a run that stops early does
+// not strand them until the next full drain.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
@@ -161,13 +215,43 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+	e.compact()
+}
+
+// compact rebuilds the heap without canceled events, reclaiming them
+// into the free list. O(n); called where laziness would otherwise strand
+// canceled events indefinitely.
+func (e *Engine) compact() {
+	if e.liveCanceled == 0 {
+		return
+	}
+	live := e.heap[:0]
+	for _, ev := range e.heap {
+		if ev.canceled {
+			ev.index = -1
+			e.liveCanceled--
+			e.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = live
+	for i, ev := range e.heap {
+		ev.index = i
+	}
+	heap.Init(&e.heap)
 }
 
 // peek returns the timestamp of the next non-canceled event.
 func (e *Engine) peek() (Time, bool) {
 	for len(e.heap) > 0 {
 		if e.heap[0].canceled {
-			heap.Pop(&e.heap)
+			ev := heap.Pop(&e.heap).(*Event)
+			e.liveCanceled--
+			e.release(ev)
 			continue
 		}
 		return e.heap[0].at, true
@@ -181,12 +265,16 @@ func (e *Engine) NextEventTime() (Time, bool) { return e.peek() }
 
 // Ticker invokes fn every interval until canceled, a convenience for
 // periodic activities such as load-information refresh and the BSD
-// priority recomputation.
+// priority recomputation. The re-arm path allocates nothing in steady
+// state: the tick wrapper closure is built once, and the engine's free
+// list hands the fired event straight back to the re-arming Schedule.
 type Ticker struct {
 	engine   *Engine
 	interval float64
 	fn       func()
+	tick     func() // persistent wrapper, allocated once in Every
 	next     *Event
+	nextSeq  uint64 // Seq of next at arm time, guards against recycling
 	stopped  bool
 }
 
@@ -198,12 +286,7 @@ func (e *Engine) Every(interval float64, fn func()) *Ticker {
 		panic("sim: ticker interval must be positive")
 	}
 	t := &Ticker{engine: e, interval: interval, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.next = t.engine.After(t.interval, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
@@ -211,13 +294,23 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
 }
 
-// Stop cancels future ticks.
+func (t *Ticker) arm() {
+	t.next = t.engine.After(t.interval, t.tick)
+	t.nextSeq = t.next.seq
+}
+
+// Stop cancels future ticks. The Seq comparison makes Stop safe to call
+// at any point: if the armed event already fired and its struct was
+// recycled for an unrelated event, the stale handle is left alone.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.next != nil {
+	if t.next != nil && t.next.seq == t.nextSeq {
 		t.next.Cancel()
 	}
+	t.next = nil
 }

@@ -251,3 +251,160 @@ func TestOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---- Free-list / allocation-discipline tests -------------------------
+
+func TestEventRecycledAfterFire(t *testing.T) {
+	e := NewEngine()
+	ev1 := e.Schedule(1, func() {})
+	e.Step()
+	ev2 := e.Schedule(2, func() {})
+	if ev1 != ev2 {
+		t.Fatal("fired event was not recycled by the next Schedule")
+	}
+	if ev2.Canceled() {
+		t.Fatal("recycled event inherited canceled state")
+	}
+	if ev2.At() != 2 {
+		t.Fatalf("recycled event At() = %v, want 2", ev2.At())
+	}
+}
+
+func TestEventRecycledAfterCancelSkip(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() { t.Error("canceled event fired") })
+	ev.Cancel()
+	e.Schedule(2, func() {})
+	e.Run()
+	if len(e.free) != 2 {
+		t.Fatalf("free list holds %d events, want 2", len(e.free))
+	}
+}
+
+func TestSteadyStateScheduleFireAllocsNothing(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the pool.
+	e.After(1, fn)
+	e.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestTickerSteadyStateAllocsNothing(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.Every(1, func() { ticks++ })
+	e.Step() // first tick warms the pool and the wrapper closure
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state tick allocates %.1f objects/op, want 0", allocs)
+	}
+	if ticks < 1000 {
+		t.Fatalf("ticker only ticked %d times", ticks)
+	}
+}
+
+func TestPendingExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	var evs []*Event
+	for i := 1; i <= 5; i++ {
+		evs = append(evs, e.Schedule(float64(i), func() {}))
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d with 2 of 5 canceled, want 3", got)
+	}
+	evs[1].Cancel() // double-cancel must not double-count
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d after double cancel, want 3", got)
+	}
+}
+
+func TestRunUntilCompactsCanceled(t *testing.T) {
+	e := NewEngine()
+	// Live events beyond the deadline, canceled events interleaved.
+	var canceled []*Event
+	for i := 0; i < 10; i++ {
+		ev := e.Schedule(float64(10+i), func() {})
+		if i%2 == 0 {
+			canceled = append(canceled, ev)
+		}
+	}
+	for _, ev := range canceled {
+		ev.Cancel()
+	}
+	e.RunUntil(5) // stops early: no event is due
+	if got := e.Pending(); got != 5 {
+		t.Fatalf("Pending() = %d after early RunUntil, want 5", got)
+	}
+	if got := len(e.heap); got != 5 {
+		t.Fatalf("heap still holds %d entries after compaction, want 5", got)
+	}
+	if e.liveCanceled != 0 {
+		t.Fatalf("liveCanceled = %d after compaction, want 0", e.liveCanceled)
+	}
+	if got := len(e.free); got != 5 {
+		t.Fatalf("free list holds %d reclaimed events, want 5", got)
+	}
+	// The surviving events must still fire in order.
+	var fired []float64
+	for e.Step() {
+		fired = append(fired, e.Now())
+	}
+	if len(fired) != 5 || !sort.Float64sAreSorted(fired) {
+		t.Fatalf("post-compaction events fired wrong: %v", fired)
+	}
+}
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.Step()
+	ev.Cancel() // fired, not yet reused: must not poison the pool
+	fired := false
+	e.Schedule(2, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event scheduled after stale Cancel did not fire")
+	}
+}
+
+func TestTickerStopGuardsAgainstRecycledEvent(t *testing.T) {
+	// The hazard: a tick fires (its Event returns to the pool), the
+	// callback schedules an unrelated event (reusing that struct), then
+	// stops the ticker. Without the Seq guard, Stop would cancel the
+	// unrelated event through the stale handle.
+	e := NewEngine()
+	victimFired := false
+	var tk *Ticker
+	tk = e.Every(1, func() {
+		e.After(0.5, func() { victimFired = true })
+		tk.Stop()
+	})
+	e.Run()
+	if !victimFired {
+		t.Fatal("ticker Stop canceled an unrelated recycled event")
+	}
+}
+
+func TestSeqNeverReused(t *testing.T) {
+	e := NewEngine()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		ev := e.After(1, func() {})
+		if seen[ev.Seq()] {
+			t.Fatalf("seq %d reused", ev.Seq())
+		}
+		seen[ev.Seq()] = true
+		e.Step()
+	}
+}
