@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench experiments csv clean help
+.PHONY: all build vet lint test test-short race check bench experiments csv clean help
 
 all: build vet test
 
@@ -10,6 +10,7 @@ help:
 	@echo "msweb targets:"
 	@echo "  build       compile every package"
 	@echo "  vet         go vet ./..."
+	@echo "  lint        staticcheck ./... (skipped when staticcheck is not installed)"
 	@echo "  test        full test suite (includes live loopback replays)"
 	@echo "  test-short  test suite minus the wall-clock replays"
 	@echo "  check       go vet + go test -race ./... (the pre-merge gate;"
@@ -26,6 +27,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional tooling: run it when present, skip (successfully)
+# when the box doesn't have it so `make check` works on a bare toolchain.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -36,11 +46,11 @@ test-short:
 race:
 	$(GO) test -race ./internal/httpcluster/ ./internal/replay/ ./cmd/msload/
 
-# The pre-merge gate: vet plus the whole suite under the race detector.
-# The experiment grids run parallel by default, so this exercises the
-# worker pool, the shared trace cache, and the engine pool under -race.
-check:
-	$(GO) vet ./...
+# The pre-merge gate: vet + lint plus the whole suite under the race
+# detector. The experiment grids run parallel by default, so this
+# exercises the worker pool, the shared trace cache, and the engine pool
+# under -race.
+check: vet lint
 	$(GO) test -race ./...
 
 # Benchmarks with allocation counts; the parsed summary lands in

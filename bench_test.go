@@ -198,6 +198,23 @@ func BenchmarkEngineScheduleFire(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineScheduleFireProbed is the same hot path with an engine
+// probe installed (the hook the observability layer uses); the probe is
+// one indirect call per fired event and must not add allocations.
+func BenchmarkEngineScheduleFireProbed(b *testing.B) {
+	eng := sim.NewEngine()
+	var fired int
+	eng.SetProbe(func(sim.Time) { fired++ })
+	eng.After(1, func() {}) // prime the free list
+	eng.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(1, func() {})
+		eng.Step()
+	}
+}
+
 // BenchmarkParallelGrid runs the Figure 4 grid end-to-end at both pool
 // widths; the ratio of the two is the harness speedup on this machine.
 func BenchmarkParallelGrid(b *testing.B) {

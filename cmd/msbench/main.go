@@ -32,15 +32,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "msbench:", err)
 		os.Exit(1)
 	}
 }
 
 // run parses args and executes the selected experiments. Split from
-// main for testability.
-func run(args []string, stdout io.Writer) error {
+// main for testability. Tables go to stdout; warnings to stderr, so
+// piped table output stays clean.
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("msbench", flag.ContinueOnError)
 	exp := fs.String("experiment", "all", "which artifact to regenerate (table1|table2|table3|fig3a|fig3b|fig4a|fig4b|fig5|cachesweep|failover|flashcrowd|hetero|all)")
 	quick := fs.Bool("quick", false, "reduced fidelity: fewer seeds, shorter replays")
@@ -48,6 +49,8 @@ func run(args []string, stdout io.Writer) error {
 	rho := fs.Float64("rho", 0, "override the target flat utilization (0 = default 0.65)")
 	csvDir := fs.String("csv", "", "also write each experiment's rows as CSV into this directory")
 	par := fs.Int("parallel", 0, "grid worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	traceOut := fs.String("trace-out", "", "write per-request lifecycle traces (JSONL) of fig4 cells to this file")
+	traceMatch := fs.String("trace-match", "", "only trace cells whose label contains this substring (empty = all cells)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +116,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *rho > 0 && *rho < 1 {
 		opts.TargetRho = *rho
+	}
+	var traces *experiments.TraceCollector
+	if *traceOut != "" {
+		traces = experiments.NewTraceCollector(*traceMatch)
+		opts.Trace = traces
 	}
 
 	runners := map[string]func() error{
@@ -271,7 +279,21 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		if !affected {
-			fmt.Fprintf(stdout, "warning: -seeds/-rho have no effect on %v\n", selected)
+			fmt.Fprintf(stderr, "warning: -seeds/-rho have no effect on %v\n", selected)
+		}
+	}
+	if traces != nil {
+		// Lifecycle tracing is wired through the Figure 4 grid.
+		traced := map[string]bool{"fig4a": true, "fig4b": true}
+		affected := false
+		for _, name := range selected {
+			if traced[name] {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			fmt.Fprintf(stderr, "warning: -trace-out captures nothing for %v (tracing is wired into fig4a/fig4b)\n", selected)
 		}
 	}
 
@@ -281,6 +303,19 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("%s failed: %w", name, err)
 		}
 		fmt.Fprintf(stdout, "[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	if traces != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := traces.WriteTo(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d trace bytes (%d cells) to %s\n", n, len(traces.Cells()), *traceOut)
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -10,7 +12,7 @@ import (
 func TestRunFastExperiments(t *testing.T) {
 	for _, exp := range []string{"table1", "table2", "fig3a", "fig3b"} {
 		var out bytes.Buffer
-		if err := run([]string{"-experiment", exp, "-quick"}, &out); err != nil {
+		if err := run([]string{"-experiment", exp, "-quick"}, &out, io.Discard); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(out.String(), "completed in") {
@@ -24,7 +26,7 @@ func TestRunSimulatedExperimentQuick(t *testing.T) {
 		t.Skip("simulation experiment skipped in -short mode")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-experiment", "flashcrowd", "-quick"}, &out); err != nil {
+	if err := run([]string{"-experiment", "flashcrowd", "-quick"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "flash-crowd") {
@@ -34,17 +36,17 @@ func TestRunSimulatedExperimentQuick(t *testing.T) {
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-experiment", "nope"}, &out); err == nil {
+	if err := run([]string{"-experiment", "nope"}, &out, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run([]string{"-badflag"}, &out); err == nil {
+	if err := run([]string{"-badflag"}, &out, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
 
 func TestSeedAndRhoOverrides(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-experiment", "table2", "-quick", "-seeds", "1", "-rho", "0.5"}, &out); err != nil {
+	if err := run([]string{"-experiment", "table2", "-quick", "-seeds", "1", "-rho", "0.5"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "0.50") {
@@ -53,19 +55,69 @@ func TestSeedAndRhoOverrides(t *testing.T) {
 }
 
 func TestSeedsRhoWarningForNoOptionsExperiments(t *testing.T) {
-	var out bytes.Buffer
-	if err := run([]string{"-experiment", "fig3a", "-seeds", "3"}, &out); err != nil {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-experiment", "fig3a", "-seeds", "3"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "warning: -seeds/-rho have no effect") {
-		t.Fatalf("missing ignored-flag warning:\n%s", out.String())
+	if !strings.Contains(errBuf.String(), "warning: -seeds/-rho have no effect") {
+		t.Fatalf("missing ignored-flag warning on stderr:\n%s", errBuf.String())
+	}
+	if strings.Contains(out.String(), "warning:") {
+		t.Fatalf("warning leaked into stdout:\n%s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-experiment", "table2", "-quick", "-seeds", "3"}, &out); err != nil {
+	errBuf.Reset()
+	if err := run([]string{"-experiment", "table2", "-quick", "-seeds", "3"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(out.String(), "warning: -seeds/-rho") {
-		t.Fatalf("spurious warning for an Options experiment:\n%s", out.String())
+	if strings.Contains(errBuf.String(), "warning: -seeds/-rho") {
+		t.Fatalf("spurious warning for an Options experiment:\n%s", errBuf.String())
+	}
+}
+
+func TestTraceOutWarningForUntracedExperiments(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	args := []string{"-experiment", "fig3a", "-trace-out", dir + "/t.jsonl"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "warning: -trace-out captures nothing") {
+		t.Fatalf("missing trace-out warning on stderr:\n%s", errBuf.String())
+	}
+}
+
+func TestTraceOutWritesParseableJSONL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 grid skipped in -short mode")
+	}
+	dir := t.TempDir()
+	path := dir + "/trace.jsonl"
+	var out bytes.Buffer
+	args := []string{"-experiment", "fig4a", "-quick", "-parallel", "2",
+		"-trace-out", path, "-trace-match", "/ms/seed1"}
+	if err := run(args, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace bytes") {
+		t.Fatalf("no trace summary line:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace file has %d lines", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		if cell, ok := m["cell"].(string); ok && !strings.Contains(cell, "/ms/seed1") {
+			t.Fatalf("cell %q escaped -trace-match", cell)
+		}
 	}
 }
 
@@ -74,7 +126,7 @@ func TestParallelAndProfileFlags(t *testing.T) {
 	var out bytes.Buffer
 	args := []string{"-experiment", "table2", "-quick", "-parallel", "2",
 		"-cpuprofile", dir + "/cpu.pprof", "-memprofile", dir + "/mem.pprof"}
-	if err := run(args, &out); err != nil {
+	if err := run(args, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "completed in") {
@@ -88,7 +140,7 @@ func TestParallelAndProfileFlags(t *testing.T) {
 func TestCSVEmission(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-experiment", "table2", "-quick", "-csv", dir}, &out); err != nil {
+	if err := run([]string{"-experiment", "table2", "-quick", "-csv", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

@@ -93,8 +93,12 @@ func policyFactory(name string, seed int64) (func(int) core.Policy, error) {
 // printBanner announces the running cluster.
 func printBanner(w io.Writer, cfg httpcluster.Config, c *httpcluster.Cluster) {
 	fmt.Fprintf(w, "cluster up: %d nodes, %d masters\n", cfg.Nodes, cfg.Masters)
-	for i, url := range c.MasterURLs() {
+	urls := c.MasterURLs()
+	for i, url := range urls {
 		fmt.Fprintf(w, "master %d: %s\n", i, url)
 	}
 	fmt.Fprintln(w, "send traffic with: msload -masters <url,url,...> -trace <file>")
+	if len(urls) > 0 {
+		fmt.Fprintf(w, "scrape metrics with: curl %s/metrics (every node serves /metrics)\n", urls[0])
+	}
 }

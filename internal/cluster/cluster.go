@@ -15,6 +15,7 @@ import (
 	"msweb/internal/core"
 	"msweb/internal/dyncache"
 	"msweb/internal/metrics"
+	"msweb/internal/obs"
 	"msweb/internal/queuemodel"
 	"msweb/internal/rng"
 	"msweb/internal/sim"
@@ -105,6 +106,11 @@ type Config struct {
 	// to a node failure are restarted elsewhere (paper: switches give
 	// "sub-second failure detection").
 	RetryDelay float64
+	// Tracer, when non-nil, receives the lifecycle events of every
+	// request: arrival, placement decision (with RSRC annotation when
+	// the policy explains itself), dispatch, per-burst CPU/disk phases
+	// and completion. Nil disables tracing at a nil-check per event.
+	Tracer obs.Tracer
 	// Seed drives the front end's random master selection.
 	Seed int64
 }
@@ -245,6 +251,10 @@ type Cluster struct {
 	nextReqID   int64
 	failovers   int64
 
+	// explainer is the policy's PlacementExplainer side, resolved once
+	// at construction so tracing skips the per-request type assertion.
+	explainer core.PlacementExplainer
+
 	cache          *dyncache.Cache
 	cacheHitDemand float64
 
@@ -272,7 +282,9 @@ func New(eng *sim.Engine, cfg Config, policy core.Policy) (*Cluster, error) {
 		front:     rng.New(cfg.Seed),
 		collector: metrics.NewCollector(),
 		inflight:  make(map[int64]*pendingRequest),
+		nextReqID: 1, // 0 means "untraced" to the node OS
 	}
+	c.explainer, _ = policy.(core.PlacementExplainer)
 	c.available = make([]bool, cfg.Nodes)
 	for i := range c.available {
 		c.available[i] = true
@@ -301,6 +313,9 @@ func New(eng *sim.Engine, cfg Config, policy core.Policy) (*Cluster, error) {
 		n, err := simos.NewNode(eng, i, oscfg)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Tracer != nil {
+			n.SetTracer(cfg.Tracer)
 		}
 		c.nodes[i] = n
 	}
@@ -409,6 +424,15 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 	c.winArrivals++
 	master := c.view.Masters[c.front.Intn(len(c.view.Masters))]
 
+	reqID := c.nextReqID
+	c.nextReqID++
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.Event{
+			Kind: obs.KindArrival, Req: reqID, Time: arrival,
+			Class: req.Class.String(), Value: req.Demand,
+		})
+	}
+
 	// Swala extension: a fresh cached response short-circuits content
 	// generation — the master serves it like a small static fetch.
 	if c.cache != nil && req.Class == trace.Dynamic && req.Param != 0 {
@@ -419,12 +443,21 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 			hit.Demand = c.cacheHitDemand
 			hit.CPUWeight = 0.5
 			hit.MemPages = int(req.Size / c.cfg.OS.PageSize)
-			c.runCacheHit(hit, countSample, arrival, master, onDone)
+			c.runCacheHit(hit, reqID, countSample, arrival, master, onDone)
 			return
 		}
 	}
 
 	target := c.policy.Place(core.Request{Class: req.Class, Script: req.Script}, master, &c.view)
+	if c.cfg.Tracer != nil {
+		ev := obs.Event{Kind: obs.KindDecision, Req: reqID, Time: c.eng.Now(), Node: target}
+		if c.explainer != nil {
+			pl := c.explainer.LastPlacement()
+			ev.Value = pl.RSRC
+			ev.Admit = pl.MasterAdmitted
+		}
+		c.cfg.Tracer.Emit(ev)
+	}
 
 	if req.Class == trace.Dynamic {
 		c.totalDyn++
@@ -441,22 +474,37 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 		latency = c.cfg.RemoteLatency
 		c.remoteDyn++
 	}
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.Event{
+			Kind: obs.KindDispatch, Req: reqID, Time: c.eng.Now(),
+			Node: target, Remote: latency > 0,
+		})
+	}
 
-	reqID := c.nextReqID
-	c.nextReqID++
 	c.inflight[reqID] = &pendingRequest{req: req, node: target, arrival: arrival, count: countSample, onDone: onDone}
 
+	traceID := int64(0)
+	if c.cfg.Tracer != nil {
+		traceID = reqID
+	}
 	job := simos.Job{
 		CPUTime:  req.Demand * req.CPUWeight,
 		IOTime:   req.Demand * (1 - req.CPUWeight),
 		MemPages: req.MemPages,
 		Fork:     req.Class == trace.Dynamic,
+		TraceID:  traceID,
 		Done: func(now float64) {
 			delete(c.inflight, reqID)
 			if c.cache != nil && req.Class == trace.Dynamic && req.Param != 0 {
 				c.cache.Insert(dyncache.Key{Script: req.Script, Param: req.Param}, req.Size, now)
 			}
 			response := now - arrival
+			if c.cfg.Tracer != nil {
+				c.cfg.Tracer.Emit(obs.Event{
+					Kind: obs.KindComplete, Req: reqID, Time: now,
+					Node: target, Value: response,
+				})
+			}
 			c.policy.ObserveCompletion(req.Class, response, req.Demand)
 			if req.Class == trace.Dynamic {
 				c.winDoneC++
@@ -512,12 +560,26 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 // lightweight job. The sample records the actual (tiny) demand so the
 // stretch metric stays consistent; the benefit appears in response time
 // and in the load the cluster no longer carries.
-func (c *Cluster) runCacheHit(req trace.Request, countSample bool, arrival float64, master int, onDone func(now float64)) {
+func (c *Cluster) runCacheHit(req trace.Request, reqID int64, countSample bool, arrival float64, master int, onDone func(now float64)) {
+	traceID := int64(0)
+	if c.cfg.Tracer != nil {
+		traceID = reqID
+		c.cfg.Tracer.Emit(obs.Event{
+			Kind: obs.KindDispatch, Req: reqID, Time: c.eng.Now(), Node: master,
+		})
+	}
 	c.nodes[master].Submit(simos.Job{
 		CPUTime:  req.Demand * req.CPUWeight,
 		IOTime:   req.Demand * (1 - req.CPUWeight),
 		MemPages: req.MemPages,
+		TraceID:  traceID,
 		Done: func(now float64) {
+			if c.cfg.Tracer != nil {
+				c.cfg.Tracer.Emit(obs.Event{
+					Kind: obs.KindComplete, Req: reqID, Time: now,
+					Node: master, Value: now - arrival,
+				})
+			}
 			if countSample {
 				sample := metrics.Sample{
 					Demand:   req.Demand,

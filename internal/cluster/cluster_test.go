@@ -1,9 +1,14 @@
 package cluster
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
 	"testing"
 
 	"msweb/internal/core"
+	"msweb/internal/obs"
 	"msweb/internal/queuemodel"
 	"msweb/internal/sim"
 	"msweb/internal/trace"
@@ -382,5 +387,80 @@ func TestScaleInvariance(t *testing.T) {
 	ratio := big / small
 	if ratio < 0.4 || ratio > 1.6 {
 		t.Fatalf("scale invariance broken: p=8 SF %v vs p=16 SF %v", small, big)
+	}
+}
+
+func TestTracedRunEmitsFullLifecycles(t *testing.T) {
+	tr := genTrace(t, trace.KSU, 100, 200, 1.0/40, 3)
+	var buf bytes.Buffer
+	jt := obs.NewJSONL(&buf)
+	cfg := DefaultConfig(4, 2)
+	cfg.Tracer = jt
+	res, err := Simulate(cfg, core.NewMS(core.SampleW(tr, 16), 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Count == 0 {
+		t.Fatal("no samples")
+	}
+
+	// Every line is JSON; requests follow arrival → decision → dispatch
+	// → phases → complete, and every arrival eventually completes.
+	kinds := map[int64][]string{}
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev struct {
+			Ev  string `json:"ev"`
+			Req int64  `json:"req"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		if ev.Req == 0 {
+			t.Fatalf("line %d missing req id: %s", i, line)
+		}
+		kinds[ev.Req] = append(kinds[ev.Req], ev.Ev)
+	}
+	if len(kinds) != 200 {
+		t.Fatalf("traced %d requests, want 200", len(kinds))
+	}
+	for req, ks := range kinds {
+		if ks[0] != "arrival" {
+			t.Fatalf("req %d starts with %q", req, ks[0])
+		}
+		if ks[len(ks)-1] != "complete" {
+			t.Fatalf("req %d ends with %q", req, ks[len(ks)-1])
+		}
+		var sawDispatch bool
+		for _, k := range ks {
+			if k == "dispatch" {
+				sawDispatch = true
+			}
+		}
+		if !sawDispatch {
+			t.Fatalf("req %d never dispatched: %v", req, ks)
+		}
+	}
+}
+
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	tr := genTrace(t, trace.KSU, 100, 300, 1.0/40, 5)
+	run := func(traced bool) *Result {
+		cfg := DefaultConfig(4, 2)
+		if traced {
+			cfg.Tracer = obs.NewJSONL(io.Discard)
+		}
+		res, err := Simulate(cfg, core.NewMS(core.SampleW(tr, 16), 1), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, traced := run(false), run(true)
+	if plain.StretchFactor != traced.StretchFactor || plain.Events != traced.Events {
+		t.Fatalf("tracing changed the simulation: %v/%d vs %v/%d",
+			plain.StretchFactor, plain.Events, traced.StretchFactor, traced.Events)
 	}
 }

@@ -37,20 +37,23 @@ import (
 	"msweb/internal/trace"
 )
 
-// Load is one node's scheduling-relevant load snapshot.
+// Load is one node's scheduling-relevant load snapshot. It is also the
+// wire format the live cluster's /load endpoint serves (the JSON tags
+// are the protocol), so the simulator and the HTTP substrate share one
+// definition instead of hand-copied mirrors.
 type Load struct {
 	// CPUIdle is the idle fraction of the CPU over the last load-info
 	// window, in [0, 1].
-	CPUIdle float64
+	CPUIdle float64 `json:"cpu_idle"`
 	// DiskAvail is the available fraction of disk bandwidth over the
 	// last window, in [0, 1].
-	DiskAvail float64
+	DiskAvail float64 `json:"disk_avail"`
 	// CPUQueue and DiskQueue are instantaneous queue populations,
 	// consumed by the least-loaded baseline.
-	CPUQueue  int
-	DiskQueue int
+	CPUQueue  int `json:"cpu_queue"`
+	DiskQueue int `json:"disk_queue"`
 	// Speed is the node's relative CPU speed (heterogeneous extension).
-	Speed float64
+	Speed float64 `json:"speed,omitempty"`
 }
 
 // ScriptAffinity restricts where CGI scripts may run — the paper's
@@ -106,6 +109,39 @@ type Policy interface {
 	ObserveCompletion(class trace.Class, response, demand float64)
 	// Tick runs periodic adaptation (reservation-cap recomputation).
 	Tick(now float64, v *View)
+}
+
+// Placement describes one Place decision for the observability layer:
+// the chosen node, the RSRC cost it was chosen at, the CPU share used
+// in the cost, and whether the reservation admitted masters as
+// candidates. RSRC is 0 for placements that involved no cost comparison
+// (static requests, single-candidate pools).
+type Placement struct {
+	Node           int
+	RSRC           float64
+	W              float64
+	MasterAdmitted bool
+}
+
+// PlacementExplainer is implemented by policies that can describe their
+// most recent Place decision. The tracing layer consults it after each
+// placement; recording the explanation must be cheap enough to do
+// unconditionally (a few field stores).
+type PlacementExplainer interface {
+	LastPlacement() Placement
+}
+
+// AdaptiveStats is implemented by policies that expose their adaptive
+// estimator state — the live cluster's /metrics endpoint publishes
+// these as the scheduler gauges the paper's measurement-driven
+// mechanisms are judged by.
+type AdaptiveStats interface {
+	// ThetaLimit is the current θ₂ admission cap.
+	ThetaLimit() float64
+	// ArrivalRatio is the measured arrival-rate ratio a = λ_c/λ_h.
+	ArrivalRatio() float64
+	// ServiceRatio is the measured service-rate ratio r ≈ μ_c/μ_h.
+	ServiceRatio() float64
 }
 
 // MinIdleFloor bounds the idle/available ratios away from zero in the
@@ -178,9 +214,9 @@ func SampleW(tr *trace.Trace, maxPerScript int) WTable {
 	return t
 }
 
-// pickMinRSRC returns the candidate with the smallest RSRC; ties are
-// broken uniformly at random so equal nodes share load.
-func pickMinRSRC(w float64, candidates []int, v *View, s *rng.Stream) int {
+// pickMinRSRC returns the candidate with the smallest RSRC and that
+// cost; ties are broken uniformly at random so equal nodes share load.
+func pickMinRSRC(w float64, candidates []int, v *View, s *rng.Stream) (int, float64) {
 	if len(candidates) == 0 {
 		panic("core: no candidate nodes")
 	}
@@ -205,7 +241,7 @@ func pickMinRSRC(w float64, candidates []int, v *View, s *rng.Stream) int {
 			bestNodes = append(bestNodes, id)
 		}
 	}
-	return bestNodes[s.Intn(len(bestNodes))]
+	return bestNodes[s.Intn(len(bestNodes))], best
 }
 
 func maxf(a, b float64) float64 {
@@ -252,6 +288,10 @@ type MS struct {
 	res         *ReservationController
 	rng         *rng.Stream
 	impact      float64
+	// last is the most recent Place decision, recorded unconditionally
+	// (plain field stores) so the tracing layer can annotate dispatches
+	// without the policy knowing whether anyone is listening.
+	last Placement
 }
 
 // DefaultPlacementImpact is the booking charge: between two load-info
@@ -287,6 +327,7 @@ func (m *MS) Name() string { return m.name }
 func (m *MS) Place(req Request, master int, v *View) int {
 	m.res.ObserveArrival(req.Class)
 	if req.Class == trace.Static {
+		m.last = Placement{Node: master}
 		return master
 	}
 	w := DefaultW
@@ -315,7 +356,8 @@ func (m *MS) Place(req Request, master int, v *View) int {
 		// An allowed set with no live node degrades to the
 		// unconstrained candidates so the request still completes.
 	}
-	target := pickMinRSRC(w, candidates, v, m.rng)
+	target, cost := pickMinRSRC(w, candidates, v, m.rng)
+	m.last = Placement{Node: target, RSRC: cost, W: w, MasterAdmitted: mastersEligible}
 	m.res.CountDynamic()
 	if isIn(target, v.Masters) {
 		m.res.CountMasterDynamic()
@@ -342,6 +384,15 @@ func (m *MS) Tick(now float64, v *View) {
 
 // ThetaLimit exposes the current reservation cap for tests and reports.
 func (m *MS) ThetaLimit() float64 { return m.res.ThetaLimit() }
+
+// ArrivalRatio exposes the measured arrival-rate ratio a (AdaptiveStats).
+func (m *MS) ArrivalRatio() float64 { return m.res.A() }
+
+// ServiceRatio exposes the measured service-rate ratio r (AdaptiveStats).
+func (m *MS) ServiceRatio() float64 { return m.res.R() }
+
+// LastPlacement implements PlacementExplainer.
+func (m *MS) LastPlacement() Placement { return m.last }
 
 // intersect returns the members of a that also appear in b, preserving
 // a's order.

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -346,5 +348,72 @@ func TestPoliciesReturnValidNodesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMSPlacementExplanation(t *testing.T) {
+	v := testView([]int{0}, []int{1, 2})
+	v.Load[1] = Load{CPUIdle: 0.05, DiskAvail: 0.9, Speed: 1}
+	v.Load[2] = Load{CPUIdle: 0.95, DiskAvail: 0.9, Speed: 1}
+	ms := NewMS(WTable{7: 0.95}, 1, WithPlacementImpact(0))
+	ms.Tick(0, v)
+
+	var exp PlacementExplainer = ms // compile-time interface check
+	node := ms.Place(Request{Class: trace.Dynamic, Script: 7}, 0, v)
+	pl := exp.LastPlacement()
+	if pl.Node != node {
+		t.Fatalf("explained node %d, placed %d", pl.Node, node)
+	}
+	if pl.W != 0.95 {
+		t.Fatalf("explained w %v, want 0.95", pl.W)
+	}
+	wantCost := RSRC(0.95, v.Load[node].CPUIdle, v.Load[node].DiskAvail)
+	if !approx(pl.RSRC, wantCost, 1e-9) {
+		t.Fatalf("explained cost %v, want %v", pl.RSRC, wantCost)
+	}
+
+	// Static path: the explanation is the receiving master, cost 0.
+	if got := ms.Place(Request{Class: trace.Static}, 0, v); got != 0 {
+		t.Fatalf("static placed at %d", got)
+	}
+	if pl := ms.LastPlacement(); pl.Node != 0 || pl.RSRC != 0 || pl.MasterAdmitted {
+		t.Fatalf("static placement explanation = %+v", pl)
+	}
+}
+
+func TestMSAdaptiveStats(t *testing.T) {
+	v := testView([]int{0}, []int{1})
+	ms := NewMS(nil, 1)
+	var st AdaptiveStats = ms // compile-time interface check
+	ms.Tick(0, v)
+	theta := st.ThetaLimit()
+	if theta <= 0 || theta > 1 {
+		t.Fatalf("theta %v outside (0,1]", theta)
+	}
+	if a := st.ArrivalRatio(); a <= 0 {
+		t.Fatalf("arrival ratio %v, want positive fallback", a)
+	}
+	if r := st.ServiceRatio(); r <= 0 {
+		t.Fatalf("service ratio %v, want positive fallback", r)
+	}
+}
+
+func TestLoadJSONRoundTrip(t *testing.T) {
+	in := Load{CPUIdle: 0.25, DiskAvail: 0.75, CPUQueue: 3, DiskQueue: 1, Speed: 2}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"cpu_idle":0.25`, `"disk_avail":0.75`, `"cpu_queue":3`, `"disk_queue":1`, `"speed":2`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("marshaled load %s missing %s", b, key)
+		}
+	}
+	var out Load
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v != %+v", out, in)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"msweb/internal/cluster"
 	"msweb/internal/core"
+	"msweb/internal/obs"
 	"msweb/internal/queuemodel"
 	"msweb/internal/sim"
 	"msweb/internal/trace"
@@ -43,6 +44,9 @@ type Options struct {
 	Warmup float64
 	// InvRs are the 1/r sample points (paper: 20, 40, 80, 160).
 	InvRs []float64
+	// Trace, when non-nil, captures per-request lifecycle traces for the
+	// cells matching its filter (msbench -trace-out/-trace-match).
+	Trace *TraceCollector
 }
 
 // Default returns full-fidelity options (minutes of runtime).
@@ -126,8 +130,15 @@ func seedMean(vals []float64) float64 {
 
 // simulateOnce builds the cluster for one policy and replays the trace.
 func simulateOnce(p int, masters int, pol core.Policy, tr *trace.Trace, warmup float64) (float64, error) {
+	return simulateCell(p, masters, pol, tr, warmup, nil)
+}
+
+// simulateCell is simulateOnce with an optional lifecycle tracer wired
+// into the cluster (nil runs untraced).
+func simulateCell(p int, masters int, pol core.Policy, tr *trace.Trace, warmup float64, tracer obs.Tracer) (float64, error) {
 	cfg := cluster.DefaultConfig(p, masters)
 	cfg.WarmupFraction = warmup
+	cfg.Tracer = tracer
 	res, err := cluster.Simulate(cfg, pol, tr)
 	if err != nil {
 		return 0, err

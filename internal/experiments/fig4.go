@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"msweb/internal/core"
+	"msweb/internal/obs"
 	"msweb/internal/queuemodel"
 	"msweb/internal/trace"
 )
@@ -24,22 +25,24 @@ type Fig4Row struct {
 }
 
 // fig4Variants enumerates the compared policies; allMasters marks the
-// M/S-1 configuration where every node is a master.
+// M/S-1 configuration where every node is a master. slug is the
+// variant's segment in trace-capture cell labels.
 var fig4Variants = []struct {
 	key        string
+	slug       string
 	mk         func(wt core.WTable, seed int64) core.Policy
 	allMasters bool
 }{
-	{"M/S", func(wt core.WTable, seed int64) core.Policy {
+	{"M/S", "ms", func(wt core.WTable, seed int64) core.Policy {
 		return core.NewMS(wt, seed)
 	}, false},
-	{"M/S-ns", func(wt core.WTable, seed int64) core.Policy {
+	{"M/S-ns", "ms-ns", func(wt core.WTable, seed int64) core.Policy {
 		return core.NewMS(wt, seed, core.WithoutSampling(), core.WithName("M/S-ns"))
 	}, false},
-	{"M/S-nr", func(wt core.WTable, seed int64) core.Policy {
+	{"M/S-nr", "ms-nr", func(wt core.WTable, seed int64) core.Policy {
 		return core.NewMS(wt, seed, core.WithoutReservation(), core.WithName("M/S-nr"))
 	}, false},
-	{"M/S-1", func(wt core.WTable, seed int64) core.Policy {
+	{"M/S-1", "ms-1", func(wt core.WTable, seed int64) core.Policy {
 		return core.NewMS(wt, seed, core.WithName("M/S-1"))
 	}, true},
 }
@@ -105,7 +108,12 @@ func RunFig4(p int, opts Options) ([]Fig4Row, error) {
 			return 0, fmt.Errorf("fig4 %s 1/r=%.0f seed %d: %w", c.prof.Name, c.invR, c.seed, err)
 		}
 		pol := fig4Variants[c.variant].mk(wt, c.seed)
-		return simulateOnce(p, c.masters, pol, tr, opts.Warmup)
+		var tracer obs.Tracer
+		if opts.Trace != nil {
+			tracer = opts.Trace.Tracer(fmt.Sprintf("fig4/p%d/%s/invr%g/%s/seed%d",
+				p, c.prof.Name, c.invR, fig4Variants[c.variant].slug, c.seed))
+		}
+		return simulateCell(p, c.masters, pol, tr, opts.Warmup, tracer)
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"msweb/internal/obs"
+)
+
+// TraceCollector captures per-request lifecycle traces from experiment
+// grids. Each simulated cell gets its own JSONL tracer writing into a
+// private buffer; WriteTo merges the buffers sorted by cell label, each
+// preceded by a {"cell":"<label>"} header line. Cell labels are derived
+// from the cell's parameters — never from scheduling order — so the
+// merged output is byte-identical at any -parallel width.
+type TraceCollector struct {
+	match string
+
+	mu      sync.Mutex
+	bufs    map[string]*bytes.Buffer
+	tracers map[string]*obs.JSONLTracer
+}
+
+// NewTraceCollector returns a collector capturing every cell whose label
+// contains match; an empty match captures all cells (full grids emit a
+// lot of trace — prefer a filter like "/ms/seed1").
+func NewTraceCollector(match string) *TraceCollector {
+	return &TraceCollector{
+		match:   match,
+		bufs:    make(map[string]*bytes.Buffer),
+		tracers: make(map[string]*obs.JSONLTracer),
+	}
+}
+
+// Tracer returns the tracer for one cell, or nil when the label does not
+// match the filter (the cluster then runs untraced). The returned tracer
+// is not concurrency-safe; it must be used by that cell's goroutine only.
+func (t *TraceCollector) Tracer(label string) obs.Tracer {
+	if t == nil || !strings.Contains(label, t.match) {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.tracers[label]
+	if !ok {
+		buf := &bytes.Buffer{}
+		tr = obs.NewJSONL(buf)
+		t.bufs[label] = buf
+		t.tracers[label] = tr
+	}
+	return tr
+}
+
+// Cells returns the captured cell labels, sorted.
+func (t *TraceCollector) Cells() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.bufs))
+	for label := range t.bufs {
+		out = append(out, label)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo merges every captured cell into w in label order, flushing the
+// tracers first. It must only be called after the grid run completes.
+func (t *TraceCollector) WriteTo(w io.Writer) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	labels := make([]string, 0, len(t.bufs))
+	for label := range t.bufs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+
+	var total int64
+	for _, label := range labels {
+		if err := t.tracers[label].Flush(); err != nil {
+			return total, err
+		}
+		n, err := io.WriteString(w, `{"cell":"`+label+"\"}\n")
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		m, err := w.Write(t.bufs[label].Bytes())
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func traceOpts(tc *TraceCollector) Options {
+	return Options{
+		Seeds:       []int64{1},
+		TargetRho:   0.65,
+		MinRequests: 300,
+		Duration:    0.05,
+		Warmup:      0.15,
+		InvRs:       []float64{20},
+		Trace:       tc,
+	}
+}
+
+// captureFig4 runs a tiny Figure 4 grid at the given parallelism and
+// returns the merged trace bytes.
+func captureFig4(t *testing.T, workers int, match string) []byte {
+	t.Helper()
+	defer SetParallelism(0)
+	SetParallelism(workers)
+	tc := NewTraceCollector(match)
+	if _, err := RunFig4(8, traceOpts(tc)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tc.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The merged trace must be byte-identical regardless of how the grid's
+// cells were scheduled: labels come from cell parameters and the merge
+// is sorted, so -parallel 1 and -parallel 4 agree exactly.
+func TestTraceCaptureDeterministicAcrossParallelism(t *testing.T) {
+	seq := captureFig4(t, 1, "/ms/seed1")
+	par := captureFig4(t, 4, "/ms/seed1")
+	if len(seq) == 0 {
+		t.Fatal("no trace captured")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("trace bytes differ between -parallel 1 (%d bytes) and -parallel 4 (%d bytes)", len(seq), len(par))
+	}
+
+	// Every line is parseable JSON and the capture honors the filter.
+	var cells, events int
+	for i, line := range strings.Split(strings.TrimSpace(string(seq)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		if cell, ok := m["cell"].(string); ok {
+			cells++
+			if !strings.Contains(cell, "/ms/seed1") {
+				t.Fatalf("cell %q escaped the filter", cell)
+			}
+			continue
+		}
+		events++
+		if m["ev"] == nil || m["req"] == nil {
+			t.Fatalf("event line missing ev/req: %s", line)
+		}
+	}
+	if cells == 0 || events == 0 {
+		t.Fatalf("merged output has %d cells, %d events", cells, events)
+	}
+}
+
+func TestTraceCollectorFilterAndCells(t *testing.T) {
+	tc := NewTraceCollector("keep")
+	if tr := tc.Tracer("drop/this"); tr != nil {
+		t.Fatal("non-matching label got a tracer")
+	}
+	a := tc.Tracer("b/keep/2")
+	b := tc.Tracer("a/keep/1")
+	if a == nil || b == nil {
+		t.Fatal("matching labels rejected")
+	}
+	if again := tc.Tracer("b/keep/2"); again != a {
+		t.Fatal("same label produced a second tracer")
+	}
+	got := tc.Cells()
+	if len(got) != 2 || got[0] != "a/keep/1" || got[1] != "b/keep/2" {
+		t.Fatalf("Cells() = %v", got)
+	}
+
+	// A nil collector is an always-off tracer source.
+	var nilTC *TraceCollector
+	if tr := nilTC.Tracer("anything"); tr != nil {
+		t.Fatal("nil collector returned a tracer")
+	}
+}

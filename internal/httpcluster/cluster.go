@@ -103,7 +103,7 @@ func Start(cfg Config) (*Cluster, error) {
 	// Slaves first, so their URLs are known to every master.
 	nodeURLs := make([]string, cfg.Nodes)
 	for _, id := range slaves {
-		n, err := StartNode(id, origin, cfg.TimeScale)
+		n, err := LaunchNode(NodeOptions{ID: id, Origin: origin, TimeScale: cfg.TimeScale})
 		if err != nil {
 			c.Shutdown()
 			return nil, err
@@ -112,7 +112,12 @@ func Start(cfg Config) (*Cluster, error) {
 		c.Slaves = append(c.Slaves, n)
 	}
 	for _, id := range masters {
-		m, err := StartMaster(id, origin, cfg.TimeScale, masters, slaves, nodeURLs, cfg.MakePolicy(id), cfg.LoadRefresh, cfg.PolicyTick)
+		m, err := LaunchMaster(NodeOptions{
+			ID: id, Origin: origin, TimeScale: cfg.TimeScale,
+			Masters: masters, Slaves: slaves, NodeURLs: nodeURLs,
+			Policy:      cfg.MakePolicy(id),
+			LoadRefresh: cfg.LoadRefresh, PolicyTick: cfg.PolicyTick,
+		})
 		if err != nil {
 			c.Shutdown()
 			return nil, err

@@ -1,0 +1,93 @@
+package httpcluster
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"msweb/internal/core"
+	"msweb/internal/obs"
+)
+
+// Prometheus-text /metrics exporters. Every node serves its own
+// counters, queue gauges and a log-scale service-time histogram; masters
+// additionally publish the scheduler's adaptive state — the θ₂
+// reservation cap, the measured arrival ratio a and service ratio r, and
+// the per-node RSRC cost of the latest load view — so a scrape shows
+// exactly what the placement decisions are being made from.
+//
+// Reads never disturb the scheduler: busy fractions come from
+// Resource.BusyFraction (no rstat-window reset) and the view is copied
+// under the master's lock.
+
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (n *Node) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", promContentType)
+	n.writeMetrics(rw)
+}
+
+// writeMetrics emits the node-level families shared by slaves and
+// masters.
+func (n *Node) writeMetrics(w io.Writer) {
+	label := `node="` + strconv.Itoa(n.ID) + `"`
+	now := time.Since(n.origin).Seconds()
+
+	n.mu.Lock()
+	executed, cgi := n.executed, n.cgiServed
+	rate := n.reqRate.Rate(now)
+	hist := *n.svcHist // fixed-size value copy; safe outside the lock
+	n.mu.Unlock()
+
+	p := obs.NewPromWriter(w)
+	p.Header("msweb_node_executed_total", "Requests executed by this node.", "counter")
+	p.Value("msweb_node_executed_total", label, float64(executed))
+	p.Header("msweb_node_cgi_served_total", "Forked (dynamic) requests executed by this node.", "counter")
+	p.Value("msweb_node_cgi_served_total", label, float64(cgi))
+	p.Header("msweb_node_cpu_queue", "Jobs queued or running on the virtual CPU.", "gauge")
+	p.Value("msweb_node_cpu_queue", label, float64(n.res.CPU.QueueLength()))
+	p.Header("msweb_node_disk_queue", "Jobs queued or running on the virtual disk.", "gauge")
+	p.Value("msweb_node_disk_queue", label, float64(n.res.Disk.QueueLength()))
+	p.Header("msweb_node_cpu_busy_fraction", "Lifetime CPU busy fraction.", "gauge")
+	p.Value("msweb_node_cpu_busy_fraction", label, n.res.CPU.BusyFraction())
+	p.Header("msweb_node_disk_busy_fraction", "Lifetime disk busy fraction.", "gauge")
+	p.Value("msweb_node_disk_busy_fraction", label, n.res.Disk.BusyFraction())
+	p.Header("msweb_node_request_rate", "Executed requests per second over the trailing 10s window.", "gauge")
+	p.Value("msweb_node_request_rate", label, rate)
+	p.Histogram("msweb_node_service_seconds", "Per-request service time at this node (unscaled seconds).", label, &hist)
+}
+
+func (m *Master) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", promContentType)
+	m.Node.writeMetrics(rw)
+
+	label := `node="` + strconv.Itoa(m.ID) + `"`
+	m.pmu.Lock()
+	loads := append([]core.Load(nil), m.view.Load...)
+	failovers := m.failovers
+	hist := *m.respHist
+	var theta, a, r float64
+	stats, hasStats := m.policy.(core.AdaptiveStats)
+	if hasStats {
+		theta, a, r = stats.ThetaLimit(), stats.ArrivalRatio(), stats.ServiceRatio()
+	}
+	m.pmu.Unlock()
+
+	p := obs.NewPromWriter(rw)
+	if hasStats {
+		p.Header("msweb_scheduler_theta2", "Reservation cap: max fraction of dynamics admitted at masters.", "gauge")
+		p.Value("msweb_scheduler_theta2", label, theta)
+		p.Header("msweb_scheduler_arrival_ratio", "Measured arrival-rate ratio a.", "gauge")
+		p.Value("msweb_scheduler_arrival_ratio", label, a)
+		p.Header("msweb_scheduler_service_ratio", "Measured service-rate ratio r.", "gauge")
+		p.Value("msweb_scheduler_service_ratio", label, r)
+	}
+	p.Header("msweb_scheduler_rsrc", "RSRC cost of each node in this master's latest load view (w=0.5).", "gauge")
+	for id, l := range loads {
+		p.Value("msweb_scheduler_rsrc", `node="`+strconv.Itoa(id)+`"`, core.RSRC(core.DefaultW, l.CPUIdle, l.DiskAvail))
+	}
+	p.Header("msweb_master_failovers_total", "Dynamic requests re-placed after a remote execution failure.", "counter")
+	p.Value("msweb_master_failovers_total", label, float64(failovers))
+	p.Histogram("msweb_master_response_seconds", "Client-visible /req response time at this master (unscaled seconds).", label, &hist)
+}

@@ -1,0 +1,151 @@
+package httpcluster
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"msweb/internal/core"
+	"msweb/internal/obs"
+)
+
+// NodeOptions configures one live node or master. It replaces the
+// positional-argument Start* constructors: the redesigned entry points
+// LaunchNode and LaunchMaster validate an options struct, so adding a
+// knob no longer changes every call site and mixed-up arguments fail
+// loudly instead of silently swapping periods.
+type NodeOptions struct {
+	// ID is the node's cluster-wide id (index into NodeURLs).
+	ID int
+	// Origin is the cluster's common epoch for virtual-time accounting.
+	// The zero value means "now".
+	Origin time.Time
+	// TimeScale multiplies every service duration; 0 means real time (1).
+	TimeScale float64
+
+	// The remaining fields configure masters only and are ignored by
+	// LaunchNode.
+
+	// Masters and Slaves list the node ids of each tier.
+	Masters, Slaves []int
+	// NodeURLs maps every node id to its base URL. The master's own slot
+	// may be empty — it is filled with the launched server's URL.
+	NodeURLs []string
+	// Policy is the scheduling policy this master runs.
+	Policy core.Policy
+	// LoadRefresh is the /load polling period; PolicyTick the policy
+	// adaptation period.
+	LoadRefresh, PolicyTick time.Duration
+}
+
+// Validate reports option errors. Master-only fields are checked only
+// when master is true.
+func (o NodeOptions) Validate(master bool) error {
+	switch {
+	case o.ID < 0:
+		return fmt.Errorf("httpcluster: negative node id %d", o.ID)
+	case o.TimeScale < 0:
+		return fmt.Errorf("httpcluster: negative time scale %v", o.TimeScale)
+	}
+	if !master {
+		return nil
+	}
+	switch {
+	case o.Policy == nil:
+		return fmt.Errorf("httpcluster: master %d needs a policy", o.ID)
+	case o.LoadRefresh <= 0 || o.PolicyTick <= 0:
+		return fmt.Errorf("httpcluster: master %d needs positive polling periods", o.ID)
+	case o.ID >= len(o.NodeURLs):
+		return fmt.Errorf("httpcluster: master id %d outside NodeURLs (len %d)", o.ID, len(o.NodeURLs))
+	}
+	for _, ids := range [][]int{o.Masters, o.Slaves} {
+		for _, id := range ids {
+			if id < 0 || id >= len(o.NodeURLs) {
+				return fmt.Errorf("httpcluster: tier lists node %d outside NodeURLs (len %d)", id, len(o.NodeURLs))
+			}
+		}
+	}
+	return nil
+}
+
+// withDefaults fills the zero values.
+func (o NodeOptions) withDefaults() NodeOptions {
+	if o.Origin.IsZero() {
+		o.Origin = time.Now()
+	}
+	if o.TimeScale == 0 {
+		o.TimeScale = 1
+	}
+	return o
+}
+
+// LaunchNode starts a slave node server on a loopback ephemeral port.
+// Only ID, Origin and TimeScale are consulted.
+func LaunchNode(o NodeOptions) (*Node, error) {
+	if err := o.Validate(false); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	n, err := newNode(o.ID, o.Origin, o.TimeScale)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/exec", n.handleExec)
+	mux.HandleFunc("/load", n.handleLoad)
+	mux.HandleFunc("/stats", n.handleStats)
+	mux.HandleFunc("/metrics", n.handleMetrics)
+	n.serve(mux)
+	return n, nil
+}
+
+// LaunchMaster starts a master node server on a loopback ephemeral port.
+func LaunchMaster(o NodeOptions) (*Master, error) {
+	if err := o.Validate(true); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	n, err := newNode(o.ID, o.Origin, o.TimeScale)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{
+		Node:     n,
+		policy:   o.Policy,
+		nodeURLs: append([]string(nil), o.NodeURLs...),
+		client: &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: 128},
+			Timeout:   120 * time.Second,
+		},
+		stop:     make(chan struct{}),
+		failed:   make(map[int]time.Time),
+		respHist: obs.NewHistogram(),
+	}
+	m.nodeURLs[o.ID] = m.URL
+	m.view = core.View{
+		Masters: append([]int(nil), o.Masters...),
+		Slaves:  append([]int(nil), o.Slaves...),
+		Load:    make([]core.Load, len(o.NodeURLs)),
+	}
+	for i := range m.view.Load {
+		m.view.Load[i] = core.Load{CPUIdle: 1, DiskAvail: 1, Speed: 1}
+	}
+	// Prime the policy once so adaptive state (θ₂ in particular) reflects
+	// the configured topology before the first ticker fires — and so a
+	// /metrics scrape of a fresh master reports the topology-derived cap
+	// rather than a placeholder.
+	m.policy.Tick(0, &m.view)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/req", m.handleRequest)
+	mux.HandleFunc("/exec", m.handleExec)
+	mux.HandleFunc("/load", m.handleLoad)
+	mux.HandleFunc("/stats", m.handleStats)
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	m.serve(mux)
+
+	m.wg.Add(2)
+	go m.pollLoop(o.LoadRefresh)
+	go m.tickLoop(o.PolicyTick)
+	return m, nil
+}

@@ -149,6 +149,15 @@ func (r *Resource) IdleRatio() float64 {
 	return 1 - r.util.WindowSample(r.now())
 }
 
+// BusyFraction returns the lifetime busy fraction without touching the
+// rstat window — the read the /metrics exporter uses, so scrapes never
+// disturb the load samples the masters poll.
+func (r *Resource) BusyFraction() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.util.BusyFraction(r.now())
+}
+
 // Close unblocks all waiters; subsequent Use calls return immediately.
 func (r *Resource) Close() {
 	r.mu.Lock()

@@ -11,21 +11,22 @@ import (
 	"time"
 
 	"msweb/internal/core"
+	"msweb/internal/obs"
 	"msweb/internal/trace"
 )
 
 // LoadReport is the JSON body of a node's /load endpoint — the live
-// analogue of rstat().
-type LoadReport struct {
-	CPUIdle   float64 `json:"cpu_idle"`
-	DiskAvail float64 `json:"disk_avail"`
-	CPUQueue  int     `json:"cpu_queue"`
-	DiskQueue int     `json:"disk_queue"`
-}
+// analogue of rstat(). It is the same type the simulator's policies
+// consume: core.Load carries the JSON tags, so the wire format and the
+// scheduler input cannot drift apart.
+//
+// Deprecated: use core.Load directly.
+type LoadReport = core.Load
 
 // Node is one cluster machine: virtual resources behind a real HTTP
-// server exposing /exec (run work) and /load (report load). Masters
-// additionally expose /req (see Master).
+// server exposing /exec (run work), /load (report load) and /metrics
+// (Prometheus text exposition). Masters additionally expose /req (see
+// Master).
 type Node struct {
 	ID        int
 	URL       string
@@ -39,6 +40,8 @@ type Node struct {
 	mu        sync.Mutex
 	executed  int64
 	cgiServed int64
+	svcHist   *obs.Histogram       // per-request service time (unscaled s)
+	reqRate   *obs.WindowedCounter // trailing-window request arrivals
 }
 
 // newNode allocates the node core and its listener; the HTTP server is
@@ -59,6 +62,8 @@ func newNode(id int, origin time.Time, timeScale float64) (*Node, error) {
 		timeScale: timeScale,
 		origin:    origin,
 		lis:       lis,
+		svcHist:   obs.NewHistogram(),
+		reqRate:   obs.NewWindowedCounter(10, 10),
 	}, nil
 }
 
@@ -68,17 +73,11 @@ func (n *Node) serve(mux *http.ServeMux) {
 }
 
 // StartNode launches a slave node server on a loopback ephemeral port.
+//
+// Deprecated: use LaunchNode, which takes a validated NodeOptions struct
+// instead of positional arguments.
 func StartNode(id int, origin time.Time, timeScale float64) (*Node, error) {
-	n, err := newNode(id, origin, timeScale)
-	if err != nil {
-		return nil, err
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/exec", n.handleExec)
-	mux.HandleFunc("/load", n.handleLoad)
-	mux.HandleFunc("/stats", n.handleStats)
-	n.serve(mux)
-	return n, nil
+	return LaunchNode(NodeOptions{ID: id, Origin: origin, TimeScale: timeScale})
 }
 
 // Executed returns how many requests the node has run.
@@ -97,16 +96,21 @@ func (n *Node) CGIServed() int64 {
 
 // runWork performs a request's work on the node's virtual resources.
 func (n *Node) runWork(demand float64, w float64, forked bool) {
+	start := time.Now()
 	d := time.Duration(demand * n.timeScale * float64(time.Second))
 	if forked {
 		n.res.CPU.Use(n.fork)
 	}
 	n.res.Execute(d, w)
+	service := time.Since(start).Seconds() / n.timeScale
+	now := time.Since(n.origin).Seconds()
 	n.mu.Lock()
 	n.executed++
 	if forked {
 		n.cgiServed++
 	}
+	n.svcHist.Observe(service)
+	n.reqRate.Add(now, 1)
 	n.mu.Unlock()
 }
 
@@ -176,11 +180,12 @@ func (n *Node) handleStats(rw http.ResponseWriter, _ *http.Request) {
 }
 
 func (n *Node) handleLoad(rw http.ResponseWriter, _ *http.Request) {
-	rep := LoadReport{
+	rep := core.Load{
 		CPUIdle:   n.res.CPU.IdleRatio(),
 		DiskAvail: n.res.Disk.IdleRatio(),
 		CPUQueue:  n.res.CPU.QueueLength(),
 		DiskQueue: n.res.Disk.QueueLength(),
+		Speed:     1,
 	}
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(rep) //nolint:errcheck
@@ -215,48 +220,24 @@ type Master struct {
 	// paper discusses provide).
 	failed    map[int]time.Time
 	failovers int64
+
+	// respHist aggregates client-visible /req response times (unscaled
+	// seconds), guarded by pmu.
+	respHist *obs.Histogram
 }
 
 // StartMaster launches a master node. masters and slaves list node ids;
 // nodeURLs maps every id to its base URL (the master's own slot may be
 // empty — it never forwards to itself by URL).
+//
+// Deprecated: use LaunchMaster, which takes a validated NodeOptions
+// struct instead of nine positional arguments.
 func StartMaster(id int, origin time.Time, timeScale float64, masters, slaves []int, nodeURLs []string, policy core.Policy, loadRefresh, policyTick time.Duration) (*Master, error) {
-	n, err := newNode(id, origin, timeScale)
-	if err != nil {
-		return nil, err
-	}
-	m := &Master{
-		Node:     n,
-		policy:   policy,
-		nodeURLs: append([]string(nil), nodeURLs...),
-		client: &http.Client{
-			Transport: &http.Transport{MaxIdleConnsPerHost: 128},
-			Timeout:   120 * time.Second,
-		},
-		stop:   make(chan struct{}),
-		failed: make(map[int]time.Time),
-	}
-	m.nodeURLs[id] = m.URL
-	m.view = core.View{
-		Masters: append([]int(nil), masters...),
-		Slaves:  append([]int(nil), slaves...),
-		Load:    make([]core.Load, len(nodeURLs)),
-	}
-	for i := range m.view.Load {
-		m.view.Load[i] = core.Load{CPUIdle: 1, DiskAvail: 1, Speed: 1}
-	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/req", m.handleRequest)
-	mux.HandleFunc("/exec", m.handleExec)
-	mux.HandleFunc("/load", m.handleLoad)
-	mux.HandleFunc("/stats", m.handleStats)
-	m.serve(mux)
-
-	m.wg.Add(2)
-	go m.pollLoop(loadRefresh)
-	go m.tickLoop(policyTick)
-	return m, nil
+	return LaunchMaster(NodeOptions{
+		ID: id, Origin: origin, TimeScale: timeScale,
+		Masters: masters, Slaves: slaves, NodeURLs: nodeURLs,
+		Policy: policy, LoadRefresh: loadRefresh, PolicyTick: policyTick,
+	})
 }
 
 // Failovers reports how many dynamic requests were re-placed after a
@@ -329,18 +310,20 @@ func (m *Master) pollLoop(every time.Duration) {
 				}
 				m.pmu.Lock()
 				delete(m.failed, id) // node answers again
-				m.view.Load[id].CPUIdle = rep.CPUIdle
-				m.view.Load[id].DiskAvail = rep.DiskAvail
-				m.view.Load[id].CPUQueue = rep.CPUQueue
-				m.view.Load[id].DiskQueue = rep.DiskQueue
+				if rep.Speed <= 0 {
+					// A report without a speed field keeps the
+					// configured value rather than zeroing it.
+					rep.Speed = m.view.Load[id].Speed
+				}
+				m.view.Load[id] = rep
 				m.pmu.Unlock()
 			}
 		}
 	}
 }
 
-func (m *Master) fetchLoad(url string) (LoadReport, error) {
-	var rep LoadReport
+func (m *Master) fetchLoad(url string) (core.Load, error) {
+	var rep core.Load
 	resp, err := m.client.Get(url + "/load")
 	if err != nil {
 		return rep, err
@@ -403,6 +386,7 @@ func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 	resp := time.Since(start).Seconds() / m.timeScale
 	m.pmu.Lock()
 	m.policy.ObserveCompletion(class, resp, demand)
+	m.respHist.Observe(resp)
 	m.pmu.Unlock()
 
 	writeBody(rw, size)
@@ -413,7 +397,6 @@ func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 // errs — the restart-on-another-node behaviour the paper requires of
 // masters when a slave fails.
 func (m *Master) runDynamic(class trace.Class, script int, demand, w float64) error {
-	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		m.pmu.Lock()
 		v := m.liveView()
@@ -423,11 +406,9 @@ func (m *Master) runDynamic(class trace.Class, script int, demand, w float64) er
 			m.runWork(demand, w, true)
 			return nil
 		}
-		err := m.forward(target, demand, w)
-		if err == nil {
+		if err := m.forward(target, demand, w); err == nil {
 			return nil
 		}
-		lastErr = err
 		m.markFailed(target)
 		m.pmu.Lock()
 		m.failovers++
@@ -435,7 +416,6 @@ func (m *Master) runDynamic(class trace.Class, script int, demand, w float64) er
 	}
 	// Every remote attempt failed: run it here rather than drop it.
 	m.runWork(demand, w, true)
-	_ = lastErr
 	return nil
 }
 

@@ -44,14 +44,18 @@ func (s Sample) Stretch() float64 {
 }
 
 // Collector accumulates samples and computes summary statistics. It keeps
-// every individual stretch so percentiles remain exact; for the request
-// volumes simulated here (≤ a few million) this is cheap.
+// every individual stretch and response time so percentiles remain exact;
+// the full Sample (with its class string) is reduced to the two float64
+// streams at Add time, so a multi-million-request run retains two flat
+// float arrays rather than a slice of structs — the per-class breakdown
+// needs only the running aggregates.
 type Collector struct {
-	samples  []Sample
-	byClass  map[string]*running
-	overall  running
-	sorted   []float64 // stretches, populated lazily on first percentile
-	sortedRT []float64 // response times, populated lazily
+	stretches []float64
+	responses []float64
+	byClass   map[string]*running
+	overall   running
+	sorted    []float64 // stretches, populated lazily on first percentile
+	sortedRT  []float64 // response times, populated lazily
 }
 
 type running struct {
@@ -87,7 +91,8 @@ func (c *Collector) Add(s Sample) {
 	if s.Response < 0 || s.Demand < 0 || math.IsNaN(s.Response) || math.IsNaN(s.Demand) {
 		panic(fmt.Sprintf("metrics: invalid sample %+v", s))
 	}
-	c.samples = append(c.samples, s)
+	c.stretches = append(c.stretches, s.Stretch())
+	c.responses = append(c.responses, s.Response)
 	c.overall.add(s)
 	rc := c.byClass[s.Class]
 	if rc == nil {
@@ -167,10 +172,7 @@ func (c *Collector) StretchPercentile(q float64) float64 {
 		return 1
 	}
 	if c.sorted == nil {
-		c.sorted = make([]float64, 0, len(c.samples))
-		for _, s := range c.samples {
-			c.sorted = append(c.sorted, s.Stretch())
-		}
+		c.sorted = append(make([]float64, 0, len(c.stretches)), c.stretches...)
 		sort.Float64s(c.sorted)
 	}
 	if q <= 0 {
@@ -193,10 +195,7 @@ func (c *Collector) ResponsePercentile(q float64) float64 {
 		return 0
 	}
 	if c.sortedRT == nil {
-		c.sortedRT = make([]float64, 0, len(c.samples))
-		for _, s := range c.samples {
-			c.sortedRT = append(c.sortedRT, s.Response)
-		}
+		c.sortedRT = append(make([]float64, 0, len(c.responses)), c.responses...)
 		sort.Float64s(c.sortedRT)
 	}
 	if q <= 0 {

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// jsonlFlushAt is the buffered-bytes threshold that triggers a write to
+// the underlying writer.
+const jsonlFlushAt = 32 << 10
+
+// JSONLTracer encodes events as one JSON object per line, e.g.
+//
+//	{"ev":"decision","req":17,"t":0.41235,"node":5,"rsrc":1.3712,"admit":true}
+//
+// Encoding appends to a reused buffer with strconv — no encoding/json,
+// no reflection, no per-event allocation in steady state — and flushes
+// to the underlying writer in 32 KB batches. Float fields use
+// strconv's shortest round-trip form, so identical event streams encode
+// to identical bytes (the property the parallel-determinism tests pin).
+//
+// A JSONLTracer is not safe for concurrent use: give each simulation
+// its own tracer (the experiment grid does, one per cell).
+type JSONLTracer struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL returns a tracer writing JSONL to w.
+func NewJSONL(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{w: w, buf: make([]byte, 0, jsonlFlushAt+512)}
+}
+
+// Emit implements Tracer.
+func (t *JSONLTracer) Emit(ev Event) {
+	if t.err != nil {
+		return
+	}
+	b := t.buf
+	b = append(b, `{"ev":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, `","req":`...)
+	b = strconv.AppendInt(b, ev.Req, 10)
+	b = append(b, `,"t":`...)
+	b = strconv.AppendFloat(b, ev.Time, 'g', -1, 64)
+	switch ev.Kind {
+	case KindArrival:
+		b = append(b, `,"class":"`...)
+		b = append(b, ev.Class...)
+		b = append(b, `","demand":`...)
+		b = strconv.AppendFloat(b, ev.Value, 'g', -1, 64)
+	case KindDecision:
+		b = appendNode(b, ev.Node)
+		b = append(b, `,"rsrc":`...)
+		b = strconv.AppendFloat(b, ev.Value, 'g', -1, 64)
+		b = append(b, `,"admit":`...)
+		b = strconv.AppendBool(b, ev.Admit)
+	case KindDispatch:
+		b = appendNode(b, ev.Node)
+		b = append(b, `,"remote":`...)
+		b = strconv.AppendBool(b, ev.Remote)
+	case KindPhaseCPU, KindPhaseDisk:
+		b = appendNode(b, ev.Node)
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendFloat(b, ev.Value, 'g', -1, 64)
+	case KindComplete:
+		b = appendNode(b, ev.Node)
+		b = append(b, `,"resp":`...)
+		b = strconv.AppendFloat(b, ev.Value, 'g', -1, 64)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if len(t.buf) >= jsonlFlushAt {
+		t.flush()
+	}
+}
+
+func appendNode(b []byte, node int) []byte {
+	b = append(b, `,"node":`...)
+	return strconv.AppendInt(b, int64(node), 10)
+}
+
+func (t *JSONLTracer) flush() {
+	if len(t.buf) == 0 || t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(t.buf)
+	t.buf = t.buf[:0]
+}
+
+// Flush writes any buffered lines and returns the first write error
+// encountered over the tracer's lifetime.
+func (t *JSONLTracer) Flush() error {
+	t.flush()
+	return t.err
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+)
+
+// Prometheus text-format exposition helpers. The live cluster's
+// /metrics endpoints are assembled from these; keeping the formatting
+// here means every substrate exposes byte-identical conventions
+// (shortest-round-trip floats, "+Inf" bounds, one TYPE header per
+// metric family).
+
+// PromWriter accumulates one exposition page. Errors are sticky and
+// surfaced by Err, so handlers can chain writes without per-line checks.
+type PromWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewPromWriter returns a writer building an exposition page on w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, buf: make([]byte, 0, 1024)}
+}
+
+// Header emits the # HELP and # TYPE lines of a metric family.
+// typ is "gauge", "counter" or "histogram".
+func (p *PromWriter) Header(name, help, typ string) {
+	p.buf = p.buf[:0]
+	p.buf = append(p.buf, "# HELP "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, help...)
+	p.buf = append(p.buf, "\n# TYPE "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, typ...)
+	p.buf = append(p.buf, '\n')
+	p.flush()
+}
+
+// Value emits one sample line. labels is the pre-rendered label set
+// without braces (e.g. `node="3"`), or "" for none.
+func (p *PromWriter) Value(name, labels string, v float64) {
+	p.buf = appendSample(p.buf[:0], name, labels, v)
+	p.flush()
+}
+
+// Histogram emits a full histogram family: header, cumulative
+// non-empty buckets, _sum and _count.
+func (p *PromWriter) Histogram(name, help, labels string, h *Histogram) {
+	p.Header(name, help, "histogram")
+	b := p.buf[:0]
+	for _, bk := range h.Buckets() {
+		b = append(b, name...)
+		b = append(b, "_bucket{"...)
+		if labels != "" {
+			b = append(b, labels...)
+			b = append(b, ',')
+		}
+		b = append(b, `le="`...)
+		if math.IsInf(bk.UpperBound, 1) {
+			b = append(b, "+Inf"...)
+		} else {
+			b = strconv.AppendFloat(b, bk.UpperBound, 'g', -1, 64)
+		}
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, bk.CumCount, 10)
+		b = append(b, '\n')
+	}
+	b = appendSample(b, name+"_sum", labels, h.Sum())
+	b = appendSample(b, name+"_count", labels, float64(h.Count()))
+	p.buf = b
+	p.flush()
+}
+
+// Err returns the first underlying write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) flush() {
+	if p.err != nil {
+		return
+	}
+	_, p.err = p.w.Write(p.buf)
+}
+
+func appendSample(b []byte, name, labels string, v float64) []byte {
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	return append(b, '\n')
+}

@@ -1,0 +1,80 @@
+package obs
+
+// WindowedCounter counts events over a trailing time window using a
+// ring of per-interval bins: Add is O(1) and allocation-free, Rate reads
+// the ring in O(bins). It replaces the grow-forever flat slices that
+// time-binned aggregation otherwise accumulates — memory is fixed at
+// construction no matter how long the process runs.
+//
+// Timestamps are seconds on any monotone clock (virtual or wall). A
+// WindowedCounter is not safe for concurrent use; wrap it in the
+// owner's mutex.
+type WindowedCounter struct {
+	binWidth float64
+	bins     []uint64
+	epochs   []int64 // absolute bin index each slot currently holds
+	lastBin  int64
+}
+
+// NewWindowedCounter creates a counter covering the trailing window
+// seconds with the given number of bins (window/bins resolution).
+// Non-positive arguments fall back to a 10 s window over 10 bins.
+func NewWindowedCounter(window float64, bins int) *WindowedCounter {
+	if window <= 0 {
+		window = 10
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	return &WindowedCounter{
+		binWidth: window / float64(bins),
+		bins:     make([]uint64, bins),
+		epochs:   make([]int64, bins),
+		lastBin:  -1,
+	}
+}
+
+// slot returns the ring slot for absolute bin index b, resetting it if
+// it still holds an older epoch.
+func (w *WindowedCounter) slot(b int64) int {
+	i := int(b % int64(len(w.bins)))
+	if i < 0 {
+		i += len(w.bins)
+	}
+	if w.epochs[i] != b {
+		w.epochs[i] = b
+		w.bins[i] = 0
+	}
+	return i
+}
+
+// Add records n events at time now.
+func (w *WindowedCounter) Add(now float64, n uint64) {
+	b := int64(now / w.binWidth)
+	w.bins[w.slot(b)] += n
+	if b > w.lastBin {
+		w.lastBin = b
+	}
+}
+
+// Total returns the event count within the window ending at now.
+func (w *WindowedCounter) Total(now float64) uint64 {
+	cur := int64(now / w.binWidth)
+	oldest := cur - int64(len(w.bins)) + 1
+	var total uint64
+	for i := range w.bins {
+		if w.epochs[i] >= oldest && w.epochs[i] <= cur && w.bins[i] > 0 {
+			total += w.bins[i]
+		}
+	}
+	return total
+}
+
+// Rate returns events per second over the window ending at now.
+func (w *WindowedCounter) Rate(now float64) float64 {
+	span := w.binWidth * float64(len(w.bins))
+	if span <= 0 {
+		return 0
+	}
+	return float64(w.Total(now)) / span
+}

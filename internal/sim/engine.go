@@ -107,6 +107,8 @@ type Engine struct {
 	// liveCanceled counts canceled events still sitting in the heap, so
 	// Pending can report live events without scanning.
 	liveCanceled int
+	// probe, when non-nil, observes every fired event (see SetProbe).
+	probe func(at Time)
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -160,6 +162,15 @@ func (e *Engine) After(d float64, fn func()) *Event {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetProbe installs an observability hook invoked with each fired
+// event's timestamp immediately before its callback runs — the
+// engine-level tap for event-rate meters and virtual-time progress
+// gauges. A nil fn removes the hook. The disabled path costs one
+// branch per event and no allocations (pinned by
+// BenchmarkEngineScheduleFire); the hook itself must not allocate if
+// that property is to survive with probing enabled.
+func (e *Engine) SetProbe(fn func(at Time)) { e.probe = fn }
+
 // release returns a popped event to the free list. The callback
 // reference is dropped immediately so captured state is collectable even
 // while the struct waits in the pool.
@@ -181,6 +192,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
+		if e.probe != nil {
+			e.probe(ev.at)
+		}
 		fn := ev.fn
 		// Recycle before running so a callback that immediately
 		// re-schedules (a ticker re-arm) reuses this very struct.

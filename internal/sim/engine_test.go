@@ -408,3 +408,25 @@ func TestSeqNeverReused(t *testing.T) {
 		e.Step()
 	}
 }
+
+func TestProbeObservesFiredEvents(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.SetProbe(func(at Time) { times = append(times, at) })
+	e.After(2, func() {})
+	victim := e.After(1, func() {})
+	victim.Cancel()
+	e.After(3, func() {})
+	e.Run()
+	// Canceled events are skipped, not fired, so the probe must not see
+	// them; fired events arrive in time order.
+	if len(times) != 2 || times[0] != 2 || times[1] != 3 {
+		t.Fatalf("probe saw %v, want [2 3]", times)
+	}
+	e.SetProbe(nil)
+	e.After(4, func() {})
+	e.Run()
+	if len(times) != 2 {
+		t.Fatal("probe fired after removal")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"msweb/internal/metrics"
+	"msweb/internal/obs"
 	"msweb/internal/sim"
 )
 
@@ -96,6 +97,10 @@ type Job struct {
 	MemPages int
 	// Fork marks process creation (CGI): adds ForkOverhead of CPU.
 	Fork bool
+	// TraceID, when non-zero, identifies the request in the node's
+	// tracer output: each CPU and disk burst of the job is emitted as a
+	// phase event tagged with this id.
+	TraceID int64
 	// Done is invoked at completion with the completion time.
 	Done func(now float64)
 }
@@ -155,6 +160,11 @@ type Node struct {
 	active     int // live processes; the decay timer runs only when > 0
 	decayArmed bool
 	epoch      uint64 // bumped by Drain; in-flight events of old epochs are ignored
+
+	// tracer, when non-nil, receives a phase event per completed CPU and
+	// disk burst of jobs carrying a TraceID. Disabled tracing costs one
+	// nil check per burst.
+	tracer obs.Tracer
 }
 
 // NewNode creates a node. The BSD priority-decay timer is armed lazily
@@ -202,6 +212,10 @@ func (n *Node) Stats() Stats {
 
 // Config returns the node's configuration.
 func (n *Node) Config() Config { return n.cfg }
+
+// SetTracer installs (or, with nil, removes) the observability tracer
+// receiving per-burst phase events for traced jobs.
+func (n *Node) SetTracer(t obs.Tracer) { n.tracer = t }
 
 // FreePages returns the current free-list size.
 func (n *Node) FreePages() int { return n.freePages }
@@ -372,6 +386,13 @@ func (n *Node) cpuDone(p *process, slice float64) {
 	n.running = nil
 	n.cpuUtil.SetBusy(n.eng.Now(), false)
 
+	if n.tracer != nil && p.job.TraceID != 0 {
+		n.tracer.Emit(obs.Event{
+			Kind: obs.KindPhaseCPU, Req: p.job.TraceID,
+			Time: n.eng.Now(), Node: n.ID, Value: slice,
+		})
+	}
+
 	p.curCPU -= slice
 	p.estcpu += slice / n.cfg.CPUQuantum
 
@@ -426,6 +447,13 @@ func (n *Node) diskDone(p *process) {
 	n.diskBusy = false
 	n.diskUtil.SetBusy(n.eng.Now(), false)
 	n.stats.DiskOps++
+
+	if n.tracer != nil && p.job.TraceID != 0 {
+		n.tracer.Emit(obs.Event{
+			Kind: obs.KindPhaseDisk, Req: p.job.TraceID,
+			Time: n.eng.Now(), Node: n.ID, Value: p.ioBurst,
+		})
+	}
 
 	p.ioLeft--
 	const eps = 1e-12

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"msweb/internal/obs"
 	"msweb/internal/sim"
 )
 
@@ -458,5 +459,64 @@ func TestNoRefaultsWhenMemoryFree(t *testing.T) {
 	eng.Run()
 	if st := n.Stats(); st.PageFaults != 0 {
 		t.Fatalf("page faults = %d on an uncontended node", st.PageFaults)
+	}
+}
+
+// captureTracer records emitted events for assertions.
+type captureTracer struct{ events []obs.Event }
+
+func (c *captureTracer) Emit(ev obs.Event) { c.events = append(c.events, ev) }
+
+func TestTracedJobEmitsPhases(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(t, eng, DefaultConfig())
+	tr := &captureTracer{}
+	n.SetTracer(tr)
+
+	done := false
+	n.Submit(Job{CPUTime: 0.02, IOTime: 0.004, TraceID: 42, Done: func(float64) { done = true }})
+	// An untraced job on the same node must stay silent.
+	n.Submit(Job{CPUTime: 0.01, Done: func(float64) {}})
+	eng.Run()
+	if !done {
+		t.Fatal("traced job did not complete")
+	}
+	var cpu, disk float64
+	var nCPU, nDisk int
+	for _, ev := range tr.events {
+		if ev.Req != 42 {
+			t.Fatalf("event for untraced job: %+v", ev)
+		}
+		if ev.Node != 0 {
+			t.Fatalf("event node %d, want 0", ev.Node)
+		}
+		switch ev.Kind {
+		case obs.KindPhaseCPU:
+			cpu += ev.Value
+			nCPU++
+		case obs.KindPhaseDisk:
+			disk += ev.Value
+			nDisk++
+		default:
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+	}
+	if nCPU == 0 || nDisk == 0 {
+		t.Fatalf("phases missing: %d cpu, %d disk", nCPU, nDisk)
+	}
+	if !approx(cpu, 0.02, 1e-9) {
+		t.Fatalf("traced CPU %v, want 0.02", cpu)
+	}
+	if !approx(disk, 0.004, 1e-9) {
+		t.Fatalf("traced disk %v, want 0.004", disk)
+	}
+
+	// Removing the tracer silences subsequent jobs.
+	n.SetTracer(nil)
+	before := len(tr.events)
+	n.Submit(Job{CPUTime: 0.01, TraceID: 43, Done: func(float64) {}})
+	eng.Run()
+	if len(tr.events) != before {
+		t.Fatal("events emitted after tracer removal")
 	}
 }
