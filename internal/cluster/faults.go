@@ -39,13 +39,22 @@ func validateEvents(events []AvailabilityEvent, nodes int) error {
 }
 
 // pendingRequest records an in-flight request so it can be restarted if
-// its execution node fails.
+// its execution node fails. Structs recycle through Cluster.freePending;
+// the identity (not just the id) of the pointer in c.inflight decides
+// ownership, so a recycled struct can never impersonate an older
+// request.
 type pendingRequest struct {
+	id      int64
 	req     trace.Request
 	node    int
 	arrival float64
 	count   bool
-	onDone  func(now float64)
+	// submitted flips when the job reaches its node: from then on the
+	// only live references are the inflight map and the job's DoneArg.
+	// While false, a dispatch-latency submit event still holds the
+	// struct and is responsible for releasing it if disowned.
+	submitted bool
+	onDone    func(now float64)
 }
 
 // applyAvailability executes one schedule entry.
@@ -71,9 +80,17 @@ func (c *Cluster) applyAvailability(e AvailabilityEvent) {
 	}
 	delay := c.cfg.RetryDelay
 	for _, p := range lost {
-		p := p
 		c.failovers++
-		c.eng.After(delay, func() { c.dispatchFull(p.req, p.count, p.arrival, p.onDone) })
+		// Copy the restart parameters out: once submitted, the struct's
+		// job died with the drained node and we hold the last reference,
+		// so it recycles now. Unsubmitted structs are still referenced
+		// by their dispatch-latency event, which will find itself
+		// disowned and release them.
+		req, count, arrival, onDone := p.req, p.count, p.arrival, p.onDone
+		if p.submitted {
+			c.releasePending(p)
+		}
+		c.eng.After(delay, func() { c.dispatchFull(req, count, arrival, onDone) })
 	}
 }
 

@@ -216,12 +216,15 @@ func SampleW(tr *trace.Trace, maxPerScript int) WTable {
 
 // pickMinRSRC returns the candidate with the smallest RSRC and that
 // cost; ties are broken uniformly at random so equal nodes share load.
-func pickMinRSRC(w float64, candidates []int, v *View, s *rng.Stream) (int, float64) {
+// The tie list builds in scratch (reused across calls by the owner) so
+// the per-placement hot path does not allocate; the possibly-grown
+// buffer is returned for the caller to keep.
+func pickMinRSRC(w float64, candidates []int, v *View, s *rng.Stream, scratch []int) (int, float64, []int) {
 	if len(candidates) == 0 {
 		panic("core: no candidate nodes")
 	}
 	best := math.Inf(1)
-	var bestNodes []int
+	bestNodes := scratch[:0]
 	for _, id := range candidates {
 		l := v.Load[id]
 		cost := RSRC(w, l.CPUIdle, l.DiskAvail)
@@ -241,7 +244,7 @@ func pickMinRSRC(w float64, candidates []int, v *View, s *rng.Stream) (int, floa
 			bestNodes = append(bestNodes, id)
 		}
 	}
-	return bestNodes[s.Intn(len(bestNodes))], best
+	return bestNodes[s.Intn(len(bestNodes))], best, bestNodes
 }
 
 func maxf(a, b float64) float64 {
@@ -292,6 +295,11 @@ type MS struct {
 	// (plain field stores) so the tracing layer can annotate dispatches
 	// without the policy knowing whether anyone is listening.
 	last Placement
+	// candScratch and tieScratch are reused across Place calls so the
+	// per-request placement (candidate union, min-RSRC tie list)
+	// allocates nothing. Neither survives a call.
+	candScratch []int
+	tieScratch  []int
 }
 
 // DefaultPlacementImpact is the booking charge: between two load-info
@@ -341,7 +349,10 @@ func (m *MS) Place(req Request, master int, v *View) int {
 		mastersEligible = true
 	}
 	if mastersEligible {
-		candidates = append(append([]int(nil), candidates...), v.Masters...)
+		// Slaves-then-masters union in the reused scratch, preserving
+		// the order the tie-break RNG consumption depends on.
+		m.candScratch = append(append(m.candScratch[:0], candidates...), v.Masters...)
+		candidates = m.candScratch
 	}
 	if allowed := v.Affinity.Allowed(req.Script); allowed != nil {
 		// Partial replication: the script's data lives on a subset of
@@ -356,7 +367,8 @@ func (m *MS) Place(req Request, master int, v *View) int {
 		// An allowed set with no live node degrades to the
 		// unconstrained candidates so the request still completes.
 	}
-	target, cost := pickMinRSRC(w, candidates, v, m.rng)
+	target, cost, tie := pickMinRSRC(w, candidates, v, m.rng, m.tieScratch)
+	m.tieScratch = tie[:0]
 	m.last = Placement{Node: target, RSRC: cost, W: w, MasterAdmitted: mastersEligible}
 	m.res.CountDynamic()
 	if isIn(target, v.Masters) {

@@ -18,16 +18,37 @@
 // struct may already represent a different scheduled event). Code that
 // must cancel "whatever I armed last, unless it already fired" should
 // remember the event's Seq and compare before canceling, as Ticker does.
+//
+// Schedule and After take a plain func() and therefore usually cost one
+// closure allocation at the call site. Hot callers that fire the same
+// handler millions of times (a node's CPU-burst completion, say) use the
+// typed form instead: ScheduleCall/AfterCall store a pre-bound CallFunc
+// plus its (pointer, float64) payload directly in the recycled Event
+// struct, so steady-state scheduling is allocation-free end-to-end. The
+// payload is owned by the engine only until the event fires; release
+// clears it so pooled Events never pin caller state.
+//
+// The timer queue is a hand-rolled 4-ary min-heap ordered by (at, seq).
+// Compared with container/heap's binary heap it needs no interface
+// boxing, no virtual Less/Swap calls, and ~half the levels: children of
+// node i live at 4i+1..4i+4, so sift-down touches one cache line of
+// child pointers per level. The (at, seq) key is a total order (seq is
+// unique), so pop order — and therefore simulation output — is exactly
+// the FIFO-at-equal-time order the binary heap produced.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
 // Time is a point in virtual time, in seconds since simulation start.
 type Time = float64
+
+// CallFunc is the typed-event callback form: a handler bound once by the
+// caller (typically a method value stored in a struct field) invoked
+// with the payload that was stored in the Event at scheduling time.
+type CallFunc func(arg any, f64 float64)
 
 // Event is a scheduled callback. Cancel marks the event so the engine
 // skips it when its time arrives; the engine never reorders the heap on
@@ -38,7 +59,13 @@ type Event struct {
 	seq      uint64
 	index    int
 	canceled bool
-	fn       func()
+	// Exactly one of fn / call is set: fn for the closure form
+	// (Schedule/After), call+arg+f64 for the typed allocation-free form
+	// (ScheduleCall/AfterCall).
+	fn   func()
+	call CallFunc
+	arg  any
+	f64  float64
 }
 
 // At reports the virtual time the event is scheduled for.
@@ -63,33 +90,13 @@ func (e *Event) Cancel() {
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires strictly before o: earlier time first,
+// FIFO scheduling order (seq) at equal times.
+func (e *Event) before(o *Event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine drives a single simulation. It is not safe for concurrent use;
@@ -98,7 +105,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	heap    eventHeap
+	heap    []*Event // 4-ary min-heap ordered by (at, seq)
 	fired   uint64
 	stopped bool
 	// free is the Event free list; fired and reclaimed-canceled events
@@ -126,27 +133,35 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of live (non-canceled) events still queued.
 func (e *Engine) Pending() int { return len(e.heap) - e.liveCanceled }
 
-// Schedule runs fn at absolute virtual time at. Scheduling in the past
-// (before Now) panics: it always indicates a logic error in the model.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+// schedule pops a recycled Event (or allocates the pool's next one),
+// stamps it with (at, seq) and pushes it onto the timer heap. The caller
+// fills in the callback fields; the heap never reads them.
+func (e *Engine) schedule(at Time) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	if math.IsNaN(at) || math.IsInf(at, 0) {
 		panic(fmt.Sprintf("sim: schedule at non-finite time %v", at))
 	}
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		ev.canceled = false
-	} else {
-		ev = &Event{eng: e}
+	if len(e.free) == 0 {
+		e.refill()
 	}
-	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	n := len(e.free)
+	ev := e.free[n-1]
+	e.free[n-1] = nil
+	e.free = e.free[:n-1]
+	ev.canceled = false
+	ev.at, ev.seq = at, e.seq
 	e.seq++
-	heap.Push(&e.heap, ev)
+	e.push(ev)
+	return ev
+}
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// (before Now) panics: it always indicates a logic error in the model.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	ev := e.schedule(at)
+	ev.fn = fn
 	return ev
 }
 
@@ -157,6 +172,48 @@ func (e *Engine) After(d float64, fn func()) *Event {
 		d = 0
 	}
 	return e.Schedule(e.now+d, fn)
+}
+
+// ScheduleCall runs call(arg, f64) at absolute virtual time at. The
+// payload is stored in the recycled Event struct, so a caller holding a
+// pre-bound CallFunc schedules with zero allocations; converting a
+// pointer-typed arg to any does not allocate. The engine drops its
+// references to call and arg the moment the event fires or is reclaimed.
+func (e *Engine) ScheduleCall(at Time, call CallFunc, arg any, f64 float64) *Event {
+	ev := e.schedule(at)
+	ev.call, ev.arg, ev.f64 = call, arg, f64
+	return ev
+}
+
+// AfterCall runs call(arg, f64) after delay d from the current time,
+// clamping negative delays to zero — the typed, allocation-free
+// counterpart of After.
+func (e *Engine) AfterCall(d float64, call CallFunc, arg any, f64 float64) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleCall(e.now+d, call, arg, f64)
+}
+
+// eventSlab is the pool refill batch. Events are carved from slabs of
+// this many structs, so a cold engine scheduling a whole trace's worth
+// of arrivals up front costs one allocation per slab rather than one
+// per event. Slab memory is retained by the free list for the engine's
+// lifetime — exactly the lifetime the recycled events already had.
+const eventSlab = 64
+
+// refill grows the free list by one slab of events.
+func (e *Engine) refill() {
+	slab := make([]Event, eventSlab)
+	if cap(e.free) < len(e.free)+eventSlab {
+		grown := make([]*Event, len(e.free), len(e.free)+eventSlab)
+		copy(grown, e.free)
+		e.free = grown
+	}
+	for i := range slab {
+		slab[i].eng = e
+		e.free = append(e.free, &slab[i])
+	}
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -171,11 +228,13 @@ func (e *Engine) Stop() { e.stopped = true }
 // that property is to survive with probing enabled.
 func (e *Engine) SetProbe(fn func(at Time)) { e.probe = fn }
 
-// release returns a popped event to the free list. The callback
-// reference is dropped immediately so captured state is collectable even
-// while the struct waits in the pool.
+// release returns a popped event to the free list. Callback and payload
+// references are dropped immediately so captured state is collectable
+// even while the struct waits in the pool.
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
+	ev.call = nil
+	ev.arg = nil
 	e.free = append(e.free, ev)
 }
 
@@ -184,7 +243,7 @@ func (e *Engine) release(ev *Event) {
 // their timestamps.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*Event)
+		ev := e.pop()
 		if ev.canceled {
 			e.liveCanceled--
 			e.release(ev)
@@ -195,11 +254,15 @@ func (e *Engine) Step() bool {
 		if e.probe != nil {
 			e.probe(ev.at)
 		}
-		fn := ev.fn
+		fn, call, arg, f64 := ev.fn, ev.call, ev.arg, ev.f64
 		// Recycle before running so a callback that immediately
 		// re-schedules (a ticker re-arm) reuses this very struct.
 		e.release(ev)
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			call(arg, f64)
+		}
 		return true
 	}
 	return false
@@ -232,6 +295,81 @@ func (e *Engine) RunUntil(deadline Time) {
 	e.compact()
 }
 
+// ---- 4-ary timer heap ------------------------------------------------
+
+// heapArity is the heap branching factor. Four children per node halves
+// the tree depth of a binary heap; the extra comparisons per level stay
+// within the same cache line of the []*Event backing array.
+const heapArity = 4
+
+// push appends ev and sifts it up to its (at, seq) position.
+func (e *Engine) push(ev *Event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		parent := h[p]
+		if !ev.before(parent) {
+			break
+		}
+		h[i] = parent
+		parent.index = i
+		i = p
+	}
+	h[i] = ev
+	ev.index = i
+	e.heap = h
+}
+
+// pop removes and returns the minimum event, re-sifting the displaced
+// last element down.
+func (e *Engine) pop() *Event {
+	h := e.heap
+	top := h[0]
+	top.index = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(last, 0)
+	}
+	return top
+}
+
+// siftDown places ev into the subtree rooted at i, moving smaller
+// children up as it descends. ev is carried in a register and written
+// exactly once, instead of swapping at every level.
+func (e *Engine) siftDown(ev *Event, i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for j := first + 1; j < end; j++ {
+			if h[j].before(h[m]) {
+				m = j
+			}
+		}
+		child := h[m]
+		if !child.before(ev) {
+			break
+		}
+		h[i] = child
+		child.index = i
+		i = m
+	}
+	h[i] = ev
+	ev.index = i
+}
+
 // compact rebuilds the heap without canceled events, reclaiming them
 // into the free list. O(n); called where laziness would otherwise strand
 // canceled events indefinitely.
@@ -246,6 +384,7 @@ func (e *Engine) compact() {
 			e.liveCanceled--
 			e.release(ev)
 		} else {
+			ev.index = len(live)
 			live = append(live, ev)
 		}
 	}
@@ -253,17 +392,19 @@ func (e *Engine) compact() {
 		e.heap[i] = nil
 	}
 	e.heap = live
-	for i, ev := range e.heap {
-		ev.index = i
+	// Bottom-up heapify restores (at, seq) order after the filter.
+	if n := len(live); n > 1 {
+		for i := (n - 2) / heapArity; i >= 0; i-- {
+			e.siftDown(e.heap[i], i)
+		}
 	}
-	heap.Init(&e.heap)
 }
 
 // peek returns the timestamp of the next non-canceled event.
 func (e *Engine) peek() (Time, bool) {
 	for len(e.heap) > 0 {
 		if e.heap[0].canceled {
-			ev := heap.Pop(&e.heap).(*Event)
+			ev := e.pop()
 			e.liveCanceled--
 			e.release(ev)
 			continue

@@ -275,9 +275,10 @@ func TestEventRecycledAfterCancelSkip(t *testing.T) {
 	ev := e.Schedule(1, func() { t.Error("canceled event fired") })
 	ev.Cancel()
 	e.Schedule(2, func() {})
+	before := len(e.free)
 	e.Run()
-	if len(e.free) != 2 {
-		t.Fatalf("free list holds %d events, want 2", len(e.free))
+	if got := len(e.free) - before; got != 2 {
+		t.Fatalf("run reclaimed %d events into the free list, want 2", got)
 	}
 }
 
@@ -342,6 +343,7 @@ func TestRunUntilCompactsCanceled(t *testing.T) {
 	for _, ev := range canceled {
 		ev.Cancel()
 	}
+	freeBefore := len(e.free)
 	e.RunUntil(5) // stops early: no event is due
 	if got := e.Pending(); got != 5 {
 		t.Fatalf("Pending() = %d after early RunUntil, want 5", got)
@@ -352,8 +354,8 @@ func TestRunUntilCompactsCanceled(t *testing.T) {
 	if e.liveCanceled != 0 {
 		t.Fatalf("liveCanceled = %d after compaction, want 0", e.liveCanceled)
 	}
-	if got := len(e.free); got != 5 {
-		t.Fatalf("free list holds %d reclaimed events, want 5", got)
+	if got := len(e.free) - freeBefore; got != 5 {
+		t.Fatalf("compaction reclaimed %d events into the free list, want 5", got)
 	}
 	// The surviving events must still fire in order.
 	var fired []float64
@@ -406,6 +408,167 @@ func TestSeqNeverReused(t *testing.T) {
 		}
 		seen[ev.Seq()] = true
 		e.Step()
+	}
+}
+
+// ---- Typed-call events and the 4-ary heap ----------------------------
+
+func TestScheduleCallDeliversPayload(t *testing.T) {
+	e := NewEngine()
+	type payload struct{ hits int }
+	p := &payload{}
+	var gotF64 float64
+	call := func(arg any, f64 float64) {
+		arg.(*payload).hits++
+		gotF64 = f64
+	}
+	e.ScheduleCall(1, call, p, 2.5)
+	e.AfterCall(2, call, p, 7.25)
+	e.Run()
+	if p.hits != 2 {
+		t.Fatalf("typed handler fired %d times, want 2", p.hits)
+	}
+	if gotF64 != 7.25 {
+		t.Fatalf("typed handler got f64=%v, want 7.25", gotF64)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now() = %v after AfterCall(2) from t=0, want 2", e.Now())
+	}
+}
+
+func TestScheduleCallInterleavesFIFOWithClosures(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	rec := func(arg any, _ float64) { order = append(order, arg.(int)) }
+	e.Schedule(1, func() { order = append(order, 0) })
+	e.ScheduleCall(1, rec, 1, 0)
+	e.Schedule(1, func() { order = append(order, 2) })
+	e.ScheduleCall(1, rec, 3, 0)
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("mixed-form same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleCallSteadyStateAllocsNothing(t *testing.T) {
+	e := NewEngine()
+	type state struct{ fired int }
+	s := &state{}
+	var call CallFunc
+	call = func(arg any, f64 float64) {
+		st := arg.(*state)
+		st.fired++
+		if st.fired < 2100 {
+			e.AfterCall(1, call, st, f64)
+		}
+	}
+	e.AfterCall(1, call, s, 0.5)
+	e.Step() // warm the pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state typed schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestReleaseClearsCallPayload(t *testing.T) {
+	e := NewEngine()
+	p := &struct{ x int }{}
+	e.ScheduleCall(1, func(any, float64) {}, p, 1)
+	e.Step()
+	if len(e.free) == 0 {
+		t.Fatal("fired event was not reclaimed into the free list")
+	}
+	ev := e.free[len(e.free)-1]
+	if ev.call != nil || ev.arg != nil || ev.fn != nil {
+		t.Fatalf("pooled event retains payload: call set=%v arg=%v fn set=%v",
+			ev.call != nil, ev.arg, ev.fn != nil)
+	}
+	// A canceled typed event must also shed its payload when reclaimed.
+	victim := e.ScheduleCall(2, func(any, float64) {}, p, 1)
+	victim.Cancel()
+	e.Run()
+	for i, ev := range e.free {
+		if ev != nil && (ev.call != nil || ev.arg != nil) {
+			t.Fatalf("pooled event %d retains canceled payload", i)
+		}
+	}
+}
+
+func TestCancelScheduleCall(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.ScheduleCall(1, func(any, float64) { fired = true }, nil, 0)
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled typed event fired")
+	}
+}
+
+// TestHeapStressOrder drives the 4-ary heap through a large interleaved
+// push/cancel/pop workload and checks the total (at, seq) pop order.
+func TestHeapStressOrder(t *testing.T) {
+	e := NewEngine()
+	const n = 5000
+	var fired []float64
+	var handles []*Event
+	x := uint64(12345)
+	next := func() uint64 { // xorshift: deterministic pseudo-random times
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for i := 0; i < n; i++ {
+		at := float64(next()%1000) / 10
+		handles = append(handles, e.Schedule(at, func() { fired = append(fired, at) }))
+	}
+	canceled := 0
+	for i := 0; i < n; i += 7 {
+		if !handles[i].Canceled() {
+			handles[i].Cancel()
+			canceled++
+		}
+	}
+	e.Run()
+	if len(fired) != n-canceled {
+		t.Fatalf("fired %d events, want %d", len(fired), n-canceled)
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatal("heap stress: events fired out of order")
+	}
+}
+
+// TestCompactPreservesOrderLarge pins the bottom-up heapify in compact:
+// after an early RunUntil reclaims interleaved cancellations, the
+// surviving events must still pop in exact (at, seq) order.
+func TestCompactPreservesOrderLarge(t *testing.T) {
+	e := NewEngine()
+	const n = 1000
+	var handles []*Event
+	for i := 0; i < n; i++ {
+		at := float64((i*37)%100) + 10
+		handles = append(handles, e.Schedule(at, func() {}))
+	}
+	for i := 0; i < n; i += 3 {
+		handles[i].Cancel()
+	}
+	e.RunUntil(5) // nothing due: pure compaction
+	if e.liveCanceled != 0 {
+		t.Fatalf("liveCanceled = %d after compact", e.liveCanceled)
+	}
+	var fired []float64
+	e.SetProbe(func(at Time) { fired = append(fired, at) })
+	e.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatal("post-compaction pop order broken")
+	}
+	if want := n - (n+2)/3; len(fired) != want {
+		t.Fatalf("fired %d events after compaction, want %d", len(fired), want)
 	}
 }
 

@@ -42,6 +42,27 @@ func TestEstcpuSinksLongJobs(t *testing.T) {
 	}
 }
 
+// TestDecayTickAllocatesNothing pins the decayPriorities scratch-buffer
+// reuse: with queues populated, a decay pass (drain every level, halve
+// estcpu, requeue) must not allocate. The old implementation built a
+// fresh procs slice every 100 ms tick of every node.
+func TestDecayTickAllocatesNothing(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(t, eng, DefaultConfig())
+	for i := 0; i < 24; i++ {
+		n.Submit(Job{CPUTime: 0.200})
+	}
+	eng.RunUntil(0.350) // spread processes across levels, warm the scratch
+	if ready, _ := n.QueueLengths(); ready < 10 {
+		t.Fatalf("only %d processes ready; workload cannot exercise decay", ready)
+	}
+	avg := testing.AllocsPerRun(20, n.decayPriorities)
+	if avg != 0 {
+		t.Fatalf("decayPriorities allocates %.1f per tick, want 0", avg)
+	}
+	eng.Run()
+}
+
 func TestDecayRestoresPriority(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := DefaultConfig()

@@ -9,11 +9,22 @@
 // The published simulation constants are the defaults: 10 ms CPU quantum,
 // 100 ms priority-update period, 50 µs context switch, 3 ms fork, 8 KB
 // pages, and 2 ms average page-I/O burst.
+//
+// Allocation discipline. A node simulates millions of CPU and disk
+// bursts per run, so the steady-state burst loop allocates nothing:
+// finished processes recycle through a per-node free list, the ready and
+// disk queues are ring buffers that neither strand capacity nor retain
+// popped pointers, burst completions are scheduled through the engine's
+// typed-event form (sim.AfterCall) with handlers bound once at node
+// construction, and the priority decay reuses a node-owned scratch
+// buffer. A uint64-per-64-levels occupancy bitmask makes the MLFQ pop a
+// trailing-zeros count instead of a level scan.
 package simos
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"msweb/internal/metrics"
 	"msweb/internal/obs"
@@ -103,6 +114,14 @@ type Job struct {
 	TraceID int64
 	// Done is invoked at completion with the completion time.
 	Done func(now float64)
+	// DoneCall, with DoneArg, is the allocation-free completion form:
+	// when Done is nil and DoneCall is non-nil, completion invokes
+	// DoneCall(DoneArg, now). Hot submitters bind the handler once and
+	// thread per-request state through DoneArg instead of building a
+	// closure per job.
+	DoneCall func(arg any, now float64)
+	// DoneArg is the state passed to DoneCall.
+	DoneArg any
 }
 
 // process is the in-flight representation of a job.
@@ -125,6 +144,55 @@ type process struct {
 	epoch        uint64 // node epoch at submission; stale after Drain
 }
 
+// procRing is a growable power-of-two FIFO ring of processes. Unlike the
+// append+[1:] reslice it replaces, popping clears the vacated slot (no
+// retained *process pointers keeping dead jobs alive) and the backing
+// array is reused forever instead of stranding capacity behind an
+// advancing slice head.
+type procRing struct {
+	buf  []*process
+	head int
+	n    int
+}
+
+func (r *procRing) len() int { return r.n }
+
+// push appends p at the tail, growing the ring when full.
+func (r *procRing) push(p *process) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+// pop removes and returns the oldest process, clearing the slot so the
+// ring keeps no reference to it.
+func (r *procRing) pop() *process {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+// at returns the i-th oldest process without removing it.
+func (r *procRing) at(i int) *process {
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+func (r *procRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]*process, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}
+
 // Stats are cumulative node counters.
 type Stats struct {
 	Submitted       uint64
@@ -144,13 +212,17 @@ type Node struct {
 	cfg Config
 	eng *sim.Engine
 
-	ready    [][]*process // multilevel feedback queue, level 0 best
-	running  *process
-	lastRun  *process
-	cpuBusy  bool
-	diskQ    []*process // round-robin disk queue
-	diskCur  *process   // process whose burst the disk is serving
-	diskBusy bool
+	ready []procRing // multilevel feedback queue, level 0 best
+	// readyMask is the occupancy bitmask over ready levels (bit l%64 of
+	// word l/64 set ⇔ level l non-empty), so popReady is a
+	// trailing-zeros count instead of a level scan.
+	readyMask []uint64
+	running   *process
+	lastRun   *process
+	cpuBusy   bool
+	diskQ     procRing // round-robin disk queue
+	diskCur   *process // process whose burst the disk is serving
+	diskBusy  bool
 
 	freePages int
 
@@ -160,6 +232,18 @@ type Node struct {
 	active     int // live processes; the decay timer runs only when > 0
 	decayArmed bool
 	epoch      uint64 // bumped by Drain; in-flight events of old epochs are ignored
+
+	// freeProcs recycles finished process structs so steady-state
+	// Submit allocates nothing.
+	freeProcs []*process
+	// decayScratch is reused by decayPriorities for the requeue pass.
+	decayScratch []*process
+
+	// Typed-event handlers, bound once here so every burst schedules
+	// through sim.AfterCall without a closure allocation.
+	cpuDoneC  sim.CallFunc
+	diskDoneC sim.CallFunc
+	decayC    sim.CallFunc
 
 	// tracer, when non-nil, receives a phase event per completed CPU and
 	// disk burst of jobs carrying a TraceID. Disabled tracing costs one
@@ -178,11 +262,15 @@ func NewNode(eng *sim.Engine, id int, cfg Config) (*Node, error) {
 		ID:        id,
 		cfg:       cfg,
 		eng:       eng,
-		ready:     make([][]*process, cfg.ReadyLevels),
+		ready:     make([]procRing, cfg.ReadyLevels),
+		readyMask: make([]uint64, (cfg.ReadyLevels+63)/64),
 		freePages: cfg.TotalPages,
 		cpuUtil:   metrics.NewUtilizationTracker(eng.Now()),
 		diskUtil:  metrics.NewUtilizationTracker(eng.Now()),
 	}
+	n.cpuDoneC = n.cpuDoneCall
+	n.diskDoneC = n.diskDoneCall
+	n.decayC = n.decayTick
 	return n, nil
 }
 
@@ -191,13 +279,16 @@ func (n *Node) armDecay() {
 		return
 	}
 	n.decayArmed = true
-	n.eng.After(n.cfg.PriorityUpdate, func() {
-		n.decayArmed = false
-		n.decayPriorities()
-		if n.active > 0 {
-			n.armDecay()
-		}
-	})
+	n.eng.AfterCall(n.cfg.PriorityUpdate, n.decayC, nil, 0)
+}
+
+// decayTick is the typed-event handler of the priority-update timer.
+func (n *Node) decayTick(any, float64) {
+	n.decayArmed = false
+	n.decayPriorities()
+	if n.active > 0 {
+		n.armDecay()
+	}
 }
 
 // Stats returns a copy of the node's counters with busy-time integrals
@@ -223,17 +314,43 @@ func (n *Node) FreePages() int { return n.freePages }
 // QueueLengths returns the ready-queue and disk-queue populations,
 // counting the running and in-service processes.
 func (n *Node) QueueLengths() (cpu, disk int) {
-	for _, level := range n.ready {
-		cpu += len(level)
+	for l := range n.ready {
+		cpu += n.ready[l].len()
 	}
 	if n.running != nil {
 		cpu++
 	}
-	disk = len(n.diskQ)
+	disk = n.diskQ.len()
 	if n.diskBusy {
 		disk++
 	}
 	return cpu, disk
+}
+
+// newProcess pops a recycled process (zeroed) or allocates one.
+func (n *Node) newProcess() *process {
+	if k := len(n.freeProcs); k > 0 {
+		p := n.freeProcs[k-1]
+		n.freeProcs[k-1] = nil
+		n.freeProcs = n.freeProcs[:k-1]
+		return p
+	}
+	return &process{}
+}
+
+// releaseProcess zeroes p — dropping the Job and its completion
+// references — and returns it to the node pool. The caller must hold the
+// only live reference: a process is released exactly once, at finish or
+// when its stale (post-Drain) burst event is swallowed.
+func (n *Node) releaseProcess(p *process) {
+	if n.lastRun == p {
+		// The context-switch charge compares process identity; a
+		// recycled struct must not impersonate the process that last
+		// held the CPU.
+		n.lastRun = nil
+	}
+	*p = process{}
+	n.freeProcs = append(n.freeProcs, p)
 }
 
 // Submit accepts a job for execution.
@@ -244,7 +361,9 @@ func (n *Node) Submit(j Job) {
 	n.stats.Submitted++
 	n.active++
 	n.armDecay()
-	p := &process{job: j, epoch: n.epoch}
+	p := n.newProcess()
+	p.job = j
+	p.epoch = n.epoch
 
 	// Decompose demand into bursts. IOTime splits into ~PageIOTime
 	// bursts; the CPU time splits into one chunk per gap so the
@@ -315,38 +434,57 @@ func (n *Node) level(p *process) int {
 }
 
 func (n *Node) enqueueReady(p *process) {
-	n.ready[n.level(p)] = append(n.ready[n.level(p)], p)
+	l := n.level(p)
+	n.ready[l].push(p)
+	n.readyMask[l>>6] |= 1 << uint(l&63)
 }
 
-// popReady removes the best-priority, oldest process.
+// popReady removes the best-priority, oldest process: the lowest set bit
+// of the occupancy mask names the first non-empty level.
 func (n *Node) popReady() *process {
-	for l := range n.ready {
-		if len(n.ready[l]) > 0 {
-			p := n.ready[l][0]
-			n.ready[l] = n.ready[l][1:]
-			return p
+	for w, m := range n.readyMask {
+		if m == 0 {
+			continue
 		}
+		l := w<<6 | bits.TrailingZeros64(m)
+		q := &n.ready[l]
+		p := q.pop()
+		if q.n == 0 {
+			n.readyMask[w] = m &^ (1 << uint(l&63))
+		}
+		return p
 	}
 	return nil
 }
 
 func (n *Node) decayPriorities() {
 	// BSD-style decay: halve estcpu, then rebuild the level queues so
-	// waiting processes migrate back toward the top.
-	var procs []*process
+	// waiting processes migrate back toward the top. The drain-requeue
+	// pass runs through a node-owned scratch buffer (a fresh slice here
+	// would be one allocation per 100 ms of virtual time per node).
+	procs := n.decayScratch[:0]
 	for l := range n.ready {
-		procs = append(procs, n.ready[l]...)
-		n.ready[l] = n.ready[l][:0]
+		q := &n.ready[l]
+		for q.n > 0 {
+			procs = append(procs, q.pop())
+		}
+	}
+	for w := range n.readyMask {
+		n.readyMask[w] = 0
 	}
 	for _, p := range procs {
 		p.estcpu /= 2
-		n.ready[n.level(p)] = append(n.ready[n.level(p)], p)
+		n.enqueueReady(p)
 	}
+	for i := range procs {
+		procs[i] = nil // scratch must not pin processes between ticks
+	}
+	n.decayScratch = procs[:0]
 	if n.running != nil {
 		n.running.estcpu /= 2
 	}
-	for _, p := range n.diskQ {
-		p.estcpu /= 2
+	for i := 0; i < n.diskQ.len(); i++ {
+		n.diskQ.at(i).estcpu /= 2
 	}
 }
 
@@ -375,12 +513,18 @@ func (n *Node) dispatchCPU() {
 		slice = p.curCPU
 	}
 	wall := overhead + slice/n.cfg.SpeedFactor
-	n.eng.After(wall, func() { n.cpuDone(p, slice) })
+	n.eng.AfterCall(wall, n.cpuDoneC, p, slice)
 }
+
+// cpuDoneCall unpacks the typed burst-completion event.
+func (n *Node) cpuDoneCall(arg any, slice float64) { n.cpuDone(arg.(*process), slice) }
 
 func (n *Node) cpuDone(p *process, slice float64) {
 	if p.epoch != n.epoch {
-		return // node failed while this burst was in flight
+		// Node failed while this burst was in flight. The event held
+		// the last live reference to the aborted process; recycle it.
+		n.releaseProcess(p)
+		return
 	}
 	n.cpuBusy = false
 	n.running = nil
@@ -420,7 +564,7 @@ func (n *Node) cpuDone(p *process, slice float64) {
 }
 
 func (n *Node) enqueueDisk(p *process) {
-	n.diskQ = append(n.diskQ, p)
+	n.diskQ.push(p)
 	n.dispatchDisk()
 }
 
@@ -428,20 +572,24 @@ func (n *Node) enqueueDisk(p *process) {
 // per turn (each process only ever has one burst queued at a time, so
 // FIFO order realizes round robin).
 func (n *Node) dispatchDisk() {
-	if n.diskBusy || len(n.diskQ) == 0 {
+	if n.diskBusy || n.diskQ.len() == 0 {
 		return
 	}
-	p := n.diskQ[0]
-	n.diskQ = n.diskQ[1:]
+	p := n.diskQ.pop()
 	n.diskCur = p
 	n.diskBusy = true
 	n.diskUtil.SetBusy(n.eng.Now(), true)
-	n.eng.After(p.ioBurst, func() { n.diskDone(p) })
+	n.eng.AfterCall(p.ioBurst, n.diskDoneC, p, 0)
 }
+
+// diskDoneCall unpacks the typed disk-burst-completion event.
+func (n *Node) diskDoneCall(arg any, _ float64) { n.diskDone(arg.(*process)) }
 
 func (n *Node) diskDone(p *process) {
 	if p.epoch != n.epoch {
-		return // node failed while this burst was in flight
+		// Node failed while this burst was in flight; see cpuDone.
+		n.releaseProcess(p)
+		return
 	}
 	n.diskCur = nil
 	n.diskBusy = false
@@ -479,8 +627,16 @@ func (n *Node) finish(p *process) {
 	}
 	n.stats.Completed++
 	n.active--
-	if p.job.Done != nil {
-		p.job.Done(n.eng.Now())
+	// Recycle before notifying: the completion hook may immediately
+	// Submit a follow-up job (closed-loop sessions) and should find
+	// this struct back in the pool. p is dead past this point.
+	done, doneCall, doneArg := p.job.Done, p.job.DoneCall, p.job.DoneArg
+	n.releaseProcess(p)
+	switch {
+	case done != nil:
+		done(n.eng.Now())
+	case doneCall != nil:
+		doneCall(doneArg, n.eng.Now())
 	}
 }
 
@@ -489,6 +645,11 @@ func (n *Node) finish(p *process) {
 // the cluster can restart the work elsewhere, as the paper's master
 // does when a slave fails. Memory returns to the free list; in-flight
 // device bursts are discarded.
+//
+// Queued processes recycle into the node pool immediately. The running
+// and disk-serving processes do not: their burst-completion events are
+// still in flight holding the pointers, so the epoch check in
+// cpuDone/diskDone recycles them when those events fire.
 func (n *Node) Drain() []Job {
 	var jobs []Job
 	collect := func(p *process) {
@@ -499,15 +660,21 @@ func (n *Node) Drain() []Job {
 		jobs = append(jobs, p.job)
 	}
 	for l := range n.ready {
-		for _, p := range n.ready[l] {
+		q := &n.ready[l]
+		for q.n > 0 {
+			p := q.pop()
 			collect(p)
+			n.releaseProcess(p)
 		}
-		n.ready[l] = nil
 	}
-	for _, p := range n.diskQ {
+	for w := range n.readyMask {
+		n.readyMask[w] = 0
+	}
+	for n.diskQ.len() > 0 {
+		p := n.diskQ.pop()
 		collect(p)
+		n.releaseProcess(p)
 	}
-	n.diskQ = nil
 	if n.running != nil {
 		collect(n.running)
 		n.running = nil
