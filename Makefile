@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench benchdiff experiments csv clean help
+.PHONY: all build vet lint test test-short race check bench benchdiff loadbench experiments csv clean help
 
 all: build vet test
 
@@ -19,6 +19,9 @@ help:
 	@echo "  bench       all benchmarks with -benchmem, JSON summary in BENCH_results.json"
 	@echo "  benchdiff   benchstat old-vs-new against bench/baseline.txt"
 	@echo "              (skipped when benchstat is not installed)"
+	@echo "  loadbench   live-cluster load generation (closed + open loop via"
+	@echo "              cmd/loadgen) folded into BENCH_results.json with the"
+	@echo "              microbenchmarks and baseline deltas"
 	@echo "  experiments regenerate every table and figure (minutes)"
 	@echo "  csv         experiments plus CSV output in results/csv"
 	@echo "  clean       go clean ./..."
@@ -73,6 +76,21 @@ benchdiff:
 	else \
 		echo "benchdiff: benchstat not installed; skipping (go install golang.org/x/perf/cmd/benchstat@latest)"; \
 	fi
+
+# End-to-end live-cluster numbers: a paced closed-loop run (with the
+# coordinated-omission-corrected histogram) and an open-loop run against
+# self-hosted loopback clusters, then the full microbenchmark suite; all
+# three land in one BENCH_results.json (results/live_*.json keep the raw
+# loadgen summaries).
+loadbench:
+	@mkdir -p results
+	$(GO) run ./cmd/loadgen -mode closed -concurrency 8 -rps 400 -n 2000 \
+		-nodes 6 -masters 2 -timescale 0.01 -out results/live_closed.json
+	$(GO) run ./cmd/loadgen -mode open -rps 400 -n 2000 \
+		-nodes 6 -masters 2 -timescale 0.01 -out results/live_open.json
+	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
+			-live results/live_closed.json,results/live_open.json > BENCH_results.json
 
 # Regenerate every table and figure (minutes; table3 replays in real time).
 experiments:

@@ -1,0 +1,103 @@
+// Live-cluster serving-path benchmarks: the master's /req pipeline and a
+// node's /exec pipeline, driven straight through the HTTP mux with a
+// reusable discard ResponseWriter. No TCP round trip is included — on
+// loopback the net/http client machinery costs ~150 µs/op and would
+// drown the scheduling and parsing work these benchmarks pin down; the
+// full network path is measured end-to-end by cmd/loadgen instead.
+package bench
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msweb/internal/core"
+	"msweb/internal/httpcluster"
+)
+
+// discardRW is a reusable ResponseWriter that counts bytes.
+type discardRW struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (d *discardRW) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header, 4)
+	}
+	return d.h
+}
+func (d *discardRW) WriteHeader(code int) { d.code = code }
+func (d *discardRW) Write(p []byte) (int, error) {
+	d.n += len(p)
+	return len(p), nil
+}
+func (d *discardRW) reset() {
+	d.code = 0
+	d.n = 0
+	for k := range d.h {
+		delete(d.h, k)
+	}
+}
+
+// BenchmarkMasterReqPath measures the master's client-facing /req
+// pipeline: query parsing, placement over the live view (with failure
+// filtering), completion observation, and response write. Demands are
+// zero so the virtual resources add no sleep time; the topology is
+// master-only (M/S-1) so dynamic placements resolve locally rather than
+// forwarding over TCP.
+func BenchmarkMasterReqPath(b *testing.B) {
+	m, err := httpcluster.LaunchMaster(httpcluster.NodeOptions{
+		ID: 0, Masters: []int{0}, NodeURLs: []string{""},
+		Policy:      core.NewMS(nil, 1),
+		TimeScale:   1e-6, // keep the virtual fork charge in the path, at ns scale
+		LoadRefresh: time.Hour, PolicyTick: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown()
+	h := m.Handler()
+	bench := func(target string) func(*testing.B) {
+		return func(b *testing.B) {
+			req := httptest.NewRequest("GET", target, nil)
+			rw := &discardRW{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rw.reset()
+				h.ServeHTTP(rw, req)
+			}
+			if rw.code != 0 && rw.code != http.StatusOK {
+				b.Fatalf("status %d", rw.code)
+			}
+		}
+	}
+	b.Run("static", bench("/req?class=s&demand=0&w=0.5&script=0"))
+	b.Run("dynamic", bench("/req?class=d&demand=0&w=0.9&script=1"))
+}
+
+// BenchmarkNodeExec measures a slave node's /exec pipeline: query
+// parsing, the (zero-demand) resource walk, counter and histogram
+// updates, and a 64-byte response body.
+func BenchmarkNodeExec(b *testing.B) {
+	n, err := httpcluster.LaunchNode(httpcluster.NodeOptions{ID: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Shutdown()
+	h := n.Handler()
+	req := httptest.NewRequest("GET", "/exec?demand=0&w=0.5&size=64", nil)
+	rw := &discardRW{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw.reset()
+		h.ServeHTTP(rw, req)
+	}
+	if rw.code != 0 && rw.code != http.StatusOK {
+		b.Fatalf("status %d", rw.code)
+	}
+}

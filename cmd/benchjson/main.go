@@ -15,6 +15,11 @@
 //
 //	go test -bench=. -benchmem -run '^$' . | \
 //	    go run ./cmd/benchjson -baseline bench/baseline.txt > BENCH_results.json
+//
+// With -live FILE[,FILE...], loadgen JSON summaries (cmd/loadgen) are
+// folded into the document as LiveCluster/<mode> results, so the same
+// BENCH_results.json carries both microbenchmarks and end-to-end
+// cluster throughput/latency numbers.
 package main
 
 import (
@@ -43,8 +48,68 @@ type Report struct {
 	Pkg      string   `json:"pkg,omitempty"`
 	CPU      string   `json:"cpu,omitempty"`
 	Results  []Result `json:"results"`
+	Live     []Result `json:"live,omitempty"`
 	Baseline []Result `json:"baseline,omitempty"`
 	Deltas   []Delta  `json:"deltas,omitempty"`
+}
+
+// liveSummary mirrors the fields of cmd/loadgen's Summary that the
+// report folds in (decoding stays tolerant of extra fields).
+type liveSummary struct {
+	Mode          string  `json:"mode"`
+	Profile       string  `json:"profile"`
+	Sent          int64   `json:"sent"`
+	OK            int64   `json:"ok"`
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Latency       struct {
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Mean float64 `json:"mean"`
+		Max  float64 `json:"max"`
+	} `json:"latency"`
+	Corrected *struct {
+		P99 float64 `json:"p99"`
+	} `json:"corrected"`
+}
+
+// liveResults converts loadgen summary files into pseudo-benchmark
+// results named LiveCluster/<mode>, with Iterations carrying the
+// request count and the latency quantiles keyed by unit-style names.
+func liveResults(paths []string) ([]Result, error) {
+	var out []Result
+	for _, path := range paths {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var s liveSummary
+		if err := json.Unmarshal(buf, &s); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if s.Mode == "" {
+			return nil, fmt.Errorf("%s: not a loadgen summary (no mode)", path)
+		}
+		r := Result{
+			Name:       "LiveCluster/" + s.Mode,
+			Iterations: s.Sent,
+			Metrics: map[string]float64{
+				"throughput_rps": s.ThroughputRPS,
+				"errors":         float64(s.Errors),
+				"latency_p50_s":  s.Latency.P50,
+				"latency_p95_s":  s.Latency.P95,
+				"latency_p99_s":  s.Latency.P99,
+				"latency_mean_s": s.Latency.Mean,
+				"latency_max_s":  s.Latency.Max,
+			},
+		}
+		if s.Corrected != nil {
+			r.Metrics["corrected_p99_s"] = s.Corrected.P99
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // Delta compares one benchmark between the baseline and current runs.
@@ -62,11 +127,20 @@ type Delta struct {
 
 func main() {
 	baseline := flag.String("baseline", "", "bench output file to diff the stdin run against")
+	live := flag.String("live", "", "comma-separated loadgen JSON summaries to fold in")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *live != "" {
+		lr, err := liveResults(strings.Split(*live, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Live = lr
 	}
 	if *baseline != "" {
 		f, err := os.Open(*baseline)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -39,6 +41,57 @@ func TestParse(t *testing.T) {
 	}
 	if rep.Results[2].Metrics["events/req"] != 13.02 {
 		t.Fatalf("custom metric lost: %+v", rep.Results[2].Metrics)
+	}
+}
+
+func TestLiveResults(t *testing.T) {
+	dir := t.TempDir()
+	closed := filepath.Join(dir, "closed.json")
+	open := filepath.Join(dir, "open.json")
+	os.WriteFile(closed, []byte(`{
+		"mode": "closed", "profile": "KSU", "sent": 100, "ok": 100, "errors": 0,
+		"throughput_rps": 250.5,
+		"latency": {"p50": 0.001, "p95": 0.004, "p99": 0.006, "mean": 0.002, "max": 0.01},
+		"corrected": {"p50": 0.002, "p95": 0.005, "p99": 0.009, "mean": 0.003, "max": 0.01}
+	}`), 0o644) //nolint:errcheck
+	os.WriteFile(open, []byte(`{
+		"mode": "open", "sent": 50, "ok": 50, "errors": 0,
+		"throughput_rps": 480,
+		"latency": {"p50": 0.001, "p95": 0.002, "p99": 0.003, "mean": 0.001, "max": 0.004}
+	}`), 0o644) //nolint:errcheck
+
+	rs, err := liveResults([]string{closed, open})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("%d results, want 2", len(rs))
+	}
+	c := rs[0]
+	if c.Name != "LiveCluster/closed" || c.Iterations != 100 {
+		t.Fatalf("closed result mis-folded: %+v", c)
+	}
+	if c.Metrics["throughput_rps"] != 250.5 || c.Metrics["latency_p99_s"] != 0.006 {
+		t.Fatalf("closed metrics mis-folded: %+v", c.Metrics)
+	}
+	if c.Metrics["corrected_p99_s"] != 0.009 {
+		t.Fatalf("corrected p99 lost: %+v", c.Metrics)
+	}
+	o := rs[1]
+	if o.Name != "LiveCluster/open" {
+		t.Fatalf("open result mis-folded: %+v", o)
+	}
+	if _, present := o.Metrics["corrected_p99_s"]; present {
+		t.Fatal("open summary must not grow a corrected metric")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"not": "a summary"}`), 0o644) //nolint:errcheck
+	if _, err := liveResults([]string{bad}); err == nil {
+		t.Fatal("accepted a JSON file that is not a loadgen summary")
+	}
+	if _, err := liveResults([]string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("accepted a missing file")
 	}
 }
 

@@ -1,0 +1,366 @@
+// Command loadgen drives a live msweb cluster with synthetic load and
+// reports client-side latency quantiles as JSON.
+//
+// Two drive modes:
+//
+//   - open (-mode open -rps R): requests fire on a Poisson schedule at
+//     R req/s regardless of how fast responses come back. Latency is
+//     measured from each request's *scheduled* start, so queueing delay
+//     caused by a slow server is charged to the server — the classic
+//     coordinated-omission-safe arrangement. This is the mode whose
+//     numbers correspond to an arrival process hitting a public site.
+//
+//   - closed (-mode closed -concurrency C): C workers issue requests
+//     back-to-back, the shape of a fixed browser population. Raw
+//     latencies understate tails under stalls (the stalled worker stops
+//     sampling — coordinated omission), so when a target rate is also
+//     given (-rps) each worker paces at C/R seconds per request and a
+//     second, corrected histogram back-fills the hidden samples via
+//     obs.Histogram.ObserveCoordinated.
+//
+// The request mix comes from the paper's trace profiles
+// (trace.GenConfig): -profile selects the class mix and size
+// distributions, -muh and -r calibrate demands exactly as the simulator
+// does. With no -targets, loadgen boots its own loopback cluster
+// (-nodes/-masters/-timescale) so `go run ./cmd/loadgen` benchmarks the
+// live data plane end to end with zero setup.
+//
+// Usage:
+//
+//	loadgen -mode open -rps 200 -n 2000 -profile KSU -timescale 0.05
+//	loadgen -mode closed -concurrency 8 -rps 100 -n 1000 -out results/closed.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msweb/internal/core"
+	"msweb/internal/httpcluster"
+	"msweb/internal/obs"
+	"msweb/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// LatencyStats is the JSON shape of one latency distribution (seconds).
+type LatencyStats struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func statsOf(h *obs.Histogram) LatencyStats {
+	return LatencyStats{
+		P50:  h.Quantile(0.50),
+		P95:  h.Quantile(0.95),
+		P99:  h.Quantile(0.99),
+		Mean: h.Mean(),
+		Max:  h.Max(),
+	}
+}
+
+// Summary is loadgen's JSON report.
+type Summary struct {
+	Mode          string       `json:"mode"`
+	Profile       string       `json:"profile"`
+	Targets       []string     `json:"targets"`
+	Requests      int          `json:"requests"`
+	Sent          int64        `json:"sent"`
+	OK            int64        `json:"ok"`
+	Errors        int64        `json:"errors"`
+	DurationS     float64      `json:"duration_s"`
+	ThroughputRPS float64      `json:"throughput_rps"`
+	TargetRPS     float64      `json:"target_rps,omitempty"`
+	Concurrency   int          `json:"concurrency,omitempty"`
+	Latency       LatencyStats `json:"latency"`
+	// Corrected is present in closed mode with pacing (-rps): the same
+	// samples plus HdrHistogram-style coordinated-omission back-fill.
+	Corrected *LatencyStats `json:"corrected,omitempty"`
+}
+
+// run parses args, drives the load, and writes the JSON summary. Split
+// from main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	targets := fs.String("targets", "", "comma-separated master base URLs (empty: self-host a loopback cluster)")
+	nodes := fs.Int("nodes", 3, "self-hosted cluster size")
+	masters := fs.Int("masters", 1, "self-hosted master count")
+	timescale := fs.Float64("timescale", 1, "self-hosted service-duration scale (0.01 = 100× fast)")
+	mode := fs.String("mode", "closed", "drive mode: open (paced arrivals) or closed (fixed workers)")
+	rps := fs.Float64("rps", 0, "target request rate; required for -mode open, optional pacing for closed")
+	concurrency := fs.Int("concurrency", 4, "closed-loop worker count")
+	workers := fs.Int("workers", 64, "open-loop worker pool size")
+	n := fs.Int("n", 200, "number of requests to issue")
+	profile := fs.String("profile", "KSU", "request-mix profile (UCB, KSU, ADL)")
+	muH := fs.Float64("muh", 110, "static service rate for demand calibration")
+	r := fs.Float64("r", 1.0/40, "service ratio μc/μh for demand calibration")
+	seed := fs.Int64("seed", 1, "mix generation seed")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	out := fs.String("out", "", "write the JSON summary to this file (default stdout)")
+	minRPS := fs.Float64("min-rps", 0, "exit nonzero if measured throughput falls below this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *mode != "open" && *mode != "closed" {
+		return fmt.Errorf("-mode must be open or closed, got %q", *mode)
+	}
+	if *mode == "open" && *rps <= 0 {
+		return fmt.Errorf("-mode open requires -rps > 0")
+	}
+	if *mode == "closed" && *concurrency < 1 {
+		return fmt.Errorf("-concurrency must be at least 1")
+	}
+	prof, ok := trace.ProfileByName(*profile)
+	if !ok {
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+
+	// The generated trace supplies the class mix, sizes, demands and (in
+	// open mode) the Poisson arrival schedule. Lambda only shapes
+	// arrivals, so closed mode can use any positive rate.
+	lambda := *rps
+	if lambda <= 0 {
+		lambda = 100
+	}
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile:  prof,
+		Lambda:   lambda,
+		Requests: *n,
+		MuH:      *muH,
+		R:        *r,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	var targetURLs []string
+	if *targets == "" {
+		cfg := httpcluster.Config{
+			Nodes: *nodes, Masters: *masters, TimeScale: *timescale,
+			LoadRefresh: 50 * time.Millisecond,
+			PolicyTick:  100 * time.Millisecond,
+			MakePolicy: func(id int) core.Policy {
+				return core.NewMS(nil, int64(id)+1)
+			},
+		}
+		c, err := httpcluster.Start(cfg)
+		if err != nil {
+			return err
+		}
+		defer c.Shutdown()
+		targetURLs = c.MasterURLs()
+	} else {
+		targetURLs = strings.Split(*targets, ",")
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+		Timeout:   *timeout,
+	}
+	urls := make([]string, len(tr.Requests))
+	for i, req := range tr.Requests {
+		cls := "s"
+		if req.Class == trace.Dynamic {
+			cls = "d"
+		}
+		urls[i] = fmt.Sprintf("%s/req?class=%s&demand=%g&w=%g&script=%d&size=%d",
+			targetURLs[i%len(targetURLs)], cls, req.Demand, req.CPUWeight, req.Script, req.Size)
+	}
+
+	s := Summary{
+		Mode:        *mode,
+		Profile:     prof.Name,
+		Targets:     targetURLs,
+		Requests:    *n,
+		TargetRPS:   *rps,
+		Concurrency: 0,
+	}
+	var okCount, errCount atomic.Int64
+	do := func(url string) bool {
+		resp, err := client.Get(url)
+		if err != nil {
+			errCount.Add(1)
+			return false
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errCount.Add(1)
+			return false
+		}
+		okCount.Add(1)
+		return true
+	}
+
+	start := time.Now()
+	var merged, corrected *obs.Histogram
+	switch *mode {
+	case "open":
+		merged = runOpen(urls, tr, *rps, *workers, start, do)
+	case "closed":
+		s.Concurrency = *concurrency
+		merged, corrected = runClosed(urls, *concurrency, *rps, do)
+	}
+	dur := time.Since(start)
+
+	s.Sent = int64(len(urls))
+	s.OK = okCount.Load()
+	s.Errors = errCount.Load()
+	s.DurationS = dur.Seconds()
+	if s.DurationS > 0 {
+		s.ThroughputRPS = float64(s.OK) / s.DurationS
+	}
+	s.Latency = statsOf(merged)
+	if corrected != nil {
+		cs := statsOf(corrected)
+		s.Corrected = &cs
+	}
+
+	buf, err := json.MarshalIndent(&s, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loadgen: %s mode, %d ok / %d errors, %.1f req/s → %s\n",
+			s.Mode, s.OK, s.Errors, s.ThroughputRPS, *out)
+	} else {
+		stdout.Write(buf) //nolint:errcheck
+	}
+
+	if s.Errors > 0 && s.OK == 0 {
+		return fmt.Errorf("every request failed (%d errors)", s.Errors)
+	}
+	if *minRPS > 0 && s.ThroughputRPS < *minRPS {
+		return fmt.Errorf("throughput %.2f req/s below -min-rps %.2f", s.ThroughputRPS, *minRPS)
+	}
+	return nil
+}
+
+// runOpen fires requests on the trace's Poisson schedule rescaled to the
+// target rate, measuring latency from each request's scheduled start. A
+// fully buffered queue means the dispatcher never blocks on a slow
+// server: delay shows up in the measurements, not in the schedule.
+func runOpen(urls []string, tr *trace.Trace, rps float64, workers int, start time.Time, do func(string) bool) *obs.Histogram {
+	type item struct {
+		url   string
+		sched time.Time
+	}
+	queue := make(chan item, len(urls))
+	for i, u := range urls {
+		// Trace arrivals are already at mean rate Lambda == rps.
+		queue <- item{url: u, sched: start.Add(time.Duration(tr.Requests[i].Arrival * float64(time.Second)))}
+	}
+	close(queue)
+
+	if workers < 1 {
+		workers = 1
+	}
+	hists := make([]*obs.Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		hists[w] = obs.NewHistogram()
+		wg.Add(1)
+		go func(h *obs.Histogram) {
+			defer wg.Done()
+			for it := range queue {
+				if d := time.Until(it.sched); d > 0 {
+					time.Sleep(d)
+				}
+				do(it.url)
+				// Scheduled start, not send time: if every worker was
+				// busy past sched, that wait is server-induced queueing
+				// and belongs in the latency.
+				h.Observe(time.Since(it.sched).Seconds())
+			}
+		}(hists[w])
+	}
+	wg.Wait()
+
+	merged := obs.NewHistogram()
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	return merged
+}
+
+// runClosed drives a fixed worker population. With rps > 0 each worker
+// paces itself at concurrency/rps seconds per request and the corrected
+// histogram back-fills coordinated omission at that interval; with no
+// pacing the workers run flat out and corrected is nil (there is no
+// intended schedule to correct against).
+func runClosed(urls []string, concurrency int, rps float64, do func(string) bool) (*obs.Histogram, *obs.Histogram) {
+	var next atomic.Int64
+	interval := 0.0
+	if rps > 0 {
+		interval = float64(concurrency) / rps
+	}
+
+	raws := make([]*obs.Histogram, concurrency)
+	corrs := make([]*obs.Histogram, concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		raws[w] = obs.NewHistogram()
+		corrs[w] = obs.NewHistogram()
+		wg.Add(1)
+		go func(raw, corr *obs.Histogram) {
+			defer wg.Done()
+			var sched time.Time
+			if interval > 0 {
+				sched = time.Now()
+			}
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(urls)) {
+					return
+				}
+				if interval > 0 {
+					if d := time.Until(sched); d > 0 {
+						time.Sleep(d)
+					}
+					sched = sched.Add(time.Duration(interval * float64(time.Second)))
+				}
+				t0 := time.Now()
+				do(urls[i])
+				lat := time.Since(t0).Seconds()
+				raw.Observe(lat)
+				corr.ObserveCoordinated(lat, interval)
+			}
+		}(raws[w], corrs[w])
+	}
+	wg.Wait()
+
+	raw := obs.NewHistogram()
+	for _, h := range raws {
+		raw.Merge(h)
+	}
+	if interval <= 0 {
+		return raw, nil
+	}
+	corr := obs.NewHistogram()
+	for _, h := range corrs {
+		corr.Merge(h)
+	}
+	return raw, corr
+}

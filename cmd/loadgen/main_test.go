@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadgenClosed drives a self-hosted cluster in closed mode with
+// pacing and checks the JSON summary end to end: counts, throughput,
+// and the presence of the coordinated-omission-corrected distribution.
+func TestLoadgenClosed(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "closed.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-mode", "closed", "-concurrency", "3", "-rps", "300",
+		"-n", "60", "-nodes", "3", "-masters", "1",
+		"-timescale", "0.001", "-min-rps", "1", "-out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(buf, &s); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, buf)
+	}
+	if s.Mode != "closed" || s.Sent != 60 || s.OK != 60 || s.Errors != 0 {
+		t.Fatalf("summary counts: %+v", s)
+	}
+	if s.ThroughputRPS <= 0 {
+		t.Fatalf("throughput %v, want > 0", s.ThroughputRPS)
+	}
+	if s.Corrected == nil {
+		t.Fatal("paced closed mode must report a corrected distribution")
+	}
+	if s.Latency.P99 < s.Latency.P50 || s.Latency.Max < s.Latency.P99 {
+		t.Fatalf("latency quantiles not monotone: %+v", s.Latency)
+	}
+	if !strings.Contains(stdout.String(), out) {
+		t.Fatalf("stdout should mention the output file: %q", stdout.String())
+	}
+}
+
+// TestLoadgenOpen checks the open (arrival-paced) mode: latency is
+// measured from scheduled starts and no corrected histogram is emitted
+// (the open measurement is coordinated-omission-free by construction).
+func TestLoadgenOpen(t *testing.T) {
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-mode", "open", "-rps", "500", "-n", "50",
+		"-nodes", "2", "-masters", "1", "-timescale", "0.001",
+		"-workers", "16",
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(stdout.Bytes(), &s); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, stdout.Bytes())
+	}
+	if s.Mode != "open" || s.Sent != 50 || s.OK != 50 {
+		t.Fatalf("summary counts: %+v", s)
+	}
+	if s.Corrected != nil {
+		t.Fatal("open mode must not emit a corrected distribution")
+	}
+}
+
+// TestLoadgenFlagErrors pins the argument contract.
+func TestLoadgenFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "sideways"},
+		{"-mode", "open"}, // missing -rps
+		{"-mode", "closed", "-concurrency", "0"},
+		{"-profile", "NOPE"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

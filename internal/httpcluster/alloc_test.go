@@ -1,0 +1,79 @@
+package httpcluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msweb/internal/core"
+)
+
+// nullRW is a reusable ResponseWriter for allocation pinning.
+type nullRW struct {
+	h    http.Header
+	code int
+}
+
+func (d *nullRW) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header, 4)
+	}
+	return d.h
+}
+func (d *nullRW) WriteHeader(code int) { d.code = code }
+func (d *nullRW) Write(p []byte) (int, error) {
+	return len(p), nil
+}
+
+// Allocation pins for the serving hot path, the contract behind
+// BenchmarkMasterReqPath and BenchmarkNodeExec (bench_live_test.go at
+// the repo root): the master's /req pipeline — parse, placement over the
+// live view, completion observation, response — allocates nothing, and a
+// node's /exec allocates only net/http's Header.Set slice for the
+// Content-Length value. TimeScale shrinks the virtual fork charge below
+// the sleep resolution so the measurement is deterministic (no sleeps,
+// no serve-goroutine handoff).
+func TestReqPathAllocPins(t *testing.T) {
+	m, err := LaunchMaster(NodeOptions{
+		ID: 0, Masters: []int{0}, NodeURLs: []string{""},
+		Policy:      core.NewMS(nil, 1),
+		TimeScale:   1e-6,
+		LoadRefresh: time.Hour, PolicyTick: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	n, err := LaunchNode(NodeOptions{ID: 1, TimeScale: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Shutdown()
+
+	cases := []struct {
+		name    string
+		handler http.Handler
+		target  string
+		maxAvg  float64
+	}{
+		{"master /req static", m.Handler(), "/req?class=s&demand=0&w=0.5&script=0", 0},
+		{"master /req dynamic", m.Handler(), "/req?class=d&demand=0&w=0.9&script=1", 0},
+		{"node /exec", n.Handler(), "/exec?demand=0&w=0.5&size=64", 1},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest("GET", c.target, nil)
+		rw := &nullRW{}
+		run := func() {
+			rw.code = 0
+			c.handler.ServeHTTP(rw, req)
+			if rw.code != 0 && rw.code != http.StatusOK {
+				t.Fatalf("%s: status %d", c.name, rw.code)
+			}
+		}
+		run() // warm scratch buffers (alive filter, candidate union, header map)
+		if allocs := testing.AllocsPerRun(100, run); allocs > c.maxAvg {
+			t.Errorf("%s: %.1f allocs/op, pinned at ≤ %.0f", c.name, allocs, c.maxAvg)
+		}
+	}
+}

@@ -85,7 +85,7 @@ func TestResourceIdleRatio(t *testing.T) {
 }
 
 func TestNodeExecEndpoint(t *testing.T) {
-	n, err := StartNode(0, time.Now(), 1)
+	n, err := LaunchNode(NodeOptions{ID: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestNodeExecEndpoint(t *testing.T) {
 }
 
 func TestNodeExecRejectsBadParams(t *testing.T) {
-	n, err := StartNode(0, time.Now(), 1)
+	n, err := LaunchNode(NodeOptions{ID: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestNodeExecRejectsBadParams(t *testing.T) {
 }
 
 func TestNodeLoadEndpoint(t *testing.T) {
-	n, err := StartNode(0, time.Now(), 1)
+	n, err := LaunchNode(NodeOptions{ID: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestMasterFailsOverOnDeadSlave(t *testing.T) {
 }
 
 func TestResponseBodyCarriesRequestedSize(t *testing.T) {
-	n, err := StartNode(0, time.Now(), 0.25)
+	n, err := LaunchNode(NodeOptions{ID: 0, TimeScale: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestResponseBodyCarriesRequestedSize(t *testing.T) {
 }
 
 func TestResponseBodyFallsBackOnBadSize(t *testing.T) {
-	n, err := StartNode(0, time.Now(), 0.25)
+	n, err := LaunchNode(NodeOptions{ID: 0, TimeScale: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestResponseBodyFallsBackOnBadSize(t *testing.T) {
 }
 
 func TestStatsEndpoint(t *testing.T) {
-	n, err := StartNode(2, time.Now(), 0.25)
+	n, err := LaunchNode(NodeOptions{ID: 2, TimeScale: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,8 +18,9 @@ import (
 // exactly what the placement decisions are being made from.
 //
 // Reads never disturb the scheduler: busy fractions come from
-// Resource.BusyFraction (no rstat-window reset) and the view is copied
-// under the master's lock.
+// Resource.BusyFraction (no rstat-window reset) and the view is read
+// from the master's immutable snapshot — a scrape takes no lock the
+// request path contends on (only the narrow histogram/policy shard).
 
 const promContentType = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -34,11 +35,11 @@ func (n *Node) writeMetrics(w io.Writer) {
 	label := `node="` + strconv.Itoa(n.ID) + `"`
 	now := time.Since(n.origin).Seconds()
 
-	n.mu.Lock()
-	executed, cgi := n.executed, n.cgiServed
+	executed, cgi := n.executed.Load(), n.cgiServed.Load()
+	n.statsMu.Lock()
 	rate := n.reqRate.Rate(now)
 	hist := *n.svcHist // fixed-size value copy; safe outside the lock
-	n.mu.Unlock()
+	n.statsMu.Unlock()
 
 	p := obs.NewPromWriter(w)
 	p.Header("msweb_node_executed_total", "Requests executed by this node.", "counter")
@@ -63,16 +64,16 @@ func (m *Master) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
 	m.Node.writeMetrics(rw)
 
 	label := `node="` + strconv.Itoa(m.ID) + `"`
-	m.pmu.Lock()
-	loads := append([]core.Load(nil), m.view.Load...)
-	failovers := m.failovers
+	loads := m.snap.Load().view.Load // immutable snapshot; no copy needed
+	failovers := m.failovers.Load()
+	m.placeMu.Lock()
 	hist := *m.respHist
 	var theta, a, r float64
 	stats, hasStats := m.policy.(core.AdaptiveStats)
 	if hasStats {
 		theta, a, r = stats.ThetaLimit(), stats.ArrivalRatio(), stats.ServiceRatio()
 	}
-	m.pmu.Unlock()
+	m.placeMu.Unlock()
 
 	p := obs.NewPromWriter(rw)
 	if hasStats {

@@ -3,6 +3,7 @@ package httpcluster
 import (
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"msweb/internal/core"
@@ -110,31 +111,39 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 		return nil, err
 	}
 	m := &Master{
-		Node:     n,
-		policy:   o.Policy,
-		nodeURLs: append([]string(nil), o.NodeURLs...),
+		Node:   n,
+		policy: o.Policy,
 		client: &http.Client{
 			Transport: &http.Transport{MaxIdleConnsPerHost: 128},
 			Timeout:   120 * time.Second,
 		},
-		stop:     make(chan struct{}),
-		failed:   make(map[int]time.Time),
-		respHist: obs.NewHistogram(),
+		stop:        make(chan struct{}),
+		urls:        make([]atomic.Pointer[string], len(o.NodeURLs)),
+		failedUntil: make([]atomic.Int64, len(o.NodeURLs)),
+		respHist:    obs.NewHistogram(),
 	}
-	m.nodeURLs[o.ID] = m.URL
-	m.view = core.View{
+	for id, u := range o.NodeURLs {
+		if u != "" {
+			m.SetNodeURL(id, u)
+		}
+	}
+	m.SetNodeURL(o.ID, m.URL)
+	initial := core.View{
 		Masters: append([]int(nil), o.Masters...),
 		Slaves:  append([]int(nil), o.Slaves...),
 		Load:    make([]core.Load, len(o.NodeURLs)),
 	}
-	for i := range m.view.Load {
-		m.view.Load[i] = core.Load{CPUIdle: 1, DiskAvail: 1, Speed: 1}
+	for i := range initial.Load {
+		initial.Load[i] = core.Load{CPUIdle: 1, DiskAvail: 1, Speed: 1}
 	}
 	// Prime the policy once so adaptive state (θ₂ in particular) reflects
 	// the configured topology before the first ticker fires — and so a
 	// /metrics scrape of a fresh master reports the topology-derived cap
 	// rather than a placeholder.
-	m.policy.Tick(0, &m.view)
+	m.policy.Tick(0, &initial)
+	// Publish generation 1; the zero workEpoch forces the first placement
+	// to seed its working copy from this snapshot.
+	m.snap.Store(&loadSnapshot{epoch: 1, view: initial})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/req", m.handleRequest)

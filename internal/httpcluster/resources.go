@@ -22,11 +22,23 @@ import (
 	"msweb/internal/metrics"
 )
 
-// rrJob is one unit of work on a virtual resource.
+// rrJob is one unit of work on a virtual resource. Jobs are pooled:
+// completion is signalled by a buffered send (not a close), so the
+// channel survives reuse and the request path stops allocating a job
+// and a channel per resource visit.
 type rrJob struct {
 	remaining time.Duration
 	done      chan struct{}
 }
+
+var jobPool = sync.Pool{New: func() any { return &rrJob{done: make(chan struct{}, 1)} }}
+
+// sleepResolution is the shortest slice worth a real sleep. Below OS
+// timer granularity a sleep rounds *up* (a 3 µs request costs ~1 ms-class
+// latency), so the substrate would deliver far more service than asked;
+// sub-resolution inline grants are instead accounted as delivered
+// instantly (round-down), the smaller of the two errors.
+const sleepResolution = 20 * time.Microsecond
 
 // Resource is a virtual time-shared device: jobs queue FIFO and are
 // served in round-robin slices of at most quantum, approximating the
@@ -64,12 +76,37 @@ func (r *Resource) Use(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	j := &rrJob{remaining: d, done: make(chan struct{})}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return
 	}
+	// Inline grant: an idle resource serving a job no longer than one
+	// quantum would run exactly this job's single slice and nothing
+	// else, so the caller sleeps in place — no job, no queue, no two
+	// goroutine handoffs. Contended or long jobs take the queued path,
+	// preserving round-robin fairness.
+	if !r.running && len(r.queue) == 0 && d <= r.quantum {
+		r.running = true
+		r.util.SetBusy(r.now(), true)
+		r.mu.Unlock()
+		if d >= sleepResolution {
+			time.Sleep(d)
+		}
+		r.mu.Lock()
+		if len(r.queue) > 0 && !r.closed {
+			// Arrivals queued behind the inline grant; hand them to a
+			// serve goroutine (running stays true — we own the flag).
+			go r.serve()
+		} else {
+			r.running = false
+			r.util.SetBusy(r.now(), false)
+		}
+		r.mu.Unlock()
+		return
+	}
+	j := jobPool.Get().(*rrJob)
+	j.remaining = d
 	r.queue = append(r.queue, j)
 	if !r.running {
 		r.running = true
@@ -78,6 +115,7 @@ func (r *Resource) Use(d time.Duration) {
 	}
 	r.mu.Unlock()
 	<-j.done
+	jobPool.Put(j)
 }
 
 // serve drains the queue in round-robin slices.
@@ -89,7 +127,7 @@ func (r *Resource) serve() {
 			r.util.SetBusy(r.now(), false)
 			if r.closed {
 				for _, j := range r.queue {
-					close(j.done)
+					j.done <- struct{}{}
 				}
 				r.queue = nil
 			}
@@ -116,12 +154,12 @@ func (r *Resource) serve() {
 		}
 		j.remaining -= elapsed
 		if j.remaining <= 0 {
-			close(j.done)
+			j.done <- struct{}{}
 			continue
 		}
 		r.mu.Lock()
 		if r.closed {
-			close(j.done)
+			j.done <- struct{}{}
 			r.mu.Unlock()
 			return
 		}
@@ -166,7 +204,7 @@ func (r *Resource) Close() {
 	r.queue = nil
 	r.mu.Unlock()
 	for _, j := range queue {
-		close(j.done)
+		j.done <- struct{}{}
 	}
 }
 

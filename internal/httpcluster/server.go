@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msweb/internal/core"
@@ -18,7 +20,8 @@ import (
 // LoadReport is the JSON body of a node's /load endpoint — the live
 // analogue of rstat(). It is the same type the simulator's policies
 // consume: core.Load carries the JSON tags, so the wire format and the
-// scheduler input cannot drift apart.
+// scheduler input cannot drift apart. The compact fmt=c fast path is the
+// same fields in core.Load wire form (see core.AppendWire).
 //
 // Deprecated: use core.Load directly.
 type LoadReport = core.Load
@@ -36,12 +39,18 @@ type Node struct {
 	origin    time.Time
 	srv       *http.Server
 	lis       net.Listener
+	mux       *http.ServeMux
 
-	mu        sync.Mutex
-	executed  int64
-	cgiServed int64
-	svcHist   *obs.Histogram       // per-request service time (unscaled s)
-	reqRate   *obs.WindowedCounter // trailing-window request arrivals
+	// Request counters are plain atomics: the hot path pays two
+	// uncontended atomic adds instead of a mutex round trip.
+	executed  atomic.Int64
+	cgiServed atomic.Int64
+
+	// statsMu guards only the two windowed aggregates below; nothing on
+	// the request path blocks behind anything slower than an Observe.
+	statsMu sync.Mutex
+	svcHist *obs.Histogram       // per-request service time (unscaled s)
+	reqRate *obs.WindowedCounter // trailing-window request arrivals
 }
 
 // newNode allocates the node core and its listener; the HTTP server is
@@ -68,31 +77,20 @@ func newNode(id int, origin time.Time, timeScale float64) (*Node, error) {
 }
 
 func (n *Node) serve(mux *http.ServeMux) {
+	n.mux = mux
 	n.srv = &http.Server{Handler: mux}
 	go n.srv.Serve(n.lis) //nolint:errcheck // Serve returns on Shutdown
 }
 
-// StartNode launches a slave node server on a loopback ephemeral port.
-//
-// Deprecated: use LaunchNode, which takes a validated NodeOptions struct
-// instead of positional arguments.
-func StartNode(id int, origin time.Time, timeScale float64) (*Node, error) {
-	return LaunchNode(NodeOptions{ID: id, Origin: origin, TimeScale: timeScale})
-}
+// Handler returns the node's HTTP mux, so the serving path can be
+// exercised (benchmarked, embedded) without a TCP round trip.
+func (n *Node) Handler() http.Handler { return n.mux }
 
 // Executed returns how many requests the node has run.
-func (n *Node) Executed() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.executed
-}
+func (n *Node) Executed() int64 { return n.executed.Load() }
 
 // CGIServed returns how many forked (dynamic) requests the node ran.
-func (n *Node) CGIServed() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.cgiServed
-}
+func (n *Node) CGIServed() int64 { return n.cgiServed.Load() }
 
 // runWork performs a request's work on the node's virtual resources.
 func (n *Node) runWork(demand float64, w float64, forked bool) {
@@ -104,40 +102,40 @@ func (n *Node) runWork(demand float64, w float64, forked bool) {
 	n.res.Execute(d, w)
 	service := time.Since(start).Seconds() / n.timeScale
 	now := time.Since(n.origin).Seconds()
-	n.mu.Lock()
-	n.executed++
+	n.executed.Add(1)
 	if forked {
-		n.cgiServed++
+		n.cgiServed.Add(1)
 	}
+	n.statsMu.Lock()
 	n.svcHist.Observe(service)
 	n.reqRate.Add(now, 1)
-	n.mu.Unlock()
+	n.statsMu.Unlock()
 }
 
 func (n *Node) handleExec(rw http.ResponseWriter, req *http.Request) {
-	q := req.URL.Query()
-	demand, err := strconv.ParseFloat(q.Get("demand"), 64)
-	if err != nil || demand < 0 {
+	p := parseReqQuery(req.URL.RawQuery)
+	if !p.demandOK || p.demand < 0 {
 		http.Error(rw, "bad demand", http.StatusBadRequest)
 		return
 	}
-	w, err := strconv.ParseFloat(q.Get("w"), 64)
-	if err != nil {
+	if !p.wOK {
 		http.Error(rw, "bad w", http.StatusBadRequest)
 		return
 	}
-	n.runWork(demand, w, q.Get("fork") == "1")
-	writeBody(rw, q.Get("size"))
+	n.runWork(p.demand, p.w, p.fork)
+	writeBody(rw, p.size)
 }
+
+// okBody is the fallback response body when no size is requested.
+var okBody = []byte("ok\n")
 
 // writeBody streams a response body of the requested size (bytes), so
 // the live cluster moves real data over the loopback TCP connections;
 // absent or invalid sizes fall back to a 3-byte "ok".
-func writeBody(rw http.ResponseWriter, sizeStr string) {
-	size, err := strconv.ParseInt(sizeStr, 10, 64)
-	if err != nil || size <= 0 || size > 8<<20 {
+func writeBody(rw http.ResponseWriter, size int64) {
+	if size <= 0 || size > 8<<20 {
 		rw.WriteHeader(http.StatusOK)
-		fmt.Fprintln(rw, "ok")
+		rw.Write(okBody) //nolint:errcheck
 		return
 	}
 	rw.Header().Set("Content-Length", strconv.FormatInt(size, 10))
@@ -167,25 +165,41 @@ type StatsReport struct {
 }
 
 func (n *Node) handleStats(rw http.ResponseWriter, _ *http.Request) {
-	n.mu.Lock()
 	rep := StatsReport{
 		Node:      n.ID,
-		Executed:  n.executed,
-		CGIServed: n.cgiServed,
+		Executed:  n.executed.Load(),
+		CGIServed: n.cgiServed.Load(),
 		UptimeS:   time.Since(n.origin).Seconds(),
 	}
-	n.mu.Unlock()
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(rep) //nolint:errcheck
 }
 
-func (n *Node) handleLoad(rw http.ResponseWriter, _ *http.Request) {
+// wireBufPool holds scratch buffers for compact load encoding and
+// poll-response reads.
+var wireBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+func (n *Node) handleLoad(rw http.ResponseWriter, req *http.Request) {
 	rep := core.Load{
 		CPUIdle:   n.res.CPU.IdleRatio(),
 		DiskAvail: n.res.Disk.IdleRatio(),
 		CPUQueue:  n.res.CPU.QueueLength(),
 		DiskQueue: n.res.Disk.QueueLength(),
 		Speed:     1,
+	}
+	if queryHasValue(req.URL.RawQuery, "fmt", "c") {
+		// Compact fast path: one pooled buffer, strconv appends, no
+		// reflection. This is what the master's poller asks for.
+		buf := wireBufPool.Get().(*[]byte)
+		b := rep.AppendWire((*buf)[:0])
+		rw.Header().Set("Content-Type", core.LoadWireContentType)
+		rw.Write(b) //nolint:errcheck
+		*buf = b
+		wireBufPool.Put(buf)
+		return
 	}
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(rep) //nolint:errcheck
@@ -201,130 +215,219 @@ func (n *Node) Shutdown() {
 	n.res.Close()
 }
 
+// loadSnapshot is one immutable generation of the master's scheduling
+// view. The poller builds a fresh snapshot per round and publishes it
+// with an atomic pointer swap; the request path only ever reads
+// published snapshots, so no lock covers the view.
+type loadSnapshot struct {
+	epoch uint64
+	view  core.View
+}
+
+// failHoldDown is how long a node stays excluded from placement after a
+// failed /exec or /load before polls may rehabilitate it.
+const failHoldDown = 2 * time.Second
+
 // Master is a level-I node: it serves client requests, executes statics
 // locally, and schedules dynamics through a core.Policy over the latest
 // polled load view.
+//
+// Concurrency design: the polled view is an immutable snapshot behind an
+// atomic pointer, swapped by a fan-out poller (one goroutine per node
+// per round, sharing one deadline). Failure hold-downs, failover counts
+// and peer URLs are per-slot atomics. The only lock on the request path
+// is placeMu — a narrow shard covering the policy's own mutable state
+// (estimators, booking charges, tie-break RNG) and the response
+// histogram; nothing under it blocks or does I/O.
 type Master struct {
 	*Node
-	policy   core.Policy
-	view     core.View
-	nodeURLs []string // by node id
-	client   *http.Client
-	pmu      sync.Mutex
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	policy core.Policy
+	client *http.Client
+	stop   chan struct{}
+	wg     sync.WaitGroup
 
-	// failed marks nodes whose /exec or /load recently erred; they are
-	// excluded from placement until the deadline passes and a load poll
-	// succeeds again (sub-second failure detection, as the switches the
-	// paper discusses provide).
-	failed    map[int]time.Time
-	failovers int64
+	// snap is the current load view generation (never nil after launch).
+	snap atomic.Pointer[loadSnapshot]
+	// urls maps node id to its base URL; slots fill in as peers launch.
+	urls []atomic.Pointer[string]
+	// failedUntil holds per-node hold-down deadlines (UnixNano; 0 = live).
+	// Sub-second failure detection, as the switches the paper discusses
+	// provide.
+	failedUntil []atomic.Int64
+	failovers   atomic.Int64
+
+	// placeMu is the policy shard lock; see the type comment. The working
+	// view under it carries the booking charges (placement impact)
+	// accumulated since the last snapshot swap, re-seeded from the
+	// snapshot whenever the epoch moves.
+	placeMu   sync.Mutex
+	workView  core.View
+	workEpoch uint64
+	aliveBuf  []int // masters+slaves filter scratch, reused per request
 
 	// respHist aggregates client-visible /req response times (unscaled
-	// seconds), guarded by pmu.
+	// seconds), guarded by placeMu.
 	respHist *obs.Histogram
-}
-
-// StartMaster launches a master node. masters and slaves list node ids;
-// nodeURLs maps every id to its base URL (the master's own slot may be
-// empty — it never forwards to itself by URL).
-//
-// Deprecated: use LaunchMaster, which takes a validated NodeOptions
-// struct instead of nine positional arguments.
-func StartMaster(id int, origin time.Time, timeScale float64, masters, slaves []int, nodeURLs []string, policy core.Policy, loadRefresh, policyTick time.Duration) (*Master, error) {
-	return LaunchMaster(NodeOptions{
-		ID: id, Origin: origin, TimeScale: timeScale,
-		Masters: masters, Slaves: slaves, NodeURLs: nodeURLs,
-		Policy: policy, LoadRefresh: loadRefresh, PolicyTick: policyTick,
-	})
 }
 
 // Failovers reports how many dynamic requests were re-placed after a
 // remote execution failure.
-func (m *Master) Failovers() int64 {
-	m.pmu.Lock()
-	defer m.pmu.Unlock()
-	return m.failovers
-}
+func (m *Master) Failovers() int64 { return m.failovers.Load() }
 
 // markFailed excludes a node from placement for the hold-down period.
 func (m *Master) markFailed(id int) {
-	m.pmu.Lock()
-	m.failed[id] = time.Now().Add(2 * time.Second)
-	m.pmu.Unlock()
+	m.failedUntil[id].Store(time.Now().Add(failHoldDown).UnixNano())
 }
 
-// liveView returns a copy of the view with held-down nodes removed from
-// the tier lists (the Load slice is shared; policies only read it).
-// Callers must hold pmu.
-func (m *Master) liveView() core.View {
-	now := time.Now()
-	alive := func(ids []int) []int {
-		out := make([]int, 0, len(ids))
-		for _, id := range ids {
-			if until, bad := m.failed[id]; bad && now.Before(until) && id != m.ID {
-				continue
-			}
-			out = append(out, id)
+// alive reports whether a node may receive placements at wall time now.
+// The master itself is always alive (last-resort local execution).
+func (m *Master) alive(id int, now int64) bool {
+	if id == m.ID {
+		return true
+	}
+	until := m.failedUntil[id].Load()
+	return until == 0 || now >= until
+}
+
+// refreshWorkView rebuilds the policy's working view from the current
+// snapshot: load columns are re-copied only when the snapshot epoch
+// moved (preserving intra-window booking charges, exactly as the
+// locked-view implementation did), and the tier lists are re-filtered
+// against the failure hold-downs into a reused scratch buffer. Callers
+// must hold placeMu. Allocation-free in steady state.
+func (m *Master) refreshWorkView() {
+	s := m.snap.Load()
+	if s.epoch != m.workEpoch {
+		m.workEpoch = s.epoch
+		m.workView.Load = append(m.workView.Load[:0], s.view.Load...)
+		m.workView.Affinity = s.view.Affinity
+	}
+	now := time.Now().UnixNano()
+	buf := m.aliveBuf[:0]
+	for _, id := range s.view.Masters {
+		if m.alive(id, now) {
+			buf = append(buf, id)
 		}
-		return out
 	}
-	v := m.view
-	v.Masters = alive(m.view.Masters)
-	v.Slaves = alive(m.view.Slaves)
-	if len(v.Masters) == 0 {
-		v.Masters = []int{m.ID}
+	nMasters := len(buf)
+	for _, id := range s.view.Slaves {
+		if m.alive(id, now) {
+			buf = append(buf, id)
+		}
 	}
-	return v
+	m.aliveBuf = buf
+	m.workView.Masters = buf[:nMasters]
+	m.workView.Slaves = buf[nMasters:]
+	if nMasters == 0 {
+		// Never leave the view masterless; this master can always serve.
+		m.workView.Masters = append(m.workView.Masters[:0], m.ID)
+	}
 }
 
 // SetNodeURL fills in a peer URL learned after startup.
 func (m *Master) SetNodeURL(id int, url string) {
-	m.pmu.Lock()
-	defer m.pmu.Unlock()
-	m.nodeURLs[id] = url
+	m.urls[id].Store(&url)
+}
+
+// nodeURL returns node id's base URL ("" when unknown).
+func (m *Master) nodeURL(id int) string {
+	if p := m.urls[id].Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // pollLoop refreshes the load view from every node's /load endpoint.
+// Each round fans out one fetch goroutine per node under a shared
+// deadline (the polling period), so one slow or dead node delays the
+// snapshot swap by at most the period instead of serializing behind
+// every other fetch.
 func (m *Master) pollLoop(every time.Duration) {
 	defer m.wg.Done()
 	t := time.NewTicker(every)
 	defer t.Stop()
+	reports := make([]core.Load, len(m.urls))
+	fetched := make([]bool, len(m.urls))
 	for {
 		select {
 		case <-m.stop:
 			return
 		case <-t.C:
-			for id := range m.nodeURLs {
-				m.pmu.Lock()
-				url := m.nodeURLs[id]
-				m.pmu.Unlock()
-				if url == "" {
-					continue
-				}
-				rep, err := m.fetchLoad(url)
-				if err != nil {
-					m.markFailed(id)
-					continue
-				}
-				m.pmu.Lock()
-				delete(m.failed, id) // node answers again
-				if rep.Speed <= 0 {
-					// A report without a speed field keeps the
-					// configured value rather than zeroing it.
-					rep.Speed = m.view.Load[id].Speed
-				}
-				m.view.Load[id] = rep
-				m.pmu.Unlock()
-			}
+			m.pollOnce(every, reports, fetched)
 		}
 	}
 }
 
-func (m *Master) fetchLoad(url string) (core.Load, error) {
+// minPollDeadline floors the shared fetch deadline: with very fast
+// polling periods a deadline equal to the period misclassifies every
+// node as failed the moment the host is briefly loaded. Rounds longer
+// than the period simply make the ticker skip beats.
+const minPollDeadline = 100 * time.Millisecond
+
+// pollOnce runs one fan-out poll round and publishes the next snapshot.
+func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched []bool) {
+	if deadline < minPollDeadline {
+		deadline = minPollDeadline
+	}
+	prev := m.snap.Load()
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	var wg sync.WaitGroup
+	for id := range m.urls {
+		fetched[id] = false
+		base := m.nodeURL(id)
+		if base == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(id int, base string) {
+			defer wg.Done()
+			rep, err := m.fetchLoad(ctx, base)
+			if err != nil {
+				m.markFailed(id)
+				return
+			}
+			reports[id] = rep
+			fetched[id] = true
+		}(id, base)
+	}
+	wg.Wait()
+
+	next := &loadSnapshot{
+		epoch: prev.epoch + 1,
+		view: core.View{
+			// Role lists are immutable across snapshots and shared.
+			Masters:  prev.view.Masters,
+			Slaves:   prev.view.Slaves,
+			Affinity: prev.view.Affinity,
+			Load:     append([]core.Load(nil), prev.view.Load...),
+		},
+	}
+	for id := range reports {
+		if !fetched[id] {
+			continue
+		}
+		rep := reports[id]
+		if rep.Speed <= 0 {
+			// A report without a speed field keeps the configured value
+			// rather than zeroing it.
+			rep.Speed = next.view.Load[id].Speed
+		}
+		next.view.Load[id] = rep
+		m.failedUntil[id].Store(0) // node answers again
+	}
+	m.snap.Store(next)
+}
+
+// fetchLoad polls one node, preferring the compact wire format and
+// falling back to JSON for peers that predate it.
+func (m *Master) fetchLoad(ctx context.Context, base string) (core.Load, error) {
 	var rep core.Load
-	resp, err := m.client.Get(url + "/load")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/load?fmt=c", nil)
+	if err != nil {
+		return rep, err
+	}
+	resp, err := m.client.Do(req)
 	if err != nil {
 		return rep, err
 	}
@@ -332,8 +435,35 @@ func (m *Master) fetchLoad(url string) (core.Load, error) {
 	if resp.StatusCode != http.StatusOK {
 		return rep, fmt.Errorf("load: status %d", resp.StatusCode)
 	}
-	err = json.NewDecoder(resp.Body).Decode(&rep)
+	buf := wireBufPool.Get().(*[]byte)
+	defer wireBufPool.Put(buf)
+	b, err := readAllInto((*buf)[:0], io.LimitReader(resp.Body, 1<<20))
+	*buf = b[:0]
+	if err != nil {
+		return rep, err
+	}
+	if core.IsLoadWire(b) {
+		return core.ParseLoadWire(b)
+	}
+	err = json.Unmarshal(b, &rep)
 	return rep, err
+}
+
+// readAllInto is io.ReadAll into a caller-provided buffer.
+func readAllInto(b []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			return b, nil
+		}
+		if err != nil {
+			return b, err
+		}
+	}
 }
 
 // tickLoop runs the policy's periodic adaptation.
@@ -346,9 +476,10 @@ func (m *Master) tickLoop(every time.Duration) {
 		case <-m.stop:
 			return
 		case <-t.C:
-			m.pmu.Lock()
-			m.policy.Tick(time.Since(m.origin).Seconds(), &m.view)
-			m.pmu.Unlock()
+			m.placeMu.Lock()
+			m.refreshWorkView()
+			m.policy.Tick(time.Since(m.origin).Seconds(), &m.workView)
+			m.placeMu.Unlock()
 		}
 	}
 }
@@ -356,52 +487,44 @@ func (m *Master) tickLoop(every time.Duration) {
 // handleRequest is the client-facing endpoint:
 // /req?class=s|d&demand=F&w=F&script=N
 func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
-	q := req.URL.Query()
-	demand, err := strconv.ParseFloat(q.Get("demand"), 64)
-	if err != nil || demand < 0 {
+	p := parseReqQuery(req.URL.RawQuery)
+	if !p.demandOK || p.demand < 0 {
 		http.Error(rw, "bad demand", http.StatusBadRequest)
 		return
 	}
-	w, err := strconv.ParseFloat(q.Get("w"), 64)
-	if err != nil {
+	if !p.wOK {
 		http.Error(rw, "bad w", http.StatusBadRequest)
 		return
 	}
-	class := trace.Static
-	if q.Get("class") == "d" {
-		class = trace.Dynamic
-	}
-	script, _ := strconv.Atoi(q.Get("script"))
 
 	start := time.Now()
-	if class == trace.Static {
-		m.runWork(demand, w, false)
-	} else if err := m.runDynamic(class, script, demand, w); err != nil {
+	if p.class == trace.Static {
+		m.runWork(p.demand, p.w, false)
+	} else if err := m.runDynamic(p.script, p.demand, p.w); err != nil {
 		http.Error(rw, err.Error(), http.StatusBadGateway)
 		return
 	}
-	size := q.Get("size")
 	// Feed the reservation estimators with the server-side response
 	// time, normalized back to unscaled seconds.
 	resp := time.Since(start).Seconds() / m.timeScale
-	m.pmu.Lock()
-	m.policy.ObserveCompletion(class, resp, demand)
+	m.placeMu.Lock()
+	m.policy.ObserveCompletion(p.class, resp, p.demand)
 	m.respHist.Observe(resp)
-	m.pmu.Unlock()
+	m.placeMu.Unlock()
 
-	writeBody(rw, size)
+	writeBody(rw, p.size)
 }
 
 // runDynamic places and executes one dynamic request, failing over to
 // another node (and ultimately to local execution) when a remote /exec
 // errs — the restart-on-another-node behaviour the paper requires of
 // masters when a slave fails.
-func (m *Master) runDynamic(class trace.Class, script int, demand, w float64) error {
+func (m *Master) runDynamic(script int, demand, w float64) error {
 	for attempt := 0; attempt < 3; attempt++ {
-		m.pmu.Lock()
-		v := m.liveView()
-		target := m.policy.Place(core.Request{Class: class, Script: script}, m.ID, &v)
-		m.pmu.Unlock()
+		m.placeMu.Lock()
+		m.refreshWorkView()
+		target := m.policy.Place(core.Request{Class: trace.Dynamic, Script: script}, m.ID, &m.workView)
+		m.placeMu.Unlock()
 		if target == m.ID {
 			m.runWork(demand, w, true)
 			return nil
@@ -410,9 +533,7 @@ func (m *Master) runDynamic(class trace.Class, script int, demand, w float64) er
 			return nil
 		}
 		m.markFailed(target)
-		m.pmu.Lock()
-		m.failovers++
-		m.pmu.Unlock()
+		m.failovers.Add(1)
 	}
 	// Every remote attempt failed: run it here rather than drop it.
 	m.runWork(demand, w, true)
@@ -422,13 +543,20 @@ func (m *Master) runDynamic(class trace.Class, script int, demand, w float64) er
 // forward executes the CGI remotely via the target's /exec endpoint —
 // the paper's low-overhead remote execution path.
 func (m *Master) forward(target int, demand, w float64) error {
-	m.pmu.Lock()
-	base := m.nodeURLs[target]
-	m.pmu.Unlock()
+	base := m.nodeURL(target)
 	if base == "" {
 		return fmt.Errorf("no URL for node %d", target)
 	}
-	url := fmt.Sprintf("%s/exec?demand=%g&w=%g&fork=1", base, demand, w)
+	buf := wireBufPool.Get().(*[]byte)
+	b := append((*buf)[:0], base...)
+	b = append(b, "/exec?demand="...)
+	b = strconv.AppendFloat(b, demand, 'g', -1, 64)
+	b = append(b, "&w="...)
+	b = strconv.AppendFloat(b, w, 'g', -1, 64)
+	b = append(b, "&fork=1"...)
+	url := string(b)
+	*buf = b[:0]
+	wireBufPool.Put(buf)
 	resp, err := m.client.Get(url)
 	if err != nil {
 		return err
