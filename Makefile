@@ -49,7 +49,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/httpcluster/ ./internal/replay/ ./cmd/msload/
+	$(GO) test -race ./internal/httpcluster/ ./internal/chaos/ ./internal/replay/ ./cmd/msload/
 
 # The pre-merge gate: vet + lint plus the whole suite under the race
 # detector. The experiment grids run parallel by default, so this
@@ -78,19 +78,23 @@ benchdiff:
 	fi
 
 # End-to-end live-cluster numbers: a paced closed-loop run (with the
-# coordinated-omission-corrected histogram) and an open-loop run against
+# coordinated-omission-corrected histogram), an open-loop run, and a
+# chaos run (randomized fault injection; see internal/chaos) against
 # self-hosted loopback clusters, then the full microbenchmark suite; all
-# three land in one BENCH_results.json (results/live_*.json keep the raw
-# loadgen summaries).
+# of it lands in one BENCH_results.json (results/live_*.json keep the
+# raw loadgen summaries).
 loadbench:
 	@mkdir -p results
 	$(GO) run ./cmd/loadgen -mode closed -concurrency 8 -rps 400 -n 2000 \
 		-nodes 6 -masters 2 -timescale 0.01 -out results/live_closed.json
 	$(GO) run ./cmd/loadgen -mode open -rps 400 -n 2000 \
 		-nodes 6 -masters 2 -timescale 0.01 -out results/live_open.json
+	$(GO) run ./cmd/loadgen -mode closed -concurrency 8 -n 2000 \
+		-nodes 6 -masters 2 -timescale 0.01 -chaos -chaos-seed 42 -chaos-len 4s \
+		-out results/live_chaos.json
 	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
-			-live results/live_closed.json,results/live_open.json > BENCH_results.json
+			-live results/live_closed.json,results/live_open.json,results/live_chaos.json > BENCH_results.json
 
 # Regenerate every table and figure (minutes; table3 replays in real time).
 experiments:

@@ -61,6 +61,8 @@ type liveSummary struct {
 	Sent          int64   `json:"sent"`
 	OK            int64   `json:"ok"`
 	Errors        int64   `json:"errors"`
+	Shed          int64   `json:"shed"`
+	Exhausted     int64   `json:"exhausted"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	Latency       struct {
 		P50  float64 `json:"p50"`
@@ -72,6 +74,14 @@ type liveSummary struct {
 	Corrected *struct {
 		P99 float64 `json:"p99"`
 	} `json:"corrected"`
+	Chaos *struct {
+		Seed         int64 `json:"seed"`
+		Events       int64 `json:"events"`
+		FaultedNodes int64 `json:"faulted_nodes"`
+		BreakerOpens int64 `json:"breaker_opens"`
+		Failovers    int64 `json:"failovers"`
+		Retries      int64 `json:"retries"`
+	} `json:"chaos"`
 }
 
 // liveResults converts loadgen summary files into pseudo-benchmark
@@ -106,6 +116,19 @@ func liveResults(paths []string) ([]Result, error) {
 		}
 		if s.Corrected != nil {
 			r.Metrics["corrected_p99_s"] = s.Corrected.P99
+		}
+		// A chaos run is a distinct experiment: name it apart so a plain
+		// and a chaos summary of the same mode can coexist in one report.
+		if s.Chaos != nil {
+			r.Name += "/chaos"
+			r.Metrics["shed"] = float64(s.Shed)
+			r.Metrics["exhausted"] = float64(s.Exhausted)
+			r.Metrics["chaos_seed"] = float64(s.Chaos.Seed)
+			r.Metrics["chaos_events"] = float64(s.Chaos.Events)
+			r.Metrics["chaos_faulted_nodes"] = float64(s.Chaos.FaultedNodes)
+			r.Metrics["chaos_breaker_opens"] = float64(s.Chaos.BreakerOpens)
+			r.Metrics["chaos_failovers"] = float64(s.Chaos.Failovers)
+			r.Metrics["chaos_retries"] = float64(s.Chaos.Retries)
 		}
 		out = append(out, r)
 	}

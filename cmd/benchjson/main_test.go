@@ -85,6 +85,26 @@ func TestLiveResults(t *testing.T) {
 		t.Fatal("open summary must not grow a corrected metric")
 	}
 
+	chaosPath := filepath.Join(dir, "chaos.json")
+	os.WriteFile(chaosPath, []byte(`{
+		"mode": "closed", "sent": 200, "ok": 190, "errors": 0, "shed": 6, "exhausted": 4,
+		"throughput_rps": 300,
+		"latency": {"p50": 0.001, "p95": 0.002, "p99": 0.003, "mean": 0.001, "max": 0.004},
+		"chaos": {"seed": 7, "events": 12, "faulted_nodes": 3, "breaker_opens": 5, "failovers": 9, "retries": 11}
+	}`), 0o644) //nolint:errcheck
+	rs, err = liveResults([]string{chaosPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := rs[0]
+	if ch.Name != "LiveCluster/closed/chaos" {
+		t.Fatalf("chaos run not named apart: %+v", ch)
+	}
+	if ch.Metrics["shed"] != 6 || ch.Metrics["exhausted"] != 4 ||
+		ch.Metrics["chaos_breaker_opens"] != 5 || ch.Metrics["chaos_failovers"] != 9 {
+		t.Fatalf("chaos metrics mis-folded: %+v", ch.Metrics)
+	}
+
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte(`{"not": "a summary"}`), 0o644) //nolint:errcheck
 	if _, err := liveResults([]string{bad}); err == nil {

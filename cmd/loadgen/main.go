@@ -25,13 +25,22 @@
 // (-nodes/-masters/-timescale) so `go run ./cmd/loadgen` benchmarks the
 // live data plane end to end with zero setup.
 //
+// With -chaos (self-hosted cluster only), a seeded randomized fault
+// schedule (internal/chaos) cycles the cluster's slaves through kills,
+// pauses, injected latency and slow-loris while the load runs; the
+// summary then separates deliberate shedding (503) and retry exhaustion
+// (502) from transport errors and reports the breaker/failover counters
+// the faults provoked.
+//
 // Usage:
 //
 //	loadgen -mode open -rps 200 -n 2000 -profile KSU -timescale 0.05
 //	loadgen -mode closed -concurrency 8 -rps 100 -n 1000 -out results/closed.json
+//	loadgen -mode closed -concurrency 8 -n 2000 -chaos -chaos-seed 7 -nodes 6 -masters 2
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"msweb/internal/chaos"
 	"msweb/internal/core"
 	"msweb/internal/httpcluster"
 	"msweb/internal/obs"
@@ -84,6 +94,8 @@ type Summary struct {
 	Sent          int64        `json:"sent"`
 	OK            int64        `json:"ok"`
 	Errors        int64        `json:"errors"`
+	Shed          int64        `json:"shed,omitempty"`
+	Exhausted     int64        `json:"exhausted,omitempty"`
 	DurationS     float64      `json:"duration_s"`
 	ThroughputRPS float64      `json:"throughput_rps"`
 	TargetRPS     float64      `json:"target_rps,omitempty"`
@@ -92,6 +104,22 @@ type Summary struct {
 	// Corrected is present in closed mode with pacing (-rps): the same
 	// samples plus HdrHistogram-style coordinated-omission back-fill.
 	Corrected *LatencyStats `json:"corrected,omitempty"`
+	// Chaos is present with -chaos: the fault schedule's shape and the
+	// cluster-side resilience counters it provoked.
+	Chaos *ChaosSummary `json:"chaos,omitempty"`
+}
+
+// ChaosSummary reports a -chaos run: what was injected and how the data
+// plane's resilience machinery responded.
+type ChaosSummary struct {
+	Seed         int64 `json:"seed"`
+	Events       int   `json:"events"`
+	FaultedNodes int   `json:"faulted_nodes"`
+	BreakerOpens int64 `json:"breaker_opens"`
+	Failovers    int64 `json:"failovers"`
+	Retries      int64 `json:"retries"`
+	MasterShed   int64 `json:"master_shed"`
+	Exhausted    int64 `json:"master_exhausted"`
 }
 
 // run parses args, drives the load, and writes the JSON summary. Split
@@ -114,12 +142,19 @@ func run(args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	out := fs.String("out", "", "write the JSON summary to this file (default stdout)")
 	minRPS := fs.Float64("min-rps", 0, "exit nonzero if measured throughput falls below this")
+	chaosOn := fs.Bool("chaos", false, "inject randomized faults into the self-hosted cluster's slaves while driving load")
+	chaosSeed := fs.Int64("chaos-seed", 42, "fault schedule seed (reproducible)")
+	chaosLen := fs.Duration("chaos-len", 5*time.Second, "fault schedule length; all nodes are healthy again afterwards")
+	chaosKills := fs.Bool("chaos-kills-only", false, "restrict injected faults to node kills (no pauses, latency or slow-loris)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *mode != "open" && *mode != "closed" {
 		return fmt.Errorf("-mode must be open or closed, got %q", *mode)
+	}
+	if *chaosOn && *targets != "" {
+		return fmt.Errorf("-chaos needs the self-hosted cluster (drop -targets): faults are injected via proxies in front of its slaves")
 	}
 	if *mode == "open" && *rps <= 0 {
 		return fmt.Errorf("-mode open requires -rps > 0")
@@ -152,6 +187,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var targetURLs []string
+	var harness *chaos.Harness
+	var sched chaos.Schedule
+	var schedDone chan struct{}
+	var chaosCancel context.CancelFunc
 	if *targets == "" {
 		cfg := httpcluster.Config{
 			Nodes: *nodes, Masters: *masters, TimeScale: *timescale,
@@ -161,12 +200,46 @@ func run(args []string, stdout io.Writer) error {
 				return core.NewMS(nil, int64(id)+1)
 			},
 		}
-		c, err := httpcluster.Start(cfg)
-		if err != nil {
-			return err
+		if *chaosOn {
+			if *nodes <= *masters {
+				return fmt.Errorf("-chaos needs at least one slave (nodes %d, masters %d)", *nodes, *masters)
+			}
+			// Faster fault detection than the steady-state defaults, so a
+			// few-second schedule exercises open → half-open → closed; the
+			// dispatch deadline stays under the client timeout so every
+			// outcome is a counted status, not a client-side abort.
+			cfg.Resilience = httpcluster.Resilience{
+				Breaker:         httpcluster.BreakerConfig{OpenFor: 250 * time.Millisecond},
+				DispatchTimeout: *timeout / 2,
+				RetryBackoff:    2 * time.Millisecond,
+			}
+			h, err := chaos.Launch(cfg)
+			if err != nil {
+				return err
+			}
+			defer h.Shutdown()
+			harness, targetURLs = h, h.MasterURLs()
+			sched = chaos.Random(*chaosSeed, chaos.RandomConfig{
+				Nodes:     h.SlaveIDs(),
+				Length:    *chaosLen,
+				KillsOnly: *chaosKills,
+			})
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			chaosCancel = cancel
+			schedDone = make(chan struct{})
+			go func() {
+				defer close(schedDone)
+				chaos.Run(ctx, time.Now(), sched, h.Proxies)
+			}()
+		} else {
+			c, err := httpcluster.Start(cfg)
+			if err != nil {
+				return err
+			}
+			defer c.Shutdown()
+			targetURLs = c.MasterURLs()
 		}
-		defer c.Shutdown()
-		targetURLs = c.MasterURLs()
 	} else {
 		targetURLs = strings.Split(*targets, ",")
 	}
@@ -193,7 +266,7 @@ func run(args []string, stdout io.Writer) error {
 		TargetRPS:   *rps,
 		Concurrency: 0,
 	}
-	var okCount, errCount atomic.Int64
+	var okCount, errCount, shedCount, exhaustedCount atomic.Int64
 	do := func(url string) bool {
 		resp, err := client.Get(url)
 		if err != nil {
@@ -202,12 +275,21 @@ func run(args []string, stdout io.Writer) error {
 		}
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
+		switch resp.StatusCode {
+		case http.StatusOK:
+			okCount.Add(1)
+			return true
+		case http.StatusServiceUnavailable:
+			// Deliberate shedding (503 + Retry-After) is a terminal
+			// outcome of overload protection, not a transport failure.
+			shedCount.Add(1)
+		case http.StatusBadGateway:
+			// Retry budget or deadline exhausted at the master.
+			exhaustedCount.Add(1)
+		default:
 			errCount.Add(1)
-			return false
 		}
-		okCount.Add(1)
-		return true
+		return false
 	}
 
 	start := time.Now()
@@ -224,6 +306,8 @@ func run(args []string, stdout io.Writer) error {
 	s.Sent = int64(len(urls))
 	s.OK = okCount.Load()
 	s.Errors = errCount.Load()
+	s.Shed = shedCount.Load()
+	s.Exhausted = exhaustedCount.Load()
 	s.DurationS = dur.Seconds()
 	if s.DurationS > 0 {
 		s.ThroughputRPS = float64(s.OK) / s.DurationS
@@ -232,6 +316,28 @@ func run(args []string, stdout io.Writer) error {
 	if corrected != nil {
 		cs := statsOf(corrected)
 		s.Corrected = &cs
+	}
+	if harness != nil {
+		chaosCancel() // load is done; stop replaying faults
+		<-schedDone
+		cs := ChaosSummary{Seed: *chaosSeed, Events: len(sched)}
+		faulted := map[int]bool{}
+		for _, e := range sched {
+			if e.Mode != chaos.ModeOK {
+				faulted[e.Node] = true
+			}
+		}
+		cs.FaultedNodes = len(faulted)
+		for _, m := range harness.Cluster.Masters {
+			cs.Failovers += m.Failovers()
+			cs.Retries += m.Retries()
+			cs.MasterShed += m.Shed()
+			cs.Exhausted += m.Exhausted()
+			for _, id := range harness.SlaveIDs() {
+				cs.BreakerOpens += m.BreakerOpens(id)
+			}
+		}
+		s.Chaos = &cs
 	}
 
 	buf, err := json.MarshalIndent(&s, "", "  ")

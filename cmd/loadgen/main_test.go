@@ -73,6 +73,48 @@ func TestLoadgenOpen(t *testing.T) {
 	}
 }
 
+// TestLoadgenChaos runs the self-hosted cluster under an injected fault
+// schedule and checks the chaos section of the summary: the schedule
+// shape is reported, every request still reaches a terminal outcome,
+// and the identical seed reproduces the identical schedule shape.
+func TestLoadgenChaos(t *testing.T) {
+	runOnce := func() Summary {
+		t.Helper()
+		var stdout bytes.Buffer
+		err := run([]string{
+			"-mode", "closed", "-concurrency", "4", "-n", "300",
+			"-nodes", "4", "-masters", "1", "-timescale", "0.001",
+			"-chaos", "-chaos-seed", "7", "-chaos-len", "1s",
+		}, &stdout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s Summary
+		if err := json.Unmarshal(stdout.Bytes(), &s); err != nil {
+			t.Fatalf("summary is not valid JSON: %v\n%s", err, stdout.Bytes())
+		}
+		return s
+	}
+	s := runOnce()
+	if s.Chaos == nil {
+		t.Fatal("-chaos must emit a chaos section")
+	}
+	if s.Chaos.Seed != 7 || s.Chaos.Events == 0 || s.Chaos.FaultedNodes == 0 {
+		t.Fatalf("chaos schedule shape: %+v", *s.Chaos)
+	}
+	if got := s.OK + s.Shed + s.Exhausted + s.Errors; got != s.Sent {
+		t.Fatalf("outcomes %d (ok %d + shed %d + exhausted %d + errors %d) != sent %d",
+			got, s.OK, s.Shed, s.Exhausted, s.Errors, s.Sent)
+	}
+	if s.OK == 0 {
+		t.Fatal("no request succeeded under chaos")
+	}
+	s2 := runOnce()
+	if s2.Chaos.Events != s.Chaos.Events || s2.Chaos.FaultedNodes != s.Chaos.FaultedNodes {
+		t.Fatalf("same seed, different schedule: %+v vs %+v", *s.Chaos, *s2.Chaos)
+	}
+}
+
 // TestLoadgenFlagErrors pins the argument contract.
 func TestLoadgenFlagErrors(t *testing.T) {
 	cases := [][]string{
@@ -80,6 +122,8 @@ func TestLoadgenFlagErrors(t *testing.T) {
 		{"-mode", "open"}, // missing -rps
 		{"-mode", "closed", "-concurrency", "0"},
 		{"-profile", "NOPE"},
+		{"-chaos", "-targets", "http://localhost:1"},
+		{"-chaos", "-nodes", "1", "-masters", "1"},
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"msweb/internal/cluster"
+	"msweb/internal/rng"
+)
+
+// Event is one scheduled fault transition: at offset At from the run's
+// start, the proxy in front of Node switches to Mode (Delay paces
+// ModeLatency/ModeSlowLoris).
+type Event struct {
+	Node  int
+	At    time.Duration
+	Mode  Mode
+	Delay time.Duration
+}
+
+// Schedule is a fault script, ordered by At.
+type Schedule []Event
+
+// FromAvailability converts the simulator's availability script into a
+// live fault schedule: Available=false becomes ModeDown, true ModeOK.
+// Simulated times (virtual seconds) are scaled by timeScale into wall
+// durations, mirroring how the live node scales service demands.
+func FromAvailability(events []cluster.AvailabilityEvent, timeScale float64) Schedule {
+	s := make(Schedule, 0, len(events))
+	for _, e := range events {
+		mode := ModeOK
+		if !e.Available {
+			mode = ModeDown
+		}
+		s = append(s, Event{
+			Node: e.Node,
+			At:   time.Duration(e.At * timeScale * float64(time.Second)),
+			Mode: mode,
+		})
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return s
+}
+
+// RandomConfig shapes a randomized fault schedule.
+type RandomConfig struct {
+	// Nodes are the node ids to fault (each needs a proxy at Run time).
+	Nodes []int
+	// Length bounds the schedule; every node is restored to ModeOK at
+	// Length.
+	Length time.Duration
+	// MeanUp and MeanDown are the means of the exponential up/down
+	// period lengths (defaults 300 ms / 150 ms).
+	MeanUp, MeanDown time.Duration
+	// Delay paces injected latency and slow-loris trickle (default 5 ms).
+	Delay time.Duration
+	// KillsOnly restricts fault modes to ModeDown; otherwise each fault
+	// picks uniformly among down/paused/latency/slow-loris.
+	KillsOnly bool
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	if c.MeanUp <= 0 {
+		c.MeanUp = 300 * time.Millisecond
+	}
+	if c.MeanDown <= 0 {
+		c.MeanDown = 150 * time.Millisecond
+	}
+	if c.Delay <= 0 {
+		c.Delay = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Random builds a seed-reproducible schedule: each node alternates
+// exponentially-distributed healthy and faulty periods, drawn from its
+// own forked stream so adding a node never perturbs the others'
+// timelines. Every node ends the schedule back in ModeOK.
+func Random(seed int64, cfg RandomConfig) Schedule {
+	cfg = cfg.withDefaults()
+	root := rng.New(seed)
+	var s Schedule
+	faults := []Mode{ModeDown, ModePaused, ModeLatency, ModeSlowLoris}
+	for _, node := range cfg.Nodes {
+		st := root.Fork(int64(node))
+		at := time.Duration(st.Exp(float64(cfg.MeanUp)))
+		for at < cfg.Length {
+			mode := ModeDown
+			if !cfg.KillsOnly {
+				mode = faults[st.Intn(len(faults))]
+			}
+			s = append(s, Event{Node: node, At: at, Mode: mode, Delay: cfg.Delay})
+			at += time.Duration(st.Exp(float64(cfg.MeanDown)))
+			if at >= cfg.Length {
+				break
+			}
+			s = append(s, Event{Node: node, At: at, Mode: ModeOK})
+			at += time.Duration(st.Exp(float64(cfg.MeanUp)))
+		}
+		s = append(s, Event{Node: node, At: cfg.Length, Mode: ModeOK})
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return s
+}
+
+// Run replays the schedule against the given proxies in real time,
+// starting from start. Events for nodes without a proxy are skipped.
+// Run returns early if ctx is cancelled; otherwise it returns after the
+// last event has been applied.
+func Run(ctx context.Context, start time.Time, s Schedule, proxies map[int]*Proxy) {
+	for _, e := range s {
+		if d := time.Until(start.Add(e.At)); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		if p := proxies[e.Node]; p != nil {
+			p.SetMode(e.Mode, e.Delay)
+		}
+	}
+}

@@ -131,6 +131,31 @@ type PlacementExplainer interface {
 	LastPlacement() Placement
 }
 
+// MasterAdmission is implemented by reservation-based policies that can
+// report whether the θ₂ cap currently admits another dynamic request at
+// a master. The live cluster's load shedder consults it when every
+// slave is circuit-open: if the reservation says masters are already at
+// their dynamic cap, admitting more would starve static traffic, so the
+// request is shed instead — the same feedback loop that drives
+// placement, extended to admission control.
+type MasterAdmission interface {
+	AdmitsAtMaster() bool
+}
+
+// FilterLive appends to dst the members of ids for which live returns
+// true and returns the extended slice. It is the breaker-aware candidate
+// filter used by live masters to exclude circuit-open nodes from a
+// policy's view; callers pass a reused scratch as dst so steady-state
+// filtering allocates nothing.
+func FilterLive(dst, ids []int, live func(id int) bool) []int {
+	for _, id := range ids {
+		if live(id) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
 // AdaptiveStats is implemented by policies that expose their adaptive
 // estimator state — the live cluster's /metrics endpoint publishes
 // these as the scheduler gauges the paper's measurement-driven
@@ -405,6 +430,13 @@ func (m *MS) ServiceRatio() float64 { return m.res.R() }
 
 // LastPlacement implements PlacementExplainer.
 func (m *MS) LastPlacement() Placement { return m.last }
+
+// AdmitsAtMaster implements MasterAdmission: whether the reservation cap
+// would admit the next dynamic request at a master. Policies running the
+// M/S-nr ablation always admit.
+func (m *MS) AdmitsAtMaster() bool {
+	return !m.reservation || m.res.AdmitAtMaster()
+}
 
 // intersect returns the members of a that also appear in b, preserving
 // a's order.

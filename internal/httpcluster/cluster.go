@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"msweb/internal/core"
+	"msweb/internal/obs"
 )
 
 // Config describes a live cluster.
@@ -24,6 +25,15 @@ type Config struct {
 	// MakePolicy builds one scheduling policy per master (each master
 	// runs its own load manager, as in the paper's prototype).
 	MakePolicy func(masterID int) core.Policy
+	// Resilience configures deadlines, retries, circuit breakers and
+	// shedding on every node; the zero value keeps the defaults.
+	Resilience Resilience
+	// Tracer receives request lifecycle events from every master (must be
+	// safe for concurrent use); nil disables tracing.
+	Tracer obs.Tracer
+	// PollDeadlineFloor floors each master's /load fan-out deadline
+	// (default 100 ms).
+	PollDeadlineFloor time.Duration
 }
 
 // DefaultConfig mirrors the Table 3 setup: 6 nodes, the given master
@@ -103,7 +113,10 @@ func Start(cfg Config) (*Cluster, error) {
 	// Slaves first, so their URLs are known to every master.
 	nodeURLs := make([]string, cfg.Nodes)
 	for _, id := range slaves {
-		n, err := LaunchNode(NodeOptions{ID: id, Origin: origin, TimeScale: cfg.TimeScale})
+		n, err := LaunchNode(NodeOptions{
+			ID: id, Origin: origin, TimeScale: cfg.TimeScale,
+			Resilience: cfg.Resilience,
+		})
 		if err != nil {
 			c.Shutdown()
 			return nil, err
@@ -117,6 +130,8 @@ func Start(cfg Config) (*Cluster, error) {
 			Masters: masters, Slaves: slaves, NodeURLs: nodeURLs,
 			Policy:      cfg.MakePolicy(id),
 			LoadRefresh: cfg.LoadRefresh, PolicyTick: cfg.PolicyTick,
+			Resilience:  cfg.Resilience, Tracer: cfg.Tracer,
+			PollDeadlineFloor: cfg.PollDeadlineFloor,
 		})
 		if err != nil {
 			c.Shutdown()

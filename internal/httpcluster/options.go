@@ -10,6 +10,82 @@ import (
 	"msweb/internal/obs"
 )
 
+// Default resilience values. They reproduce the pre-resilience
+// constants: a 120 s dispatch bound (the old fixed http.Client timeout),
+// three placement attempts (the old failover loop), immediate retries,
+// and the 100 ms poll-deadline floor.
+const (
+	DefaultDispatchTimeout   = 120 * time.Second
+	DefaultRetryBudget       = 3
+	DefaultPollDeadlineFloor = 100 * time.Millisecond
+)
+
+// Resilience bundles the live data plane's failure-handling knobs:
+// request deadlines, the retry budget with backoff, tail hedging,
+// per-node circuit breakers, and overload shedding. The zero value
+// resolves to defaults matching the old hard-coded behavior (plus
+// reservation-gated shedding when every slave is circuit-open — see
+// DisableShedding).
+type Resilience struct {
+	// Breaker tunes the per-node circuit breakers that replace the old
+	// fixed failHoldDown (see BreakerConfig; Breaker.OpenFor is the
+	// configurable successor of that constant).
+	Breaker BreakerConfig
+	// DispatchTimeout is the default per-request deadline when the
+	// client sends no X-Msweb-Timeout-Ms header, and the bound on every
+	// master→slave /exec round trip.
+	DispatchTimeout time.Duration
+	// RetryBudget is the maximum number of placement attempts for one
+	// dynamic request, across distinct nodes where possible.
+	RetryBudget int
+	// RetryBackoff is the base of the capped-exponential-full-jitter
+	// backoff between attempts: attempt k sleeps uniform[0, min(
+	// RetryBackoff·2^(k−1), RetryBackoffMax)]. 0 retries immediately
+	// (the old behavior).
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the backoff; defaults to 16×RetryBackoff.
+	RetryBackoffMax time.Duration
+	// HedgeAfter launches a second attempt for an idempotent dynamic
+	// request whose first dispatch is still in flight after this long;
+	// the first success wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// MaxInflight bounds concurrently admitted /req requests; above it
+	// requests are shed with 503 + Retry-After. 0 = unbounded.
+	MaxInflight int
+	// MaxQueue sheds /exec work with 503 *before* it queues when the
+	// node's combined CPU+disk queue population is at least MaxQueue.
+	// 0 = unbounded.
+	MaxQueue int
+	// ShedRSRC additionally sheds dynamics when every slave is
+	// circuit-open and this master's own RSRC cost is at least ShedRSRC
+	// (its resources are too busy to absorb CGI work without starving
+	// statics). 0 disables the RSRC rule; the reservation rule below
+	// still applies.
+	ShedRSRC float64
+	// DisableShedding turns off dynamic-request shedding entirely,
+	// restoring the old unconditional local-fallback behavior. With
+	// shedding on (the default), a dynamic request is shed with 503 +
+	// Retry-After when every slave is circuit-open AND the θ₂
+	// reservation denies master admission — the paper's reservation
+	// feedback loop extended into admission control.
+	DisableShedding bool
+}
+
+// withDefaults fills zero fields.
+func (r Resilience) withDefaults() Resilience {
+	r.Breaker = r.Breaker.withDefaults()
+	if r.DispatchTimeout <= 0 {
+		r.DispatchTimeout = DefaultDispatchTimeout
+	}
+	if r.RetryBudget <= 0 {
+		r.RetryBudget = DefaultRetryBudget
+	}
+	if r.RetryBackoffMax <= 0 && r.RetryBackoff > 0 {
+		r.RetryBackoffMax = 16 * r.RetryBackoff
+	}
+	return r
+}
+
 // NodeOptions configures one live node or master. It replaces the
 // positional-argument Start* constructors: the redesigned entry points
 // LaunchNode and LaunchMaster validate an options struct, so adding a
@@ -23,6 +99,15 @@ type NodeOptions struct {
 	Origin time.Time
 	// TimeScale multiplies every service duration; 0 means real time (1).
 	TimeScale float64
+	// Resilience tunes deadlines, retries, breakers and shedding. Nodes
+	// consult only Resilience.MaxQueue; masters use all of it.
+	Resilience Resilience
+	// Tracer receives request lifecycle events (arrival, retry, shed,
+	// exhausted, complete) from a master's /req path. nil disables
+	// tracing. A live master emits from concurrent handlers, so the
+	// tracer must be safe for concurrent use (unlike the simulator's
+	// single-threaded JSONL tracer).
+	Tracer obs.Tracer
 
 	// The remaining fields configure masters only and are ignored by
 	// LaunchNode.
@@ -37,6 +122,10 @@ type NodeOptions struct {
 	// LoadRefresh is the /load polling period; PolicyTick the policy
 	// adaptation period.
 	LoadRefresh, PolicyTick time.Duration
+	// PollDeadlineFloor floors the shared /load fan-out deadline so very
+	// fast polling periods do not misclassify briefly-slow nodes as
+	// failed (default 100 ms, the old hard-coded minimum).
+	PollDeadlineFloor time.Duration
 }
 
 // Validate reports option errors. Master-only fields are checked only
@@ -47,6 +136,8 @@ func (o NodeOptions) Validate(master bool) error {
 		return fmt.Errorf("httpcluster: negative node id %d", o.ID)
 	case o.TimeScale < 0:
 		return fmt.Errorf("httpcluster: negative time scale %v", o.TimeScale)
+	case o.Resilience.MaxInflight < 0 || o.Resilience.MaxQueue < 0:
+		return fmt.Errorf("httpcluster: negative admission bounds %+v", o.Resilience)
 	}
 	if !master {
 		return nil
@@ -77,17 +168,21 @@ func (o NodeOptions) withDefaults() NodeOptions {
 	if o.TimeScale == 0 {
 		o.TimeScale = 1
 	}
+	if o.PollDeadlineFloor <= 0 {
+		o.PollDeadlineFloor = DefaultPollDeadlineFloor
+	}
+	o.Resilience = o.Resilience.withDefaults()
 	return o
 }
 
 // LaunchNode starts a slave node server on a loopback ephemeral port.
-// Only ID, Origin and TimeScale are consulted.
+// Only ID, Origin, TimeScale and Resilience.MaxQueue are consulted.
 func LaunchNode(o NodeOptions) (*Node, error) {
 	if err := o.Validate(false); err != nil {
 		return nil, err
 	}
 	o = o.withDefaults()
-	n, err := newNode(o.ID, o.Origin, o.TimeScale)
+	n, err := newNode(o)
 	if err != nil {
 		return nil, err
 	}
@@ -106,21 +201,29 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 		return nil, err
 	}
 	o = o.withDefaults()
-	n, err := newNode(o.ID, o.Origin, o.TimeScale)
+	n, err := newNode(o)
 	if err != nil {
 		return nil, err
 	}
 	m := &Master{
 		Node:   n,
 		policy: o.Policy,
+		// No global client timeout: every outbound request (forward,
+		// poll fetch) carries its own context deadline, so a short
+		// dispatch timeout cannot starve the slower poll round or vice
+		// versa.
 		client: &http.Client{
 			Transport: &http.Transport{MaxIdleConnsPerHost: 128},
-			Timeout:   120 * time.Second,
 		},
 		stop:        make(chan struct{}),
+		self:        [1]int{o.ID},
+		rs:          o.Resilience,
+		pollFloor:   o.PollDeadlineFloor,
+		tracer:      o.Tracer,
 		urls:        make([]atomic.Pointer[string], len(o.NodeURLs)),
-		failedUntil: make([]atomic.Int64, len(o.NodeURLs)),
+		brk:         newBreakerSet(len(o.NodeURLs), o.Resilience.Breaker),
 		respHist:    obs.NewHistogram(),
+		backoffHist: obs.NewHistogram(),
 	}
 	for id, u := range o.NodeURLs {
 		if u != "" {

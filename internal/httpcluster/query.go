@@ -26,19 +26,21 @@ import (
 // optional fields degrade to their zero values exactly as the previous
 // url.Values code did.
 type reqParams struct {
-	demand, w    float64
-	demandOK     bool
-	wOK          bool
-	class        trace.Class
-	script       int
-	size         int64
-	fork         bool
-	seenDemand   bool
-	seenW        bool
-	seenClass    bool
-	seenScript   bool
-	seenSize     bool
-	seenFork     bool
+	demand, w  float64
+	demandOK   bool
+	wOK        bool
+	class      trace.Class
+	script     int
+	size       int64
+	fork       bool
+	idem       bool // idempotent (default); idem=0 marks side-effecting work
+	seenDemand bool
+	seenW      bool
+	seenClass  bool
+	seenScript bool
+	seenSize   bool
+	seenFork   bool
+	seenIdem   bool
 }
 
 // unescape resolves %-escapes and '+' only when present, so plain
@@ -55,7 +57,7 @@ func unescape(s string) (string, bool) {
 // validity is reported per field so each handler can decide which fields
 // it requires.
 func parseReqQuery(raw string) reqParams {
-	var p reqParams
+	p := reqParams{idem: true}
 	for len(raw) > 0 {
 		var pair string
 		if i := strings.IndexByte(raw, '&'); i >= 0 {
@@ -126,6 +128,16 @@ func parseReqQuery(raw string) reqParams {
 			p.seenFork = true
 			if v, ok := unescape(val); ok && v == "1" {
 				p.fork = true
+			}
+		case "idem":
+			if p.seenIdem {
+				continue
+			}
+			p.seenIdem = true
+			// Only an explicit idem=0 marks a request non-idempotent;
+			// everything else keeps the retryable default.
+			if v, ok := unescape(val); ok && v == "0" {
+				p.idem = false
 			}
 		}
 	}

@@ -3,8 +3,10 @@ package httpcluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -15,6 +17,19 @@ import (
 	"msweb/internal/core"
 	"msweb/internal/obs"
 	"msweb/internal/trace"
+)
+
+// Deadline-propagation headers. Clients hand the master a relative
+// budget; the master forwards the resolved absolute deadline so slaves
+// on the same clock (a loopback cluster) can refuse work that already
+// expired in their queue.
+const (
+	// TimeoutHeader carries the client's relative deadline budget for a
+	// /req call, in milliseconds.
+	TimeoutHeader = "X-Msweb-Timeout-Ms"
+	// DeadlineHeader carries the absolute deadline (UnixNano) on
+	// master→slave /exec calls.
+	DeadlineHeader = "X-Msweb-Deadline-Ns"
 )
 
 // LoadReport is the JSON body of a node's /load endpoint — the live
@@ -37,14 +52,17 @@ type Node struct {
 	fork      time.Duration
 	timeScale float64
 	origin    time.Time
+	maxQueue  int // shed /exec before queueing at this population; 0 = off
 	srv       *http.Server
 	lis       net.Listener
 	mux       *http.ServeMux
 
 	// Request counters are plain atomics: the hot path pays two
 	// uncontended atomic adds instead of a mutex round trip.
-	executed  atomic.Int64
-	cgiServed atomic.Int64
+	executed        atomic.Int64
+	cgiServed       atomic.Int64
+	execShed        atomic.Int64
+	deadlineExpired atomic.Int64
 
 	// statsMu guards only the two windowed aggregates below; nothing on
 	// the request path blocks behind anything slower than an Observe.
@@ -54,22 +72,21 @@ type Node struct {
 }
 
 // newNode allocates the node core and its listener; the HTTP server is
-// attached by serve() once the role-specific mux exists.
-func newNode(id int, origin time.Time, timeScale float64) (*Node, error) {
-	if timeScale <= 0 {
-		timeScale = 1
-	}
+// attached by serve() once the role-specific mux exists. The options
+// must already carry defaults (withDefaults).
+func newNode(o NodeOptions) (*Node, error) {
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	return &Node{
-		ID:        id,
+		ID:        o.ID,
 		URL:       "http://" + lis.Addr().String(),
-		res:       NewNodeResources(origin, timeScale),
-		fork:      time.Duration(float64(3*time.Millisecond) * timeScale),
-		timeScale: timeScale,
-		origin:    origin,
+		res:       NewNodeResources(o.Origin, o.TimeScale),
+		fork:      time.Duration(float64(3*time.Millisecond) * o.TimeScale),
+		timeScale: o.TimeScale,
+		origin:    o.Origin,
+		maxQueue:  o.Resilience.MaxQueue,
 		lis:       lis,
 		svcHist:   obs.NewHistogram(),
 		reqRate:   obs.NewWindowedCounter(10, 10),
@@ -91,6 +108,14 @@ func (n *Node) Executed() int64 { return n.executed.Load() }
 
 // CGIServed returns how many forked (dynamic) requests the node ran.
 func (n *Node) CGIServed() int64 { return n.cgiServed.Load() }
+
+// ExecShed returns how many /exec requests the node refused before
+// queueing because its queue population was at MaxQueue.
+func (n *Node) ExecShed() int64 { return n.execShed.Load() }
+
+// DeadlineExpired returns how many /exec requests arrived with their
+// propagated deadline already passed.
+func (n *Node) DeadlineExpired() int64 { return n.deadlineExpired.Load() }
 
 // runWork performs a request's work on the node's virtual resources.
 func (n *Node) runWork(demand float64, w float64, forked bool) {
@@ -121,6 +146,22 @@ func (n *Node) handleExec(rw http.ResponseWriter, req *http.Request) {
 	if !p.wOK {
 		http.Error(rw, "bad w", http.StatusBadRequest)
 		return
+	}
+	if n.maxQueue > 0 && n.res.CPU.QueueLength()+n.res.Disk.QueueLength() >= n.maxQueue {
+		// Shed before queueing: refusing now costs the master one cheap
+		// retry, while queueing would tax every later request with the
+		// backlog this one joins.
+		n.execShed.Add(1)
+		rw.Header().Set("Retry-After", "1")
+		http.Error(rw, "node overloaded: shed before queueing", http.StatusServiceUnavailable)
+		return
+	}
+	if h := req.Header.Get(DeadlineHeader); h != "" {
+		if ns, err := strconv.ParseInt(h, 10, 64); err == nil && ns > 0 && time.Now().UnixNano() >= ns {
+			n.deadlineExpired.Add(1)
+			http.Error(rw, "deadline expired before execution", http.StatusGatewayTimeout)
+			return
+		}
 	}
 	n.runWork(p.demand, p.w, p.fork)
 	writeBody(rw, p.size)
@@ -224,37 +265,56 @@ type loadSnapshot struct {
 	view  core.View
 }
 
-// failHoldDown is how long a node stays excluded from placement after a
-// failed /exec or /load before polls may rehabilitate it.
-const failHoldDown = 2 * time.Second
-
 // Master is a level-I node: it serves client requests, executes statics
 // locally, and schedules dynamics through a core.Policy over the latest
 // polled load view.
 //
 // Concurrency design: the polled view is an immutable snapshot behind an
 // atomic pointer, swapped by a fan-out poller (one goroutine per node
-// per round, sharing one deadline). Failure hold-downs, failover counts
-// and peer URLs are per-slot atomics. The only lock on the request path
-// is placeMu — a narrow shard covering the policy's own mutable state
+// per round, sharing one deadline). Node health lives in per-slot
+// lock-free circuit breakers (see breakerSet); failover counts and peer
+// URLs are per-slot atomics. The only lock on the request path is
+// placeMu — a narrow shard covering the policy's own mutable state
 // (estimators, booking charges, tie-break RNG) and the response
-// histogram; nothing under it blocks or does I/O.
+// histograms; nothing under it blocks or does I/O.
+//
+// Resilience: every /req carries a deadline (client budget capped by
+// DispatchTimeout) that propagates to slaves; dynamics get a retry
+// budget with capped-exponential full-jitter backoff across distinct
+// nodes, optional tail hedging, and terminal outcomes that are always
+// one of served (2xx), shed (503 + Retry-After) or exhausted (502).
 type Master struct {
 	*Node
-	policy core.Policy
-	client *http.Client
-	stop   chan struct{}
-	wg     sync.WaitGroup
+	policy    core.Policy
+	client    *http.Client
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	rs        Resilience
+	pollFloor time.Duration
+	tracer    obs.Tracer
+	self      [1]int // masterless-view fallback: this master's own id
 
 	// snap is the current load view generation (never nil after launch).
 	snap atomic.Pointer[loadSnapshot]
 	// urls maps node id to its base URL; slots fill in as peers launch.
 	urls []atomic.Pointer[string]
-	// failedUntil holds per-node hold-down deadlines (UnixNano; 0 = live).
-	// Sub-second failure detection, as the switches the paper discusses
-	// provide.
-	failedUntil []atomic.Int64
-	failovers   atomic.Int64
+	// brk holds the per-node circuit breakers — sub-second failure
+	// detection, as the switches the paper discusses provide, plus
+	// half-open rehabilitation probes.
+	brk *breakerSet
+
+	// Terminal-outcome accounting: every request counted in accepted is
+	// counted in exactly one of served, shed or exhausted — the invariant
+	// the chaos harness asserts.
+	accepted   atomic.Int64
+	served     atomic.Int64
+	shedCount  atomic.Int64
+	exhausted  atomic.Int64
+	failovers  atomic.Int64
+	retryCount atomic.Int64
+	hedgeCount atomic.Int64
+	inflight   atomic.Int64
+	reqSeq     atomic.Int64
 
 	// placeMu is the policy shard lock; see the type comment. The working
 	// view under it carries the booking charges (placement impact)
@@ -266,34 +326,63 @@ type Master struct {
 	aliveBuf  []int // masters+slaves filter scratch, reused per request
 
 	// respHist aggregates client-visible /req response times (unscaled
-	// seconds), guarded by placeMu.
-	respHist *obs.Histogram
+	// seconds); backoffHist the retry backoff sleeps actually taken (s).
+	// Both guarded by placeMu.
+	respHist    *obs.Histogram
+	backoffHist *obs.Histogram
 }
 
-// Failovers reports how many dynamic requests were re-placed after a
-// remote execution failure.
+// Failovers reports how many dynamic dispatches failed remotely and were
+// re-placed (or, having no budget left, fell back or were dropped).
 func (m *Master) Failovers() int64 { return m.failovers.Load() }
 
-// markFailed excludes a node from placement for the hold-down period.
-func (m *Master) markFailed(id int) {
-	m.failedUntil[id].Store(time.Now().Add(failHoldDown).UnixNano())
-}
+// Accepted returns how many /req requests passed parameter validation.
+func (m *Master) Accepted() int64 { return m.accepted.Load() }
 
-// alive reports whether a node may receive placements at wall time now.
-// The master itself is always alive (last-resort local execution).
-func (m *Master) alive(id int, now int64) bool {
-	if id == m.ID {
-		return true
+// Served returns how many accepted requests completed with 2xx.
+func (m *Master) Served() int64 { return m.served.Load() }
+
+// Shed returns how many accepted requests were refused with 503.
+func (m *Master) Shed() int64 { return m.shedCount.Load() }
+
+// Exhausted returns how many dynamics were dropped with 502 after their
+// retry budget or deadline ran out.
+func (m *Master) Exhausted() int64 { return m.exhausted.Load() }
+
+// Retries returns how many placement attempts beyond each request's
+// first were started.
+func (m *Master) Retries() int64 { return m.retryCount.Load() }
+
+// Hedges returns how many tail-hedge dispatches were launched.
+func (m *Master) Hedges() int64 { return m.hedgeCount.Load() }
+
+// BreakerState returns node id's circuit state (0 closed, 1 half-open,
+// 2 open).
+func (m *Master) BreakerState(id int) int32 { return m.brk.State(id) }
+
+// BreakerOpens returns node id's cumulative open transitions.
+func (m *Master) BreakerOpens(id int) int64 { return m.brk.Opens(id) }
+
+// emit sends a lifecycle event when tracing is enabled. Arrival events
+// carry the class and are emitted inline at the handler instead.
+func (m *Master) emit(kind obs.EventKind, req int64, node int, value float64) {
+	if m.tracer == nil {
+		return
 	}
-	until := m.failedUntil[id].Load()
-	return until == 0 || now >= until
+	m.tracer.Emit(obs.Event{
+		Kind:  kind,
+		Req:   req,
+		Time:  time.Since(m.origin).Seconds(),
+		Node:  node,
+		Value: value,
+	})
 }
 
 // refreshWorkView rebuilds the policy's working view from the current
 // snapshot: load columns are re-copied only when the snapshot epoch
 // moved (preserving intra-window booking charges, exactly as the
 // locked-view implementation did), and the tier lists are re-filtered
-// against the failure hold-downs into a reused scratch buffer. Callers
+// against the circuit breakers into a reused scratch buffer. Callers
 // must hold placeMu. Allocation-free in steady state.
 func (m *Master) refreshWorkView() {
 	s := m.snap.Load()
@@ -303,25 +392,71 @@ func (m *Master) refreshWorkView() {
 		m.workView.Affinity = s.view.Affinity
 	}
 	now := time.Now().UnixNano()
-	buf := m.aliveBuf[:0]
-	for _, id := range s.view.Masters {
-		if m.alive(id, now) {
-			buf = append(buf, id)
-		}
+	live := func(id int) bool {
+		// The master itself is always placeable (last-resort local run).
+		return id == m.ID || m.brk.Allow(id, now)
 	}
+	buf := core.FilterLive(m.aliveBuf[:0], s.view.Masters, live)
 	nMasters := len(buf)
-	for _, id := range s.view.Slaves {
-		if m.alive(id, now) {
-			buf = append(buf, id)
-		}
-	}
+	buf = core.FilterLive(buf, s.view.Slaves, live)
 	m.aliveBuf = buf
 	m.workView.Masters = buf[:nMasters]
 	m.workView.Slaves = buf[nMasters:]
 	if nMasters == 0 {
 		// Never leave the view masterless; this master can always serve.
-		m.workView.Masters = append(m.workView.Masters[:0], m.ID)
+		// self is a dedicated backing array — appending into aliveBuf here
+		// would overwrite Slaves[0], which aliases the same scratch.
+		m.workView.Masters = m.self[:]
 	}
+}
+
+// bitOf maps a node id to its distinct-node tracking bit. Ids beyond 63
+// are untracked (retries may revisit them), which only relaxes the
+// distinctness preference on clusters larger than the paper's by an
+// order of magnitude.
+func bitOf(id int) uint64 {
+	if uint(id) < 64 {
+		return 1 << uint(id)
+	}
+	return 0
+}
+
+// dropTried removes already-tried nodes from the working view's tier
+// lists so retries prefer distinct nodes. The lists are rebuilt from the
+// snapshot on every refresh, so in-place compaction is safe; when
+// filtering would leave no candidate at all the lists stay untouched —
+// re-trying a node beats dropping the request. Callers hold placeMu.
+func (m *Master) dropTried(tried uint64) {
+	if tried == 0 {
+		return
+	}
+	survivors := 0
+	for _, id := range m.workView.Masters {
+		if bitOf(id)&tried == 0 {
+			survivors++
+		}
+	}
+	for _, id := range m.workView.Slaves {
+		if bitOf(id)&tried == 0 {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return
+	}
+	m.workView.Masters = compactUntried(m.workView.Masters, tried)
+	m.workView.Slaves = compactUntried(m.workView.Slaves, tried)
+}
+
+// compactUntried filters ids in place, keeping those not in the mask.
+func compactUntried(ids []int, tried uint64) []int {
+	kept := ids[:0]
+	for _, id := range ids {
+		if bitOf(id)&tried == 0 {
+			kept = append(kept, id)
+		}
+	}
+	return kept
 }
 
 // SetNodeURL fills in a peer URL learned after startup.
@@ -358,16 +493,14 @@ func (m *Master) pollLoop(every time.Duration) {
 	}
 }
 
-// minPollDeadline floors the shared fetch deadline: with very fast
-// polling periods a deadline equal to the period misclassifies every
-// node as failed the moment the host is briefly loaded. Rounds longer
-// than the period simply make the ticker skip beats.
-const minPollDeadline = 100 * time.Millisecond
-
 // pollOnce runs one fan-out poll round and publishes the next snapshot.
 func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched []bool) {
-	if deadline < minPollDeadline {
-		deadline = minPollDeadline
+	if deadline < m.pollFloor {
+		// Floor the shared fetch deadline: with very fast polling periods
+		// a deadline equal to the period misclassifies every node as
+		// failed the moment the host is briefly loaded. Rounds longer than
+		// the period simply make the ticker skip beats.
+		deadline = m.pollFloor
 	}
 	prev := m.snap.Load()
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
@@ -384,7 +517,7 @@ func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched [
 			defer wg.Done()
 			rep, err := m.fetchLoad(ctx, base)
 			if err != nil {
-				m.markFailed(id)
+				m.brk.PollFailure(id, time.Now().UnixNano())
 				return
 			}
 			reports[id] = rep
@@ -392,6 +525,8 @@ func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched [
 		}(id, base)
 	}
 	wg.Wait()
+	// One rate-window generation per poll round (single writer).
+	m.brk.rotate()
 
 	next := &loadSnapshot{
 		epoch: prev.epoch + 1,
@@ -414,7 +549,7 @@ func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched [
 			rep.Speed = next.view.Load[id].Speed
 		}
 		next.view.Load[id] = rep
-		m.failedUntil[id].Store(0) // node answers again
+		m.brk.PollSuccess(id) // node answers again
 	}
 	m.snap.Store(next)
 }
@@ -484,8 +619,27 @@ func (m *Master) tickLoop(every time.Duration) {
 	}
 }
 
+// reqDeadline derives a request's absolute deadline: the client's
+// TimeoutHeader budget when present and tighter than the configured
+// dispatch timeout, else the dispatch timeout itself.
+func (m *Master) reqDeadline(start time.Time, req *http.Request) time.Time {
+	deadline := start.Add(m.rs.DispatchTimeout)
+	if h := req.Header.Get(TimeoutHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			if d := start.Add(time.Duration(ms) * time.Millisecond); d.Before(deadline) {
+				deadline = d
+			}
+		}
+	}
+	return deadline
+}
+
 // handleRequest is the client-facing endpoint:
-// /req?class=s|d&demand=F&w=F&script=N
+// /req?class=s|d&demand=F&w=F&script=N[&size=N][&idem=0]
+//
+// Every accepted request reaches exactly one terminal outcome: 2xx
+// (served), 503 + Retry-After (shed by overload protection), or 502
+// (retry budget / deadline exhausted).
 func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 	p := parseReqQuery(req.URL.RawQuery)
 	if !p.demandOK || p.demand < 0 {
@@ -498,11 +652,41 @@ func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 	}
 
 	start := time.Now()
+	m.accepted.Add(1)
+	var reqID int64
+	if m.tracer != nil {
+		reqID = m.reqSeq.Add(1)
+		m.tracer.Emit(obs.Event{
+			Kind:  obs.KindArrival,
+			Req:   reqID,
+			Time:  start.Sub(m.origin).Seconds(),
+			Class: p.class.String(),
+			Node:  m.ID,
+			Value: p.demand,
+		})
+	}
+	if limit := m.rs.MaxInflight; limit > 0 {
+		if m.inflight.Add(1) > int64(limit) {
+			m.inflight.Add(-1)
+			m.shedReply(rw, reqID, 1)
+			return
+		}
+		defer m.inflight.Add(-1)
+	}
+
 	if p.class == trace.Static {
 		m.runWork(p.demand, p.w, false)
-	} else if err := m.runDynamic(p.script, p.demand, p.w); err != nil {
-		http.Error(rw, err.Error(), http.StatusBadGateway)
-		return
+	} else {
+		if retryAfter, shed := m.shouldShed(); shed {
+			m.shedReply(rw, reqID, retryAfter)
+			return
+		}
+		if status := m.runDynamic(p, reqID, m.reqDeadline(start, req)); status != 0 {
+			m.exhausted.Add(1)
+			m.emit(obs.KindExhausted, reqID, m.ID, float64(m.rs.RetryBudget))
+			http.Error(rw, "dynamic request exhausted its retry budget or deadline", status)
+			return
+		}
 	}
 	// Feed the reservation estimators with the server-side response
 	// time, normalized back to unscaled seconds.
@@ -511,38 +695,245 @@ func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 	m.policy.ObserveCompletion(p.class, resp, p.demand)
 	m.respHist.Observe(resp)
 	m.placeMu.Unlock()
+	m.served.Add(1)
+	m.emit(obs.KindComplete, reqID, m.ID, resp)
 
 	writeBody(rw, p.size)
 }
 
-// runDynamic places and executes one dynamic request, failing over to
-// another node (and ultimately to local execution) when a remote /exec
-// errs — the restart-on-another-node behaviour the paper requires of
-// masters when a slave fails.
-func (m *Master) runDynamic(script int, demand, w float64) error {
-	for attempt := 0; attempt < 3; attempt++ {
+// shedReply refuses a request with 503 + Retry-After.
+func (m *Master) shedReply(rw http.ResponseWriter, reqID int64, retryAfter int) {
+	m.shedCount.Add(1)
+	m.emit(obs.KindShed, reqID, m.ID, float64(retryAfter))
+	rw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	http.Error(rw, "overloaded: request shed", http.StatusServiceUnavailable)
+}
+
+// shouldShed decides whether a dynamic request must be shed instead of
+// dispatched. Shedding engages only in the degraded regime where every
+// slave's circuit is open — the master tier would silently absorb all
+// CGI work — and then defers to the paper's control signals: the θ₂
+// reservation (masters keep serving the dynamic share the reservation
+// grants, shedding the excess) and, when configured, the master's own
+// measured RSRC cost.
+func (m *Master) shouldShed() (retryAfter int, shed bool) {
+	if m.rs.DisableShedding {
+		return 0, false
+	}
+	s := m.snap.Load()
+	if len(s.view.Slaves) == 0 {
+		// Single-tier (M/S-1-style) deployments have no degraded regime
+		// to protect; locals are the design, not a fallback.
+		return 0, false
+	}
+	now := time.Now().UnixNano()
+	for _, id := range s.view.Slaves {
+		if m.brk.Allow(id, now) {
+			return 0, false
+		}
+	}
+	// Hint clients to return once the breaker hold-down can have elapsed.
+	retryAfter = int((m.brk.cfg.OpenFor + time.Second - 1) / time.Second)
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	if t := m.rs.ShedRSRC; t > 0 {
+		l := s.view.Load[m.ID]
+		if core.RSRC(core.DefaultW, l.CPUIdle, l.DiskAvail) >= t {
+			return retryAfter, true
+		}
+	}
+	if adm, ok := m.policy.(core.MasterAdmission); ok {
+		m.placeMu.Lock()
+		denied := !adm.AdmitsAtMaster()
+		m.placeMu.Unlock()
+		if denied {
+			return retryAfter, true
+		}
+	}
+	return 0, false
+}
+
+// Dispatch error taxonomy. errDeadline means the request's global
+// deadline is the problem, not the node — retrying cannot help.
+var (
+	errCircuitOpen = errors.New("dispatch: circuit open")
+	errDeadline    = errors.New("dispatch: request deadline exceeded")
+)
+
+// remoteStatusError is a non-200 /exec response: the node answered and
+// refused, so the work did not run — always safe to retry.
+type remoteStatusError int
+
+func (e remoteStatusError) Error() string {
+	return "remote exec: status " + strconv.Itoa(int(e))
+}
+
+// mayHaveExecuted reports whether a failed dispatch could have run the
+// work remotely anyway — the conservative classification behind the
+// "never retry non-idempotent work that may have started" rule. Only
+// failures provably raised before the request reached the node (open
+// circuit, refused with a status, dial failure) are known-safe.
+func mayHaveExecuted(err error) bool {
+	if errors.Is(err, errCircuitOpen) {
+		return false
+	}
+	var st remoteStatusError
+	if errors.As(err, &st) {
+		return false
+	}
+	var op *net.OpError
+	if errors.As(err, &op) && op.Op == "dial" {
+		return false
+	}
+	return true
+}
+
+// runDynamic places and executes one dynamic request under its deadline
+// and retry budget, failing over across distinct nodes (and ultimately
+// to local execution) when a remote /exec errs — the restart-on-another-
+// node behavior the paper requires of masters when a slave fails, now
+// bounded instead of unconditional. Returns 0 on success or the HTTP
+// status for a terminal failure.
+func (m *Master) runDynamic(p reqParams, reqID int64, deadline time.Time) int {
+	var tried uint64
+	backoff := m.rs.RetryBackoff
+	for attempt := 0; attempt < m.rs.RetryBudget; attempt++ {
+		if attempt > 0 {
+			m.retryCount.Add(1)
+			if backoff > 0 {
+				// Full jitter: uniform over [0, current cap].
+				d := time.Duration(rand.Int63n(int64(backoff) + 1))
+				if time.Now().Add(d).After(deadline) {
+					return http.StatusBadGateway
+				}
+				time.Sleep(d)
+				m.placeMu.Lock()
+				m.backoffHist.Observe(d.Seconds())
+				m.placeMu.Unlock()
+				backoff *= 2
+				if backoff > m.rs.RetryBackoffMax {
+					backoff = m.rs.RetryBackoffMax
+				}
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return http.StatusBadGateway
+		}
 		m.placeMu.Lock()
 		m.refreshWorkView()
-		target := m.policy.Place(core.Request{Class: trace.Dynamic, Script: script}, m.ID, &m.workView)
+		m.dropTried(tried)
+		target := m.policy.Place(core.Request{Class: trace.Dynamic, Script: p.script}, m.ID, &m.workView)
 		m.placeMu.Unlock()
 		if target == m.ID {
-			m.runWork(demand, w, true)
-			return nil
+			m.runWork(p.demand, p.w, true)
+			return 0
 		}
-		if err := m.forward(target, demand, w); err == nil {
-			return nil
+		err := m.dispatch(target, p, deadline, tried)
+		if err == nil {
+			return 0
 		}
-		m.markFailed(target)
 		m.failovers.Add(1)
+		tried |= bitOf(target)
+		m.emit(obs.KindRetry, reqID, target, float64(attempt+1))
+		if errors.Is(err, errDeadline) {
+			return http.StatusBadGateway
+		}
+		if !p.idem && mayHaveExecuted(err) {
+			// The remote may have performed the side-effecting work;
+			// running it again is worse than failing loudly.
+			return http.StatusBadGateway
+		}
 	}
-	// Every remote attempt failed: run it here rather than drop it.
-	m.runWork(demand, w, true)
-	return nil
+	// Budget exhausted: last-resort local execution, as before the retry
+	// budget existed — but only while the deadline still stands.
+	if time.Now().Before(deadline) {
+		m.runWork(p.demand, p.w, true)
+		return 0
+	}
+	return http.StatusBadGateway
+}
+
+// dispatch runs one placement attempt, hedging idempotent requests with
+// a second distinct dispatch when the first is still in flight after
+// HedgeAfter. The first success wins; a loser completes into the
+// buffered channel without leaking its goroutine.
+func (m *Master) dispatch(target int, p reqParams, deadline time.Time, tried uint64) error {
+	if m.rs.HedgeAfter <= 0 || !p.idem {
+		return m.forwardBreakered(target, p, deadline)
+	}
+	results := make(chan error, 2)
+	go func() { results <- m.forwardBreakered(target, p, deadline) }()
+	timer := time.NewTimer(m.rs.HedgeAfter)
+	defer timer.Stop()
+	outstanding := 1
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case err := <-results:
+			outstanding--
+			if err == nil {
+				return nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		case <-timer.C: // fires at most once
+			h := m.pickHedge(target, tried)
+			if h < 0 {
+				continue
+			}
+			m.hedgeCount.Add(1)
+			outstanding++
+			go func() {
+				if h == m.ID {
+					m.runWork(p.demand, p.w, true)
+					results <- nil
+					return
+				}
+				results <- m.forwardBreakered(h, p, deadline)
+			}()
+		}
+	}
+	return firstErr
+}
+
+// pickHedge places a second, distinct target for a tail hedge, or -1
+// when no distinct candidate exists. The extra Place call double-counts
+// the request in the reservation estimators; hedges are rare tail
+// events, so the skew is negligible.
+func (m *Master) pickHedge(primary int, tried uint64) int {
+	m.placeMu.Lock()
+	defer m.placeMu.Unlock()
+	m.refreshWorkView()
+	m.dropTried(tried | bitOf(primary))
+	t := m.policy.Place(core.Request{Class: trace.Dynamic}, m.ID, &m.workView)
+	if t == primary {
+		return -1
+	}
+	return t
+}
+
+// forwardBreakered wraps forward with circuit-breaker accounting: the
+// breaker must admit the dispatch, and its outcome feeds the breaker's
+// failure detection.
+func (m *Master) forwardBreakered(target int, p reqParams, deadline time.Time) error {
+	if !time.Now().Before(deadline) {
+		return errDeadline
+	}
+	if !m.brk.Acquire(target, time.Now().UnixNano()) {
+		return errCircuitOpen
+	}
+	err := m.forward(target, p, deadline)
+	m.brk.Release(target, err == nil, time.Now().UnixNano())
+	return err
 }
 
 // forward executes the CGI remotely via the target's /exec endpoint —
-// the paper's low-overhead remote execution path.
-func (m *Master) forward(target int, demand, w float64) error {
+// the paper's low-overhead remote execution path — propagating the
+// request deadline as both a context (cancels the round trip) and a
+// header (lets the slave refuse expired work before queueing it).
+func (m *Master) forward(target int, p reqParams, deadline time.Time) error {
 	base := m.nodeURL(target)
 	if base == "" {
 		return fmt.Errorf("no URL for node %d", target)
@@ -550,22 +941,38 @@ func (m *Master) forward(target int, demand, w float64) error {
 	buf := wireBufPool.Get().(*[]byte)
 	b := append((*buf)[:0], base...)
 	b = append(b, "/exec?demand="...)
-	b = strconv.AppendFloat(b, demand, 'g', -1, 64)
+	b = strconv.AppendFloat(b, p.demand, 'g', -1, 64)
 	b = append(b, "&w="...)
-	b = strconv.AppendFloat(b, w, 'g', -1, 64)
+	b = strconv.AppendFloat(b, p.w, 'g', -1, 64)
 	b = append(b, "&fork=1"...)
 	url := string(b)
 	*buf = b[:0]
 	wireBufPool.Put(buf)
-	resp, err := m.client.Get(url)
+
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remote exec: status %d", resp.StatusCode)
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(deadline.UnixNano(), 10))
+	resp, err := m.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return errDeadline
+		}
+		return err
 	}
-	return nil
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusGatewayTimeout:
+		// The slave saw the propagated deadline expire; ours has too.
+		return errDeadline
+	default:
+		return remoteStatusError(resp.StatusCode)
+	}
 }
 
 // Shutdown stops the master's loops and server.

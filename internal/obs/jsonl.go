@@ -68,6 +68,10 @@ func (t *JSONLTracer) Emit(ev Event) {
 		b = appendNode(b, ev.Node)
 		b = append(b, `,"resp":`...)
 		b = strconv.AppendFloat(b, ev.Value, 'g', -1, 64)
+	case KindRetry, KindShed, KindExhausted:
+		b = appendNode(b, ev.Node)
+		b = append(b, `,"val":`...)
+		b = strconv.AppendFloat(b, ev.Value, 'g', -1, 64)
 	}
 	b = append(b, '}', '\n')
 	t.buf = b

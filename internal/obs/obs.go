@@ -48,6 +48,18 @@ const (
 	// KindComplete is the request finishing; Value is the server-site
 	// response time in seconds.
 	KindComplete
+	// KindRetry is a failed placement attempt being retried elsewhere.
+	// Node is the node that failed the attempt; Value the attempt number
+	// (1 = first retry).
+	KindRetry
+	// KindShed is a request rejected by overload protection (503).
+	// Node is the shedding node; Value the advertised Retry-After in
+	// seconds. Terminal.
+	KindShed
+	// KindExhausted is a request dropped after its retry budget or
+	// deadline ran out (502). Value is the number of attempts made.
+	// Terminal.
+	KindExhausted
 )
 
 // String returns the JSONL tag of the kind.
@@ -65,6 +77,12 @@ func (k EventKind) String() string {
 		return "disk"
 	case KindComplete:
 		return "complete"
+	case KindRetry:
+		return "retry"
+	case KindShed:
+		return "shed"
+	case KindExhausted:
+		return "exhausted"
 	}
 	return "unknown"
 }

@@ -12,6 +12,7 @@ func TestEventKindStrings(t *testing.T) {
 	want := map[EventKind]string{
 		KindArrival: "arrival", KindDecision: "decision", KindDispatch: "dispatch",
 		KindPhaseCPU: "cpu", KindPhaseDisk: "disk", KindComplete: "complete",
+		KindRetry: "retry", KindShed: "shed", KindExhausted: "exhausted",
 		EventKind(99): "unknown",
 	}
 	for k, s := range want {
