@@ -78,11 +78,14 @@ benchdiff:
 	fi
 
 # End-to-end live-cluster numbers: a paced closed-loop run (with the
-# coordinated-omission-corrected histogram), an open-loop run, and a
-# chaos run (randomized fault injection; see internal/chaos) against
-# self-hosted loopback clusters, then the full microbenchmark suite; all
-# of it lands in one BENCH_results.json (results/live_*.json keep the
-# raw loadgen summaries).
+# coordinated-omission-corrected histogram), an open-loop run, a chaos
+# run (randomized fault injection; see internal/chaos), and an
+# uncalibrated fast-mode run over the binary frame transport (the
+# req_s_per_core headline — the data plane itself is the bottleneck, not
+# emulated service times) against self-hosted loopback clusters, then
+# the full microbenchmark suite; all of it lands in one
+# BENCH_results.json (results/live_*.json keep the raw loadgen
+# summaries).
 loadbench:
 	@mkdir -p results
 	$(GO) run ./cmd/loadgen -mode closed -concurrency 8 -rps 400 -n 2000 \
@@ -92,9 +95,11 @@ loadbench:
 	$(GO) run ./cmd/loadgen -mode closed -concurrency 8 -n 2000 \
 		-nodes 6 -masters 2 -timescale 0.01 -chaos -chaos-seed 42 -chaos-len 4s \
 		-out results/live_chaos.json
+	$(GO) run ./cmd/loadgen -mode closed -concurrency 32 -n 20000 \
+		-nodes 3 -masters 1 -fast -batch 200us -out results/live_fast.json
 	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
-			-live results/live_closed.json,results/live_open.json,results/live_chaos.json > BENCH_results.json
+			-live results/live_closed.json,results/live_open.json,results/live_chaos.json,results/live_fast.json > BENCH_results.json
 
 # Regenerate every table and figure (minutes; table3 replays in real time).
 experiments:

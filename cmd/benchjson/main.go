@@ -43,14 +43,19 @@ type Result struct {
 
 // Report is the emitted document.
 type Report struct {
-	Goos     string   `json:"goos,omitempty"`
-	Goarch   string   `json:"goarch,omitempty"`
-	Pkg      string   `json:"pkg,omitempty"`
-	CPU      string   `json:"cpu,omitempty"`
-	Results  []Result `json:"results"`
-	Live     []Result `json:"live,omitempty"`
-	Baseline []Result `json:"baseline,omitempty"`
-	Deltas   []Delta  `json:"deltas,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// ReqSPerCore is the headline figure: the best per-core throughput
+	// among the folded-in fast-mode (uncalibrated) loadgen runs, where
+	// the data plane itself is the bottleneck rather than emulated
+	// service times.
+	ReqSPerCore float64  `json:"req_s_per_core,omitempty"`
+	Results     []Result `json:"results"`
+	Live        []Result `json:"live,omitempty"`
+	Baseline    []Result `json:"baseline,omitempty"`
+	Deltas      []Delta  `json:"deltas,omitempty"`
 }
 
 // liveSummary mirrors the fields of cmd/loadgen's Summary that the
@@ -58,12 +63,16 @@ type Report struct {
 type liveSummary struct {
 	Mode          string  `json:"mode"`
 	Profile       string  `json:"profile"`
+	Fast          bool    `json:"fast"`
+	Frame         bool    `json:"frame"`
 	Sent          int64   `json:"sent"`
 	OK            int64   `json:"ok"`
 	Errors        int64   `json:"errors"`
 	Shed          int64   `json:"shed"`
 	Exhausted     int64   `json:"exhausted"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+	Cores         int     `json:"cores"`
+	ReqSPerCore   float64 `json:"req_s_per_core"`
 	Latency       struct {
 		P50  float64 `json:"p50"`
 		P95  float64 `json:"p95"`
@@ -87,22 +96,32 @@ type liveSummary struct {
 // liveResults converts loadgen summary files into pseudo-benchmark
 // results named LiveCluster/<mode>, with Iterations carrying the
 // request count and the latency quantiles keyed by unit-style names.
-func liveResults(paths []string) ([]Result, error) {
+// Fast-mode (uncalibrated) runs are named apart with a /fast suffix and
+// the best of them supplies the report's req_s_per_core headline.
+func liveResults(paths []string) ([]Result, float64, error) {
 	var out []Result
+	var headline float64
 	for _, path := range paths {
 		buf, err := os.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		var s liveSummary
 		if err := json.Unmarshal(buf, &s); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
 		}
 		if s.Mode == "" {
-			return nil, fmt.Errorf("%s: not a loadgen summary (no mode)", path)
+			return nil, 0, fmt.Errorf("%s: not a loadgen summary (no mode)", path)
+		}
+		name := "LiveCluster/" + s.Mode
+		if s.Fast {
+			name += "/fast"
+			if s.ReqSPerCore > headline {
+				headline = s.ReqSPerCore
+			}
 		}
 		r := Result{
-			Name:       "LiveCluster/" + s.Mode,
+			Name:       name,
 			Iterations: s.Sent,
 			Metrics: map[string]float64{
 				"throughput_rps": s.ThroughputRPS,
@@ -113,6 +132,13 @@ func liveResults(paths []string) ([]Result, error) {
 				"latency_mean_s": s.Latency.Mean,
 				"latency_max_s":  s.Latency.Max,
 			},
+		}
+		if s.Cores > 0 {
+			r.Metrics["cores"] = float64(s.Cores)
+			r.Metrics["req_s_per_core"] = s.ReqSPerCore
+		}
+		if s.Frame {
+			r.Metrics["frame"] = 1
 		}
 		if s.Corrected != nil {
 			r.Metrics["corrected_p99_s"] = s.Corrected.P99
@@ -132,7 +158,7 @@ func liveResults(paths []string) ([]Result, error) {
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out, headline, nil
 }
 
 // Delta compares one benchmark between the baseline and current runs.
@@ -158,12 +184,13 @@ func main() {
 		os.Exit(1)
 	}
 	if *live != "" {
-		lr, err := liveResults(strings.Split(*live, ","))
+		lr, headline, err := liveResults(strings.Split(*live, ","))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 		rep.Live = lr
+		rep.ReqSPerCore = headline
 	}
 	if *baseline != "" {
 		f, err := os.Open(*baseline)

@@ -60,7 +60,7 @@ func TestLiveResults(t *testing.T) {
 		"latency": {"p50": 0.001, "p95": 0.002, "p99": 0.003, "mean": 0.001, "max": 0.004}
 	}`), 0o644) //nolint:errcheck
 
-	rs, err := liveResults([]string{closed, open})
+	rs, _, err := liveResults([]string{closed, open})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestLiveResults(t *testing.T) {
 		"latency": {"p50": 0.001, "p95": 0.002, "p99": 0.003, "mean": 0.001, "max": 0.004},
 		"chaos": {"seed": 7, "events": 12, "faulted_nodes": 3, "breaker_opens": 5, "failovers": 9, "retries": 11}
 	}`), 0o644) //nolint:errcheck
-	rs, err = liveResults([]string{chaosPath})
+	rs, _, err = liveResults([]string{chaosPath})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,12 +105,33 @@ func TestLiveResults(t *testing.T) {
 		t.Fatalf("chaos metrics mis-folded: %+v", ch.Metrics)
 	}
 
+	fastPath := filepath.Join(dir, "fast.json")
+	os.WriteFile(fastPath, []byte(`{
+		"mode": "closed", "fast": true, "frame": true, "sent": 1000, "ok": 1000, "errors": 0,
+		"throughput_rps": 23000, "cores": 1, "req_s_per_core": 23000,
+		"latency": {"p50": 0.0003, "p95": 0.0007, "p99": 0.001, "mean": 0.0004, "max": 0.004}
+	}`), 0o644) //nolint:errcheck
+	rs, headline, err := liveResults([]string{fastPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := rs[0]
+	if fr.Name != "LiveCluster/closed/fast" {
+		t.Fatalf("fast run not named apart: %+v", fr)
+	}
+	if fr.Metrics["req_s_per_core"] != 23000 || fr.Metrics["cores"] != 1 || fr.Metrics["frame"] != 1 {
+		t.Fatalf("fast metrics mis-folded: %+v", fr.Metrics)
+	}
+	if headline != 23000 {
+		t.Fatalf("req_s_per_core headline %v, want 23000", headline)
+	}
+
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte(`{"not": "a summary"}`), 0o644) //nolint:errcheck
-	if _, err := liveResults([]string{bad}); err == nil {
+	if _, _, err := liveResults([]string{bad}); err == nil {
 		t.Fatal("accepted a JSON file that is not a loadgen summary")
 	}
-	if _, err := liveResults([]string{filepath.Join(dir, "missing.json")}); err == nil {
+	if _, _, err := liveResults([]string{filepath.Join(dir, "missing.json")}); err == nil {
 		t.Fatal("accepted a missing file")
 	}
 }

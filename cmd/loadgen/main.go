@@ -25,6 +25,16 @@
 // (-nodes/-masters/-timescale) so `go run ./cmd/loadgen` benchmarks the
 // live data plane end to end with zero setup.
 //
+// With -fast (self-hosted cluster only), the cluster runs uncalibrated:
+// service demands are charged to virtual clocks instead of wall-clock
+// sleeps, so the run measures the data plane's own overhead — parse,
+// placement, dispatch, transport — rather than the emulated service
+// times. -frame switches master→slave dispatch to the persistent binary
+// frame transport (with HTTP fallback negotiation), and -batch adds a
+// coalescing window so concurrent requests for one slave share frames.
+// The summary reports cores and req_s_per_core so fast-mode numbers are
+// comparable across machine sizes.
+//
 // With -chaos (self-hosted cluster only), a seeded randomized fault
 // schedule (internal/chaos) cycles the cluster's slaves through kills,
 // pauses, injected latency and slow-loris while the load runs; the
@@ -47,6 +57,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -91,6 +102,9 @@ type Summary struct {
 	Profile       string       `json:"profile"`
 	Targets       []string     `json:"targets"`
 	Requests      int          `json:"requests"`
+	Fast          bool         `json:"fast,omitempty"`
+	Frame         bool         `json:"frame,omitempty"`
+	BatchWindowS  float64      `json:"batch_window_s,omitempty"`
 	Sent          int64        `json:"sent"`
 	OK            int64        `json:"ok"`
 	Errors        int64        `json:"errors"`
@@ -98,6 +112,10 @@ type Summary struct {
 	Exhausted     int64        `json:"exhausted,omitempty"`
 	DurationS     float64      `json:"duration_s"`
 	ThroughputRPS float64      `json:"throughput_rps"`
+	// Cores and ReqSPerCore normalize throughput for cross-machine
+	// comparison: the 100k req/s headline is stated per core.
+	Cores       int     `json:"cores"`
+	ReqSPerCore float64 `json:"req_s_per_core"`
 	TargetRPS     float64      `json:"target_rps,omitempty"`
 	Concurrency   int          `json:"concurrency,omitempty"`
 	Latency       LatencyStats `json:"latency"`
@@ -146,6 +164,9 @@ func run(args []string, stdout io.Writer) error {
 	chaosSeed := fs.Int64("chaos-seed", 42, "fault schedule seed (reproducible)")
 	chaosLen := fs.Duration("chaos-len", 5*time.Second, "fault schedule length; all nodes are healthy again afterwards")
 	chaosKills := fs.Bool("chaos-kills-only", false, "restrict injected faults to node kills (no pauses, latency or slow-loris)")
+	fast := fs.Bool("fast", false, "run the self-hosted cluster uncalibrated: virtual-time demand accounting, no wall-clock sleeps")
+	frame := fs.Bool("frame", false, "dispatch master→slave over the persistent binary frame transport")
+	batch := fs.Duration("batch", 0, "coalescing window for batched dispatch over frames (0: off; implies -frame)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,6 +176,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *chaosOn && *targets != "" {
 		return fmt.Errorf("-chaos needs the self-hosted cluster (drop -targets): faults are injected via proxies in front of its slaves")
+	}
+	if *targets != "" && (*fast || *frame || *batch > 0) {
+		return fmt.Errorf("-fast/-frame/-batch configure the self-hosted cluster (drop -targets)")
 	}
 	if *mode == "open" && *rps <= 0 {
 		return fmt.Errorf("-mode open requires -rps > 0")
@@ -199,6 +223,9 @@ func run(args []string, stdout io.Writer) error {
 			MakePolicy: func(id int) core.Policy {
 				return core.NewMS(nil, int64(id)+1)
 			},
+			Uncalibrated:  *fast,
+			BinaryFraming: *frame || *batch > 0,
+			BatchWindow:   *batch,
 		}
 		if *chaosOn {
 			if *nodes <= *masters {
@@ -259,12 +286,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	s := Summary{
-		Mode:        *mode,
-		Profile:     prof.Name,
-		Targets:     targetURLs,
-		Requests:    *n,
-		TargetRPS:   *rps,
-		Concurrency: 0,
+		Mode:         *mode,
+		Profile:      prof.Name,
+		Targets:      targetURLs,
+		Requests:     *n,
+		Fast:         *fast,
+		Frame:        *frame || *batch > 0,
+		BatchWindowS: (*batch).Seconds(),
+		TargetRPS:    *rps,
+		Concurrency:  0,
 	}
 	var okCount, errCount, shedCount, exhaustedCount atomic.Int64
 	do := func(url string) bool {
@@ -311,6 +341,10 @@ func run(args []string, stdout io.Writer) error {
 	s.DurationS = dur.Seconds()
 	if s.DurationS > 0 {
 		s.ThroughputRPS = float64(s.OK) / s.DurationS
+	}
+	s.Cores = runtime.GOMAXPROCS(0)
+	if s.Cores > 0 {
+		s.ReqSPerCore = s.ThroughputRPS / float64(s.Cores)
 	}
 	s.Latency = statsOf(merged)
 	if corrected != nil {

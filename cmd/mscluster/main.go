@@ -4,6 +4,12 @@
 // Usage:
 //
 //	mscluster -nodes 6 -masters 3 -policy ms
+//	mscluster -nodes 6 -masters 2 -fast -frame -batch 200us
+//
+// -fast runs the slaves uncalibrated (virtual-time demand accounting,
+// no wall-clock sleeps); -frame dispatches master→slave over the
+// persistent binary frame transport; -batch adds a coalescing window
+// so concurrent requests for one slave share frames.
 //
 // The process serves until interrupted.
 package main
@@ -51,6 +57,9 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	scale := fs.Float64("timescale", 1, "duration scale factor (1 = real time)")
 	refresh := fs.Duration("refresh", 100*time.Millisecond, "load polling period")
 	seed := fs.Int64("seed", 1, "policy randomization seed")
+	fast := fs.Bool("fast", false, "run uncalibrated: virtual-time demand accounting, no wall-clock sleeps")
+	frame := fs.Bool("frame", false, "dispatch master→slave over the persistent binary frame transport")
+	batch := fs.Duration("batch", 0, "coalescing window for batched dispatch over frames (0: off; implies -frame)")
 	if err := fs.Parse(args); err != nil {
 		return httpcluster.Config{}, err
 	}
@@ -63,6 +72,9 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	cfg.Nodes = *nodes
 	cfg.TimeScale = *scale
 	cfg.LoadRefresh = *refresh
+	cfg.Uncalibrated = *fast
+	cfg.BinaryFraming = *frame || *batch > 0
+	cfg.BatchWindow = *batch
 	return cfg, cfg.Validate()
 }
 

@@ -95,6 +95,21 @@ func ParseLoadWire(b []byte) (Load, error) {
 	return l, nil
 }
 
+// ApplyReport merges a freshly reported load into the view's slot for
+// node id, preserving the previously known Speed when the report omits
+// it (Speed <= 0). This is the single merge rule for every report
+// source — the master's /load poller and the piggybacked reports that
+// ride on /exec and /req responses — so the two paths cannot drift.
+func (v *View) ApplyReport(id int, l Load) {
+	if id < 0 || id >= len(v.Load) {
+		return
+	}
+	if l.Speed <= 0 {
+		l.Speed = v.Load[id].Speed
+	}
+	v.Load[id] = l
+}
+
 // Snapshot returns an independent deep copy of the view's role and load
 // slices (the Affinity map is shared; it is read-only after
 // construction). The live cluster publishes these behind an atomic

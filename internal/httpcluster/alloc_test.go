@@ -1,6 +1,8 @@
 package httpcluster
 
 import (
+	"bufio"
+	"bytes"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -29,9 +31,11 @@ func (d *nullRW) Write(p []byte) (int, error) {
 // Allocation pins for the serving hot path, the contract behind
 // BenchmarkMasterReqPath and BenchmarkNodeExec (bench_live_test.go at
 // the repo root): the master's /req pipeline — parse, placement over the
-// live view, completion observation, response — allocates nothing, and a
-// node's /exec allocates only net/http's Header.Set slice for the
-// Content-Length value. TimeScale shrinks the virtual fork charge below
+// live view, completion observation, piggybacked load header, response —
+// and a node's /exec allocate nothing per request. The only allocations
+// left are the load-stamp refresh (a handful every loadStampTTL,
+// amortized to ~0 per op), hence the pins are a small fraction rather
+// than exactly zero. TimeScale shrinks the virtual fork charge below
 // the sleep resolution so the measurement is deterministic (no sleeps,
 // no serve-goroutine handoff).
 func TestReqPathAllocPins(t *testing.T) {
@@ -57,9 +61,9 @@ func TestReqPathAllocPins(t *testing.T) {
 		target  string
 		maxAvg  float64
 	}{
-		{"master /req static", m.Handler(), "/req?class=s&demand=0&w=0.5&script=0", 0},
-		{"master /req dynamic", m.Handler(), "/req?class=d&demand=0&w=0.9&script=1", 0},
-		{"node /exec", n.Handler(), "/exec?demand=0&w=0.5&size=64", 1},
+		{"master /req static", m.Handler(), "/req?class=s&demand=0&w=0.5&script=0", 0.1},
+		{"master /req dynamic", m.Handler(), "/req?class=d&demand=0&w=0.9&script=1", 0.1},
+		{"node /exec", n.Handler(), "/exec?demand=0&w=0.5&size=64", 0.1},
 	}
 	for _, c := range cases {
 		req := httptest.NewRequest("GET", c.target, nil)
@@ -73,7 +77,52 @@ func TestReqPathAllocPins(t *testing.T) {
 		}
 		run() // warm scratch buffers (alive filter, candidate union, header map)
 		if allocs := testing.AllocsPerRun(100, run); allocs > c.maxAvg {
-			t.Errorf("%s: %.1f allocs/op, pinned at ≤ %.0f", c.name, allocs, c.maxAvg)
+			t.Errorf("%s: %.2f allocs/op, pinned at ≤ %.2f", c.name, allocs, c.maxAvg)
 		}
+	}
+}
+
+// The binary frame service loop — length-prefixed read, exec decode,
+// admission + execution, response encode with the piggybacked load —
+// must also run allocation-free once its scratch buffers are warm.
+// This is the steady state of (*Node).serveFrames for a persistent
+// connection.
+func TestFrameHotPathAllocPin(t *testing.T) {
+	n, err := LaunchNode(NodeOptions{ID: 1, TimeScale: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Shutdown()
+
+	src := []frameExec{{demand: 0, w: 0.5, deadlineNs: time.Now().Add(time.Hour).UnixNano(), fork: true}}
+	var frame, buf, payload []byte
+	reqs := make([]frameExec, 0, 1)
+	sts := make([]int, 0, 1)
+	rd := bytes.NewReader(nil)
+	br := bufio.NewReader(rd)
+	run := func() {
+		frame = appendExecFrame(frame[:0], src)
+		rd.Reset(frame)
+		br.Reset(rd)
+		var err error
+		payload, buf, err = readFrame(br, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs, err = parseExecPayload(payload, reqs[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := n.execOne(reqs[0])
+		if st != http.StatusOK {
+			t.Fatalf("status %d", st)
+		}
+		sts = append(sts[:0], st)
+		frame = appendRespFrame(frame[:0], sts, n.currentLoad().load)
+	}
+	run() // warm the scratch buffers
+	// Same amortized load-stamp budget as the HTTP pins above.
+	if allocs := testing.AllocsPerRun(100, run); allocs > 0.1 {
+		t.Errorf("frame hot path: %.2f allocs/op, pinned at ≤ 0.10", allocs)
 	}
 }

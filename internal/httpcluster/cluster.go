@@ -34,6 +34,18 @@ type Config struct {
 	// PollDeadlineFloor floors each master's /load fan-out deadline
 	// (default 100 ms).
 	PollDeadlineFloor time.Duration
+	// Uncalibrated runs every node's virtual resources in fast mode
+	// (virtual-time accounting, no wall-clock sleeps) — the uncapped
+	// configuration for throughput work. See NodeOptions.Uncalibrated.
+	Uncalibrated bool
+	// BinaryFraming upgrades every master→slave hop to the persistent
+	// binary frame protocol (HTTP fallback kept per pair).
+	BinaryFraming bool
+	// BatchWindow > 0 coalesces same-slave dispatches within the window
+	// into one frame (implies BinaryFraming); BatchMax caps entries per
+	// frame (default 64).
+	BatchWindow time.Duration
+	BatchMax    int
 }
 
 // DefaultConfig mirrors the Table 3 setup: 6 nodes, the given master
@@ -115,7 +127,8 @@ func Start(cfg Config) (*Cluster, error) {
 	for _, id := range slaves {
 		n, err := LaunchNode(NodeOptions{
 			ID: id, Origin: origin, TimeScale: cfg.TimeScale,
-			Resilience: cfg.Resilience,
+			Resilience:   cfg.Resilience,
+			Uncalibrated: cfg.Uncalibrated,
 		})
 		if err != nil {
 			c.Shutdown()
@@ -132,6 +145,10 @@ func Start(cfg Config) (*Cluster, error) {
 			LoadRefresh: cfg.LoadRefresh, PolicyTick: cfg.PolicyTick,
 			Resilience:  cfg.Resilience, Tracer: cfg.Tracer,
 			PollDeadlineFloor: cfg.PollDeadlineFloor,
+			Uncalibrated:      cfg.Uncalibrated,
+			BinaryFraming:     cfg.BinaryFraming,
+			BatchWindow:       cfg.BatchWindow,
+			BatchMax:          cfg.BatchMax,
 		})
 		if err != nil {
 			c.Shutdown()

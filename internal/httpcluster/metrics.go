@@ -60,6 +60,8 @@ func (n *Node) writeMetrics(w io.Writer) {
 	p.Value("msweb_node_shed_total", label, float64(n.execShed.Load()))
 	p.Header("msweb_node_deadline_expired_total", "Work refused with 504: its propagated deadline had already passed.", "counter")
 	p.Value("msweb_node_deadline_expired_total", label, float64(n.deadlineExpired.Load()))
+	p.Header("msweb_node_frames_served_total", "Binary exec frames answered over persistent connections.", "counter")
+	p.Value("msweb_node_frames_served_total", label, float64(n.framesServed.Load()))
 	p.Histogram("msweb_node_service_seconds", "Per-request service time at this node (unscaled seconds).", label, &hist)
 }
 
@@ -112,6 +114,21 @@ func (m *Master) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
 	p.Header("msweb_master_breaker_opens_total", "Per-node circuit open transitions at this master.", "counter")
 	for id := range loads {
 		p.Value("msweb_master_breaker_opens_total", `node="`+strconv.Itoa(id)+`"`, float64(m.brk.Opens(id)))
+	}
+	p.Header("msweb_master_piggyback_total", "Piggybacked load reports received on responses (all transports).", "counter")
+	p.Value("msweb_master_piggyback_total", label, float64(m.piggyTotal.Load()))
+	p.Header("msweb_master_poll_skipped_total", "Poll rounds skipped per node because a piggybacked report was younger than the poll interval.", "counter")
+	p.Value("msweb_master_poll_skipped_total", label, float64(m.pollSkipped.Load()))
+	p.Header("msweb_master_frame_dials_total", "Persistent binary-frame connections dialed and upgraded.", "counter")
+	p.Value("msweb_master_frame_dials_total", label, float64(m.frameDials.Load()))
+	p.Header("msweb_master_batches_total", "Coalesced exec frames shipped by the batch dispatchers.", "counter")
+	p.Value("msweb_master_batches_total", label, float64(m.batchesSent.Load()))
+	p.Header("msweb_master_batched_requests_total", "Dynamic requests carried inside coalesced exec frames.", "counter")
+	p.Value("msweb_master_batched_requests_total", label, float64(m.batchedReqs.Load()))
+	p.Header("msweb_master_view_staleness_seconds", "Age of this master's freshest load information per node (-1 = never updated).", "gauge")
+	nowNs := time.Now().UnixNano()
+	for id := range loads {
+		p.Value("msweb_master_view_staleness_seconds", `node="`+strconv.Itoa(id)+`"`, m.fresh.AgeSeconds(id, nowNs))
 	}
 	p.Histogram("msweb_master_retry_backoff_seconds", "Retry backoff sleeps actually taken before re-placement.", label, &backoffs)
 	p.Histogram("msweb_master_response_seconds", "Client-visible /req response time at this master (unscaled seconds).", label, &hist)

@@ -99,6 +99,25 @@ type NodeOptions struct {
 	Origin time.Time
 	// TimeScale multiplies every service duration; 0 means real time (1).
 	TimeScale float64
+	// Uncalibrated switches the node's virtual resources to fast mode:
+	// service demand is charged to a virtual clock instead of being slept
+	// off, so /exec completes at CPU speed while load reports (and thus
+	// RSRC placement) still reflect the offered demand. This uncaps the
+	// data plane for throughput work; calibrated mode (the default)
+	// remains the paper-faithful configuration.
+	Uncalibrated bool
+	// BinaryFraming lets a master upgrade its master→slave hop to the
+	// persistent length-prefixed binary protocol (see frame.go),
+	// negotiated per node-pair with transparent HTTP fallback. Nodes
+	// always serve the /frame upgrade endpoint; this knob only controls
+	// whether a master dials it.
+	BinaryFraming bool
+	// BatchWindow > 0 coalesces dynamic requests bound for the same slave
+	// within the window into one frame (implies BinaryFraming). Off by
+	// default: in calibrated mode the window adds artificial latency.
+	BatchWindow time.Duration
+	// BatchMax caps requests per frame when batching (default 64).
+	BatchMax int
 	// Resilience tunes deadlines, retries, breakers and shedding. Nodes
 	// consult only Resilience.MaxQueue; masters use all of it.
 	Resilience Resilience
@@ -138,6 +157,8 @@ func (o NodeOptions) Validate(master bool) error {
 		return fmt.Errorf("httpcluster: negative time scale %v", o.TimeScale)
 	case o.Resilience.MaxInflight < 0 || o.Resilience.MaxQueue < 0:
 		return fmt.Errorf("httpcluster: negative admission bounds %+v", o.Resilience)
+	case o.BatchWindow < 0 || o.BatchMax < 0:
+		return fmt.Errorf("httpcluster: negative batch options (window %v, max %d)", o.BatchWindow, o.BatchMax)
 	}
 	if !master {
 		return nil
@@ -171,6 +192,12 @@ func (o NodeOptions) withDefaults() NodeOptions {
 	if o.PollDeadlineFloor <= 0 {
 		o.PollDeadlineFloor = DefaultPollDeadlineFloor
 	}
+	if o.BatchWindow > 0 {
+		o.BinaryFraming = true // batching rides the frame transport
+		if o.BatchMax == 0 {
+			o.BatchMax = DefaultBatchMax
+		}
+	}
 	o.Resilience = o.Resilience.withDefaults()
 	return o
 }
@@ -188,6 +215,7 @@ func LaunchNode(o NodeOptions) (*Node, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/exec", n.handleExec)
+	mux.HandleFunc("/frame", n.handleFrame)
 	mux.HandleFunc("/load", n.handleLoad)
 	mux.HandleFunc("/stats", n.handleStats)
 	mux.HandleFunc("/metrics", n.handleMetrics)
@@ -224,6 +252,16 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 		brk:         newBreakerSet(len(o.NodeURLs), o.Resilience.Breaker),
 		respHist:    obs.NewHistogram(),
 		backoffHist: obs.NewHistogram(),
+		// Piggybacked load reports are always on (nodes that never attach
+		// the header simply never fill their slot).
+		piggy:          make([]piggySlot, len(o.NodeURLs)),
+		piggyAppliedAt: make([]int64, len(o.NodeURLs)),
+		fresh:          obs.NewFreshness(len(o.NodeURLs)),
+		batchWindow:    o.BatchWindow,
+		batchMax:       o.BatchMax,
+	}
+	if o.BinaryFraming {
+		m.frames = newFrameDialer(m, len(o.NodeURLs))
 	}
 	for id, u := range o.NodeURLs {
 		if u != "" {
@@ -246,11 +284,12 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 	m.policy.Tick(0, &initial)
 	// Publish generation 1; the zero workEpoch forces the first placement
 	// to seed its working copy from this snapshot.
-	m.snap.Store(&loadSnapshot{epoch: 1, view: initial})
+	m.snap.Store(&loadSnapshot{epoch: 1, at: time.Now().UnixNano(), view: initial})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/req", m.handleRequest)
 	mux.HandleFunc("/exec", m.handleExec)
+	mux.HandleFunc("/frame", m.handleFrame)
 	mux.HandleFunc("/load", m.handleLoad)
 	mux.HandleFunc("/stats", m.handleStats)
 	mux.HandleFunc("/metrics", m.handleMetrics)

@@ -1,0 +1,160 @@
+package httpcluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"msweb/internal/core"
+)
+
+// Piggybacked load reports. A poll-only master's view of a node is on
+// average half a poll interval stale; every /exec round trip is a
+// fresher sample the master already paid for. Nodes therefore attach
+// their compact l1 load line (the /load?fmt=c wire format, newline
+// stripped) to /exec and /req responses as the X-Msweb-Load header —
+// and to every binary frame response — and masters fold it into the
+// scheduling view on receipt. The poller stays as the slow-path
+// fallback that covers idle pairs (no responses → no piggybacks) and
+// skips nodes whose piggybacked report is younger than the poll
+// interval.
+//
+// Node side, the report is a cached stamp refreshed at most every
+// loadStampTTL: the hot path pays one atomic load and a header-map
+// assignment of a prebuilt []string — nothing per response is
+// allocated or sampled, which keeps the 0 allocs/op pins and stops
+// piggybacking from hammering the rstat windows. Master side, reports
+// land in per-node slots guarded by tiny mutexes and are overlaid onto
+// the policy's working view only when the version counter moved — the
+// placement path's steady-state cost is one atomic load.
+
+// LoadHeader carries a node's compact load report on /exec and /req
+// responses.
+const LoadHeader = "X-Msweb-Load"
+
+// loadStampTTL bounds how stale a node's cached piggyback report may
+// be. Well under the default 100 ms poll period, so piggybacked views
+// are strictly fresher than polled ones even at modest request rates.
+const loadStampTTL = 5 * time.Millisecond
+
+// loadStamp is one immutable generation of a node's self-report.
+type loadStamp struct {
+	at   int64 // unixnano when sampled
+	load core.Load
+	hdr  []string // prebuilt header value: one l1 line, newline stripped
+}
+
+// currentLoad returns the node's freshest self-report, resampling when
+// the cached stamp aged out.
+func (n *Node) currentLoad() *loadStamp {
+	if s := n.stamp.Load(); s != nil && time.Now().UnixNano()-s.at < int64(loadStampTTL) {
+		return s
+	}
+	return n.refreshLoadStamp()
+}
+
+// refreshLoadStamp samples the resources and publishes a new stamp.
+// Concurrent refreshes race benignly: both stamps are valid samples.
+func (n *Node) refreshLoadStamp() *loadStamp {
+	l := core.Load{
+		CPUIdle:   n.res.CPU.IdleRatio(),
+		DiskAvail: n.res.Disk.IdleRatio(),
+		CPUQueue:  n.res.CPU.QueueLength(),
+		DiskQueue: n.res.Disk.QueueLength(),
+		Speed:     1,
+	}
+	b := l.AppendWire(make([]byte, 0, 64))
+	s := &loadStamp{
+		at:   time.Now().UnixNano(),
+		load: l,
+		hdr:  []string{string(b[: len(b)-1 : len(b)-1])}, // header values cannot carry the trailing \n
+	}
+	n.stamp.Store(s)
+	return s
+}
+
+// attachLoadHeader piggybacks the node's load report onto a response.
+// Direct map assignment of the cached slice: no []string allocation,
+// unlike Header().Set.
+func (n *Node) attachLoadHeader(h http.Header) {
+	h[LoadHeader] = n.currentLoad().hdr
+}
+
+// piggySlot is a master's mailbox for one node's piggybacked reports.
+type piggySlot struct {
+	mu   sync.Mutex
+	load core.Load
+	at   int64 // unixnano of receipt; 0 = never
+}
+
+// storePiggy records a piggybacked report from node id and bumps the
+// version so the next placement folds it in.
+func (m *Master) storePiggy(id int, l core.Load) {
+	if id < 0 || id >= len(m.piggy) {
+		return
+	}
+	now := time.Now().UnixNano()
+	s := &m.piggy[id]
+	s.mu.Lock()
+	s.load = l
+	s.at = now
+	s.mu.Unlock()
+	m.fresh.Touch(id, now)
+	m.piggyVer.Add(1)
+	m.piggyTotal.Add(1)
+}
+
+// storePiggyHeader parses a response's X-Msweb-Load header, if any,
+// into node id's slot.
+func (m *Master) storePiggyHeader(id int, h http.Header) {
+	v := h[LoadHeader]
+	if len(v) == 0 {
+		return
+	}
+	buf := wireBufPool.Get().(*[]byte)
+	b := append((*buf)[:0], v[0]...)
+	l, err := core.ParseLoadWire(b)
+	*buf = b[:0]
+	wireBufPool.Put(buf)
+	if err != nil {
+		return
+	}
+	m.storePiggy(id, l)
+}
+
+// peekPiggy returns node id's latest piggybacked report and its
+// receipt time (0 when none ever arrived).
+func (m *Master) peekPiggy(id int) (core.Load, int64) {
+	s := &m.piggy[id]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load, s.at
+}
+
+// applyPiggy overlays piggybacked reports newer than what the working
+// view already reflects. Callers hold placeMu. epochMoved means the
+// working view was just re-seeded from a snapshot published at snapAt:
+// applied-at floors reset to snapAt so reports newer than the snapshot
+// are re-applied (the copy wiped them) and reports older than it are
+// not (the poll is fresher). Steady state with no new reports is one
+// atomic load.
+func (m *Master) applyPiggy(epochMoved bool, snapAt int64) {
+	if len(m.piggy) == 0 {
+		return
+	}
+	v := m.piggyVer.Load()
+	if !epochMoved && v == m.piggyApplied {
+		return
+	}
+	m.piggyApplied = v
+	for id := range m.piggy {
+		if epochMoved {
+			m.piggyAppliedAt[id] = snapAt
+		}
+		l, at := m.peekPiggy(id)
+		if at > m.piggyAppliedAt[id] {
+			m.piggyAppliedAt[id] = at
+			m.workView.ApplyReport(id, l)
+		}
+	}
+}

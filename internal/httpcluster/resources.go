@@ -17,6 +17,7 @@ package httpcluster
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msweb/internal/metrics"
@@ -46,6 +47,7 @@ const sleepResolution = 20 * time.Microsecond
 // disk queue). Concurrency-safe.
 type Resource struct {
 	quantum time.Duration
+	fast    bool
 
 	mu      sync.Mutex
 	queue   []*rrJob
@@ -53,6 +55,21 @@ type Resource struct {
 	util    *metrics.UtilizationTracker
 	origin  time.Time
 	closed  bool
+
+	// Uncalibrated ("fast mode") accounting. With fast set, Use never
+	// sleeps: demand is charged to a virtual clock instead, so /exec
+	// completes at CPU speed while RSRC still sees the same busy time a
+	// calibrated run would produce. vbusy accumulates delivered virtual
+	// service; vhorizon is the virtual completion instant of all work
+	// admitted so far (unixnano), whose excess over wall-clock now is
+	// the virtual backlog behind QueueLength.
+	vbusy    atomic.Int64
+	vhorizon atomic.Int64
+	// fastMu guards the rstat-window sample state below (cold path:
+	// only load reports take it).
+	fastMu       sync.Mutex
+	fastLastWall int64 // unixnano of the last window sample
+	fastLastBusy int64 // vbusy at the last window sample
 }
 
 // NewResource creates a resource with the given slicing quantum.
@@ -67,6 +84,19 @@ func NewResource(quantum time.Duration, origin time.Time) *Resource {
 	}
 }
 
+// NewFastResource creates an uncalibrated resource: demand is accounted
+// on a virtual clock instead of being slept off, so callers return at
+// CPU speed while load reports (IdleRatio, QueueLength, BusyFraction)
+// still reflect the offered demand exactly as a calibrated resource's
+// would under the same arrivals.
+func NewFastResource(quantum time.Duration, origin time.Time) *Resource {
+	r := NewResource(quantum, origin)
+	r.fast = true
+	now := time.Now()
+	r.fastLastWall = now.UnixNano()
+	return r
+}
+
 func (r *Resource) now() float64 { return time.Since(r.origin).Seconds() }
 
 // Use blocks until d of virtual service has been delivered to the
@@ -74,6 +104,10 @@ func (r *Resource) now() float64 { return time.Since(r.origin).Seconds() }
 // Non-positive durations return immediately.
 func (r *Resource) Use(d time.Duration) {
 	if d <= 0 {
+		return
+	}
+	if r.fast {
+		r.useFast(d)
 		return
 	}
 	r.mu.Lock()
@@ -168,8 +202,40 @@ func (r *Resource) serve() {
 	}
 }
 
-// QueueLength returns the number of queued (not yet finished) jobs.
+// useFast charges d to the virtual clock: two atomic updates, no sleep,
+// no queue, no goroutine handoff. The horizon CAS treats the resource as
+// a unit-rate server — work admitted while a backlog stands extends the
+// backlog, exactly as it would extend the calibrated queue.
+func (r *Resource) useFast(d time.Duration) {
+	r.vbusy.Add(int64(d))
+	now := time.Now().UnixNano()
+	for {
+		h := r.vhorizon.Load()
+		nh := h
+		if nh < now {
+			nh = now
+		}
+		nh += int64(d)
+		if r.vhorizon.CompareAndSwap(h, nh) {
+			return
+		}
+	}
+}
+
+// QueueLength returns the number of queued (not yet finished) jobs. In
+// fast mode the count is inferred from the virtual backlog in units of
+// the slicing quantum (the calibrated resource's notion of "one job's
+// worth of outstanding service"), so MaxQueue shedding and the
+// least-loaded baseline keep a meaningful signal without wall-clock
+// queues to count.
 func (r *Resource) QueueLength() int {
+	if r.fast {
+		backlog := r.vhorizon.Load() - time.Now().UnixNano()
+		if backlog <= 0 {
+			return 0
+		}
+		return 1 + int(backlog/int64(r.quantum))
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := len(r.queue)
@@ -182,15 +248,55 @@ func (r *Resource) QueueLength() int {
 // IdleRatio samples the idle fraction since the last call, resetting the
 // window (the live analogue of the simulator's rstat window sample).
 func (r *Resource) IdleRatio() float64 {
+	if r.fast {
+		return 1 - r.fastWindowSample()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return 1 - r.util.WindowSample(r.now())
+}
+
+// fastWindowSample returns the virtual busy fraction since the previous
+// sample and advances the window — the same sample-and-reset contract
+// as the calibrated UtilizationTracker window. Demand beyond capacity
+// clamps at 1, as a saturated real resource would report.
+func (r *Resource) fastWindowSample() float64 {
+	now := time.Now().UnixNano()
+	busy := r.vbusy.Load()
+	r.fastMu.Lock()
+	defer r.fastMu.Unlock()
+	wallDelta := now - r.fastLastWall
+	busyDelta := busy - r.fastLastBusy
+	if wallDelta <= 0 {
+		return 0
+	}
+	r.fastLastWall = now
+	r.fastLastBusy = busy
+	frac := float64(busyDelta) / float64(wallDelta)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
 }
 
 // BusyFraction returns the lifetime busy fraction without touching the
 // rstat window — the read the /metrics exporter uses, so scrapes never
 // disturb the load samples the masters poll.
 func (r *Resource) BusyFraction() float64 {
+	if r.fast {
+		wall := time.Since(r.origin)
+		if wall <= 0 {
+			return 0
+		}
+		frac := float64(r.vbusy.Load()) / float64(wall)
+		if frac > 1 {
+			frac = 1
+		}
+		return frac
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.util.BusyFraction(r.now())
@@ -215,14 +321,22 @@ type NodeResources struct {
 }
 
 // NewNodeResources creates a node's devices with the paper's quanta:
-// 10 ms CPU slices, 2 ms disk bursts, both scaled by timeScale.
-func NewNodeResources(origin time.Time, timeScale float64) *NodeResources {
+// 10 ms CPU slices, 2 ms disk bursts, both scaled by timeScale. With
+// uncalibrated set, both devices run in fast mode: service durations
+// are charged to virtual clocks instead of being slept off, so the node
+// executes at CPU speed while its load reports still reflect the
+// offered demand (see NewFastResource).
+func NewNodeResources(origin time.Time, timeScale float64, uncalibrated bool) *NodeResources {
 	if timeScale <= 0 {
 		timeScale = 1
 	}
+	mk := NewResource
+	if uncalibrated {
+		mk = NewFastResource
+	}
 	return &NodeResources{
-		CPU:  NewResource(time.Duration(float64(10*time.Millisecond)*timeScale), origin),
-		Disk: NewResource(time.Duration(float64(2*time.Millisecond)*timeScale), origin),
+		CPU:  mk(time.Duration(float64(10*time.Millisecond)*timeScale), origin),
+		Disk: mk(time.Duration(float64(2*time.Millisecond)*timeScale), origin),
 	}
 }
 

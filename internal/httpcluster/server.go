@@ -63,6 +63,17 @@ type Node struct {
 	cgiServed       atomic.Int64
 	execShed        atomic.Int64
 	deadlineExpired atomic.Int64
+	framesServed    atomic.Int64
+
+	// stamp caches the node's piggybacked load report (see piggyback.go).
+	stamp atomic.Pointer[loadStamp]
+
+	// Hijacked binary-frame connections, invisible to srv.Shutdown, are
+	// tracked here so Shutdown can close them (see frame.go).
+	frameMu     sync.Mutex
+	frameConns  map[net.Conn]struct{}
+	frameClosed bool
+	frameWG     sync.WaitGroup
 
 	// statsMu guards only the two windowed aggregates below; nothing on
 	// the request path blocks behind anything slower than an Observe.
@@ -82,7 +93,7 @@ func newNode(o NodeOptions) (*Node, error) {
 	return &Node{
 		ID:        o.ID,
 		URL:       "http://" + lis.Addr().String(),
-		res:       NewNodeResources(o.Origin, o.TimeScale),
+		res:       NewNodeResources(o.Origin, o.TimeScale, o.Uncalibrated),
 		fork:      time.Duration(float64(3*time.Millisecond) * o.TimeScale),
 		timeScale: o.TimeScale,
 		origin:    o.Origin,
@@ -147,24 +158,27 @@ func (n *Node) handleExec(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "bad w", http.StatusBadRequest)
 		return
 	}
-	if n.maxQueue > 0 && n.res.CPU.QueueLength()+n.res.Disk.QueueLength() >= n.maxQueue {
-		// Shed before queueing: refusing now costs the master one cheap
-		// retry, while queueing would tax every later request with the
-		// backlog this one joins.
-		n.execShed.Add(1)
-		rw.Header().Set("Retry-After", "1")
-		http.Error(rw, "node overloaded: shed before queueing", http.StatusServiceUnavailable)
-		return
-	}
+	var dl int64
 	if h := req.Header.Get(DeadlineHeader); h != "" {
-		if ns, err := strconv.ParseInt(h, 10, 64); err == nil && ns > 0 && time.Now().UnixNano() >= ns {
-			n.deadlineExpired.Add(1)
-			http.Error(rw, "deadline expired before execution", http.StatusGatewayTimeout)
-			return
+		if ns, err := strconv.ParseInt(h, 10, 64); err == nil && ns > 0 {
+			dl = ns
 		}
 	}
-	n.runWork(p.demand, p.w, p.fork)
-	writeBody(rw, p.size)
+	// execOne is the single admission+execution path shared with the
+	// binary frame loop (see frame.go), so the two transports cannot
+	// drift on shedding or deadline semantics.
+	switch n.execOne(frameExec{demand: p.demand, w: p.w, deadlineNs: dl, fork: p.fork}) {
+	case http.StatusBadRequest:
+		http.Error(rw, "bad demand", http.StatusBadRequest)
+	case http.StatusServiceUnavailable:
+		rw.Header().Set("Retry-After", "1")
+		http.Error(rw, "node overloaded: shed before queueing", http.StatusServiceUnavailable)
+	case http.StatusGatewayTimeout:
+		http.Error(rw, "deadline expired before execution", http.StatusGatewayTimeout)
+	default:
+		n.attachLoadHeader(rw.Header())
+		writeBody(rw, p.size)
+	}
 }
 
 // okBody is the fallback response body when no size is requested.
@@ -179,7 +193,13 @@ func writeBody(rw http.ResponseWriter, size int64) {
 		rw.Write(okBody) //nolint:errcheck
 		return
 	}
-	rw.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	if size > 2048 {
+		// net/http computes Content-Length itself for bodies that fit its
+		// 2 KiB write buffer; setting it explicitly there would only buy
+		// the []string allocation inside Header().Set — the last
+		// allocation on the /exec hot path.
+		rw.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	}
 	rw.WriteHeader(http.StatusOK)
 	remaining := size
 	for remaining > 0 {
@@ -246,7 +266,9 @@ func (n *Node) handleLoad(rw http.ResponseWriter, req *http.Request) {
 	json.NewEncoder(rw).Encode(rep) //nolint:errcheck
 }
 
-// Shutdown stops the server and unblocks in-flight work.
+// Shutdown stops the server and unblocks in-flight work. Resources are
+// closed before the hijacked frame connections so a frame loop blocked
+// in virtual work is released and can observe its dead connection.
 func (n *Node) Shutdown() {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
@@ -254,6 +276,7 @@ func (n *Node) Shutdown() {
 		n.srv.Shutdown(ctx) //nolint:errcheck
 	}
 	n.res.Close()
+	n.closeFrameConns()
 }
 
 // loadSnapshot is one immutable generation of the master's scheduling
@@ -262,6 +285,7 @@ func (n *Node) Shutdown() {
 // published snapshots, so no lock covers the view.
 type loadSnapshot struct {
 	epoch uint64
+	at    int64 // unixnano publish time; piggybacked reports newer than this overlay it
 	view  core.View
 }
 
@@ -302,6 +326,28 @@ type Master struct {
 	// detection, as the switches the paper discusses provide, plus
 	// half-open rehabilitation probes.
 	brk *breakerSet
+
+	// Piggybacked-report state (see piggyback.go): per-node mailboxes, a
+	// version counter the placement path polls, and per-node freshness
+	// stamps behind the staleness gauge.
+	piggy      []piggySlot
+	piggyVer   atomic.Uint64
+	fresh      *obs.Freshness
+	piggyTotal atomic.Int64
+	// piggyApplied/piggyAppliedAt are the placement side's high-water
+	// marks, guarded by placeMu.
+	piggyApplied   uint64
+	piggyAppliedAt []int64
+
+	// frames is the binary-framing client (nil = transport disabled);
+	// batchWindow/batchMax configure batched dispatch over it.
+	frames      *frameDialer
+	batchWindow time.Duration
+	batchMax    int
+	frameDials  atomic.Int64
+	batchesSent atomic.Int64
+	batchedReqs atomic.Int64
+	pollSkipped atomic.Int64
 
 	// Terminal-outcome accounting: every request counted in accepted is
 	// counted in exactly one of served, shed or exhausted — the invariant
@@ -386,11 +432,16 @@ func (m *Master) emit(kind obs.EventKind, req int64, node int, value float64) {
 // must hold placeMu. Allocation-free in steady state.
 func (m *Master) refreshWorkView() {
 	s := m.snap.Load()
-	if s.epoch != m.workEpoch {
+	epochMoved := s.epoch != m.workEpoch
+	if epochMoved {
 		m.workEpoch = s.epoch
 		m.workView.Load = append(m.workView.Load[:0], s.view.Load...)
 		m.workView.Affinity = s.view.Affinity
 	}
+	// Overlay piggybacked reports fresher than what the view reflects,
+	// so placement sees every response's load sample, not just the last
+	// poll round's.
+	m.applyPiggy(epochMoved, s.at)
 	now := time.Now().UnixNano()
 	live := func(id int) bool {
 		// The master itself is always placeable (last-resort local run).
@@ -494,7 +545,11 @@ func (m *Master) pollLoop(every time.Duration) {
 }
 
 // pollOnce runs one fan-out poll round and publishes the next snapshot.
-func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched []bool) {
+// Nodes whose piggybacked report is younger than the poll period are
+// not polled again — the report stands in for the fetch, saving the
+// connection (the poller is the fallback, piggybacking the fast path).
+func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []bool) {
+	deadline := period
 	if deadline < m.pollFloor {
 		// Floor the shared fetch deadline: with very fast polling periods
 		// a deadline equal to the period misclassifies every node as
@@ -503,6 +558,7 @@ func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched [
 		deadline = m.pollFloor
 	}
 	prev := m.snap.Load()
+	now := time.Now().UnixNano()
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	var wg sync.WaitGroup
@@ -511,6 +567,14 @@ func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched [
 		base := m.nodeURL(id)
 		if base == "" {
 			continue
+		}
+		if len(m.piggy) > 0 {
+			if l, at := m.peekPiggy(id); at > 0 && now-at < int64(period) {
+				reports[id] = l
+				fetched[id] = true
+				m.pollSkipped.Add(1)
+				continue
+			}
 		}
 		wg.Add(1)
 		go func(id int, base string) {
@@ -522,6 +586,7 @@ func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched [
 			}
 			reports[id] = rep
 			fetched[id] = true
+			m.fresh.Touch(id, time.Now().UnixNano())
 		}(id, base)
 	}
 	wg.Wait()
@@ -530,6 +595,7 @@ func (m *Master) pollOnce(deadline time.Duration, reports []core.Load, fetched [
 
 	next := &loadSnapshot{
 		epoch: prev.epoch + 1,
+		at:    time.Now().UnixNano(),
 		view: core.View{
 			// Role lists are immutable across snapshots and shared.
 			Masters:  prev.view.Masters,
@@ -698,6 +764,7 @@ func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 	m.served.Add(1)
 	m.emit(obs.KindComplete, reqID, m.ID, resp)
 
+	m.attachLoadHeader(rw.Header())
 	writeBody(rw, p.size)
 }
 
@@ -929,11 +996,18 @@ func (m *Master) forwardBreakered(target int, p reqParams, deadline time.Time) e
 	return err
 }
 
-// forward executes the CGI remotely via the target's /exec endpoint —
-// the paper's low-overhead remote execution path — propagating the
-// request deadline as both a context (cancels the round trip) and a
-// header (lets the slave refuse expired work before queueing it).
+// forward executes the CGI remotely — over the persistent binary frame
+// transport when enabled and the pair negotiated it, else via the
+// target's /exec endpoint (the paper's low-overhead remote execution
+// path), propagating the request deadline as both a context (cancels
+// the round trip) and a header (lets the slave refuse expired work
+// before queueing it).
 func (m *Master) forward(target int, p reqParams, deadline time.Time) error {
+	if m.frames != nil {
+		if err, handled := m.forwardFrame(target, p, deadline); handled {
+			return err
+		}
+	}
 	base := m.nodeURL(target)
 	if base == "" {
 		return fmt.Errorf("no URL for node %d", target)
@@ -963,7 +1037,12 @@ func (m *Master) forward(target int, p reqParams, deadline time.Time) error {
 		}
 		return err
 	}
-	defer resp.Body.Close()
+	// Drain the (bounded) body before closing: a response closed with
+	// unread bytes discards its keep-alive connection, forcing a fresh
+	// TCP+handshake on the next dispatch to the same node.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+	resp.Body.Close()
+	m.storePiggyHeader(target, resp.Header)
 	switch resp.StatusCode {
 	case http.StatusOK:
 		return nil
@@ -975,9 +1054,14 @@ func (m *Master) forward(target int, p reqParams, deadline time.Time) error {
 	}
 }
 
-// Shutdown stops the master's loops and server.
+// Shutdown stops the master's loops and server, then releases any
+// pooled frame connections (after the server stops, nothing can dial
+// new ones).
 func (m *Master) Shutdown() {
 	close(m.stop)
 	m.wg.Wait()
 	m.Node.Shutdown()
+	if m.frames != nil {
+		m.frames.close()
+	}
 }

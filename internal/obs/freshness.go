@@ -1,0 +1,51 @@
+package obs
+
+import "sync/atomic"
+
+// Freshness tracks when each of a fixed set of slots was last updated,
+// as lock-free unixnano stamps. The live cluster uses one per master to
+// answer "how stale is my view of node i?" — the gauge that makes the
+// piggybacked-report path's freshness advantage over pure polling
+// measurable instead of anecdotal. Touch is a single atomic store, so
+// hot paths (a piggybacked report on every response) can stamp without
+// contention; Age reads are exact at the instant of the load.
+type Freshness struct {
+	at []atomic.Int64 // unixnano of the last Touch; 0 = never
+}
+
+// NewFreshness tracks n slots, all initially never-updated.
+func NewFreshness(n int) *Freshness {
+	return &Freshness{at: make([]atomic.Int64, n)}
+}
+
+// Len returns the slot count.
+func (f *Freshness) Len() int { return len(f.at) }
+
+// Touch records an update of slot i at wall time now (unixnano).
+// Out-of-range slots are ignored.
+func (f *Freshness) Touch(i int, now int64) {
+	if i < 0 || i >= len(f.at) {
+		return
+	}
+	f.at[i].Store(now)
+}
+
+// Stamp returns slot i's last update instant (unixnano), 0 if never.
+func (f *Freshness) Stamp(i int) int64 {
+	if i < 0 || i >= len(f.at) {
+		return 0
+	}
+	return f.at[i].Load()
+}
+
+// AgeSeconds returns how long before now (unixnano) slot i was last
+// updated, in seconds — or -1 when it never was. A never-updated slot
+// is reported as -1 rather than "age since process start" so metrics
+// stay deterministic on a fresh node.
+func (f *Freshness) AgeSeconds(i int, now int64) float64 {
+	s := f.Stamp(i)
+	if s == 0 {
+		return -1
+	}
+	return float64(now-s) / 1e9
+}
