@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench benchdiff loadbench experiments csv clean help
+.PHONY: all build vet lint test test-short race check bench benchdiff loadbench tournament experiments csv clean help
 
 all: build vet test
 
@@ -22,6 +22,9 @@ help:
 	@echo "  loadbench   live-cluster load generation (closed + open loop via"
 	@echo "              cmd/loadgen) folded into BENCH_results.json with the"
 	@echo "              microbenchmarks and baseline deltas"
+	@echo "  tournament  head-to-head policy comparison on both planes: the"
+	@echo "              simulator grid (msbench) and a live loadgen sweep,"
+	@echo "              folded into BENCH_results.json as a Tournament section"
 	@echo "  experiments regenerate every table and figure (minutes)"
 	@echo "  csv         experiments plus CSV output in results/csv"
 	@echo "  clean       go clean ./..."
@@ -100,6 +103,22 @@ loadbench:
 	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
 			-live results/live_closed.json,results/live_open.json,results/live_chaos.json,results/live_fast.json > BENCH_results.json
+
+# Head-to-head policy comparison: every registered competitor replays
+# identical traces through the simulator grid (CSV lands in
+# results/csv/policy-tournament.csv), the live data plane repeats the
+# sweep via loadgen's per-preset clusters, and both land in
+# BENCH_results.json — the CSV as the Tournament section, the live sweep
+# through -live.
+tournament:
+	@mkdir -p results/csv
+	$(GO) run ./cmd/msbench -experiment tournament -csv results/csv
+	$(GO) run ./cmd/loadgen -tournament competitors -fast -n 2000 -concurrency 16 \
+		-nodes 4 -masters 1 -out results/live_tournament.json
+	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
+			-tournament results/csv/policy-tournament.csv \
+			-live results/live_tournament.json > BENCH_results.json
 
 # Regenerate every table and figure (minutes; table3 replays in real time).
 experiments:

@@ -162,7 +162,10 @@ func BenchmarkAblationAllMasters(b *testing.B) {
 
 func BenchmarkAblationNoBooking(b *testing.B) {
 	benchmarkPolicyStretch(b, 3, func(wt core.WTable, s int64) core.Policy {
-		return core.NewMS(wt, s, core.WithPlacementImpact(0))
+		return core.NewPipeline(core.PipelineConfig{
+			Name: "M/S", WTable: wt, Seed: s,
+			PlacementImpact: core.NoPlacementImpact,
+		})
 	}, nil)
 }
 

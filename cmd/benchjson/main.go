@@ -20,10 +20,20 @@
 // folded into the document as LiveCluster/<mode> results, so the same
 // BENCH_results.json carries both microbenchmarks and end-to-end
 // cluster throughput/latency numbers.
+//
+// With -tournament FILE, the policy-tournament CSV written by
+// `msbench -experiment tournament -csv DIR` is folded in as a
+// Tournament section, one record per (profile, load, policy) cell, so
+// the report also carries the head-to-head policy comparison:
+//
+//	go run ./cmd/msbench -experiment tournament -quick -csv bench
+//	go test -bench=. -benchmem -run '^$' . | \
+//	    go run ./cmd/benchjson -tournament bench/policy-tournament.csv > BENCH_results.json
 package main
 
 import (
 	"bufio"
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -51,11 +61,69 @@ type Report struct {
 	// among the folded-in fast-mode (uncalibrated) loadgen runs, where
 	// the data plane itself is the bottleneck rather than emulated
 	// service times.
-	ReqSPerCore float64  `json:"req_s_per_core,omitempty"`
-	Results     []Result `json:"results"`
-	Live        []Result `json:"live,omitempty"`
-	Baseline    []Result `json:"baseline,omitempty"`
-	Deltas      []Delta  `json:"deltas,omitempty"`
+	ReqSPerCore float64            `json:"req_s_per_core,omitempty"`
+	Results     []Result           `json:"results"`
+	Live        []Result           `json:"live,omitempty"`
+	Tournament  []TournamentResult `json:"tournament,omitempty"`
+	Baseline    []Result           `json:"baseline,omitempty"`
+	Deltas      []Delta            `json:"deltas,omitempty"`
+}
+
+// TournamentResult is one (profile, load, policy) cell of the policy
+// tournament, mirroring the CSV msbench emits.
+type TournamentResult struct {
+	Profile  string  `json:"profile"`
+	Rho      float64 `json:"rho"`
+	Policy   string  `json:"policy"`
+	MeanMs   float64 `json:"mean_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	Stretch  float64 `json:"stretch"`
+	CPUUtil  float64 `json:"cpu_util"`
+	ShedRate float64 `json:"shed_rate"`
+}
+
+// tournamentResults parses the policy-tournament CSV. Columns are
+// located by header name so reordering stays harmless.
+func tournamentResults(path string) ([]TournamentResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("%s: no tournament rows", path)
+	}
+	col := map[string]int{}
+	for i, name := range records[0] {
+		col[name] = i
+	}
+	for _, name := range []string{"profile", "rho", "policy", "mean_ms", "p99_ms", "stretch", "cpu_util", "shed_rate"} {
+		if _, ok := col[name]; !ok {
+			return nil, fmt.Errorf("%s: not a tournament CSV (missing %q column)", path, name)
+		}
+	}
+	num := func(rec []string, name string) float64 {
+		v, _ := strconv.ParseFloat(rec[col[name]], 64)
+		return v
+	}
+	out := make([]TournamentResult, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		out = append(out, TournamentResult{
+			Profile:  rec[col["profile"]],
+			Rho:      num(rec, "rho"),
+			Policy:   rec[col["policy"]],
+			MeanMs:   num(rec, "mean_ms"),
+			P99Ms:    num(rec, "p99_ms"),
+			Stretch:  num(rec, "stretch"),
+			CPUUtil:  num(rec, "cpu_util"),
+			ShedRate: num(rec, "shed_rate"),
+		})
+	}
+	return out, nil
 }
 
 // liveSummary mirrors the fields of cmd/loadgen's Summary that the
@@ -177,11 +245,20 @@ type Delta struct {
 func main() {
 	baseline := flag.String("baseline", "", "bench output file to diff the stdin run against")
 	live := flag.String("live", "", "comma-separated loadgen JSON summaries to fold in")
+	tournament := flag.String("tournament", "", "policy-tournament CSV (msbench -experiment tournament -csv DIR) to fold in")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *tournament != "" {
+		tr, err := tournamentResults(*tournament)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Tournament = tr
 	}
 	if *live != "" {
 		lr, headline, err := liveResults(strings.Split(*live, ","))

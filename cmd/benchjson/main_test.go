@@ -144,3 +144,35 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 		t.Fatal("accepted a non-numeric iteration count")
 	}
 }
+
+func TestTournamentResults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy-tournament.csv")
+	os.WriteFile(path, []byte(
+		"profile,rho,policy,mean_ms,p99_ms,stretch,cpu_util,shed_rate\n"+
+			"UCB,0.5,M/S,12.5,80.25,2.1,0.44,0\n"+
+			"UCB,0.5,Random,20,120,3.5,0.43,0.015\n"), 0o644) //nolint:errcheck
+	rows, err := tournamentResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	r := rows[0]
+	if r.Profile != "UCB" || r.Rho != 0.5 || r.Policy != "M/S" || r.MeanMs != 12.5 || r.P99Ms != 80.25 {
+		t.Fatalf("first row mis-parsed: %+v", r)
+	}
+	if rows[1].ShedRate != 0.015 {
+		t.Fatalf("shed_rate mis-parsed: %+v", rows[1])
+	}
+
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("a,b\n1,2\n"), 0o644) //nolint:errcheck
+	if _, err := tournamentResults(bad); err == nil {
+		t.Fatal("accepted a CSV without tournament columns")
+	}
+	if _, err := tournamentResults(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}

@@ -42,11 +42,21 @@
 // (502) from transport errors and reports the breaker/failover counters
 // the faults provoked.
 //
+// The self-hosted cluster's scheduling policy comes from the shared
+// registry (internal/policy): -policy selects a preset, the
+// -admission-policy/-routing-policy/-routing-scorers/-scheduling-policy
+// stage flags assemble a custom pipeline, and -list-policies prints the
+// catalog. -tournament runs the same load against a fresh self-hosted
+// cluster per preset ("competitors" = the registry's competitor field)
+// and reports one summary entry per policy, so the live plane replays
+// the simulator's head-to-head comparison.
+//
 // Usage:
 //
 //	loadgen -mode open -rps 200 -n 2000 -profile KSU -timescale 0.05
 //	loadgen -mode closed -concurrency 8 -rps 100 -n 1000 -out results/closed.json
 //	loadgen -mode closed -concurrency 8 -n 2000 -chaos -chaos-seed 7 -nodes 6 -masters 2
+//	loadgen -tournament competitors -fast -n 2000 -concurrency 16
 package main
 
 import (
@@ -67,6 +77,7 @@ import (
 	"msweb/internal/core"
 	"msweb/internal/httpcluster"
 	"msweb/internal/obs"
+	"msweb/internal/policy"
 	"msweb/internal/trace"
 )
 
@@ -98,33 +109,47 @@ func statsOf(h *obs.Histogram) LatencyStats {
 
 // Summary is loadgen's JSON report.
 type Summary struct {
-	Mode          string       `json:"mode"`
-	Profile       string       `json:"profile"`
-	Targets       []string     `json:"targets"`
-	Requests      int          `json:"requests"`
-	Fast          bool         `json:"fast,omitempty"`
-	Frame         bool         `json:"frame,omitempty"`
-	BatchWindowS  float64      `json:"batch_window_s,omitempty"`
-	Sent          int64        `json:"sent"`
-	OK            int64        `json:"ok"`
-	Errors        int64        `json:"errors"`
-	Shed          int64        `json:"shed,omitempty"`
-	Exhausted     int64        `json:"exhausted,omitempty"`
-	DurationS     float64      `json:"duration_s"`
-	ThroughputRPS float64      `json:"throughput_rps"`
+	Mode          string   `json:"mode"`
+	Profile       string   `json:"profile"`
+	Targets       []string `json:"targets"`
+	Requests      int      `json:"requests"`
+	Fast          bool     `json:"fast,omitempty"`
+	Frame         bool     `json:"frame,omitempty"`
+	BatchWindowS  float64  `json:"batch_window_s,omitempty"`
+	Sent          int64    `json:"sent"`
+	OK            int64    `json:"ok"`
+	Errors        int64    `json:"errors"`
+	Shed          int64    `json:"shed,omitempty"`
+	Exhausted     int64    `json:"exhausted,omitempty"`
+	DurationS     float64  `json:"duration_s"`
+	ThroughputRPS float64  `json:"throughput_rps"`
 	// Cores and ReqSPerCore normalize throughput for cross-machine
 	// comparison: the 100k req/s headline is stated per core.
-	Cores       int     `json:"cores"`
-	ReqSPerCore float64 `json:"req_s_per_core"`
-	TargetRPS     float64      `json:"target_rps,omitempty"`
-	Concurrency   int          `json:"concurrency,omitempty"`
-	Latency       LatencyStats `json:"latency"`
+	Cores       int          `json:"cores"`
+	ReqSPerCore float64      `json:"req_s_per_core"`
+	TargetRPS   float64      `json:"target_rps,omitempty"`
+	Concurrency int          `json:"concurrency,omitempty"`
+	Latency     LatencyStats `json:"latency"`
 	// Corrected is present in closed mode with pacing (-rps): the same
 	// samples plus HdrHistogram-style coordinated-omission back-fill.
 	Corrected *LatencyStats `json:"corrected,omitempty"`
 	// Chaos is present with -chaos: the fault schedule's shape and the
 	// cluster-side resilience counters it provoked.
 	Chaos *ChaosSummary `json:"chaos,omitempty"`
+	// Tournament is present with -tournament: one entry per policy
+	// preset, each measured against a fresh self-hosted cluster replaying
+	// the identical request mix.
+	Tournament []TournamentEntry `json:"tournament,omitempty"`
+}
+
+// TournamentEntry is one policy's aggregate in a -tournament run.
+type TournamentEntry struct {
+	Policy        string       `json:"policy"`
+	OK            int64        `json:"ok"`
+	Errors        int64        `json:"errors"`
+	Shed          int64        `json:"shed,omitempty"`
+	ThroughputRPS float64      `json:"throughput_rps"`
+	Latency       LatencyStats `json:"latency"`
 }
 
 // ChaosSummary reports a -chaos run: what was injected and how the data
@@ -167,8 +192,15 @@ func run(args []string, stdout io.Writer) error {
 	fast := fs.Bool("fast", false, "run the self-hosted cluster uncalibrated: virtual-time demand accounting, no wall-clock sleeps")
 	frame := fs.Bool("frame", false, "dispatch master→slave over the persistent binary frame transport")
 	batch := fs.Duration("batch", 0, "coalescing window for batched dispatch over frames (0: off; implies -frame)")
+	var pf policy.Flags
+	pf.Register(fs)
+	tournament := fs.String("tournament", "", "run the live policy tournament over these comma-separated presets (\"competitors\" = the registry's competitor field); self-hosted cluster only")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if pf.List {
+		fmt.Fprint(stdout, policy.ListText())
+		return nil
 	}
 
 	if *mode != "open" && *mode != "closed" {
@@ -210,6 +242,37 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	build, err := pf.Resolve()
+	if err != nil {
+		return err
+	}
+
+	if *tournament != "" {
+		if *targets != "" {
+			return fmt.Errorf("-tournament boots its own clusters (drop -targets)")
+		}
+		if *chaosOn {
+			return fmt.Errorf("-tournament and -chaos are mutually exclusive")
+		}
+		names := policy.TournamentNames()
+		if *tournament != "competitors" {
+			names = names[:0]
+			for _, name := range strings.Split(*tournament, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					names = append(names, name)
+				}
+			}
+		}
+		return runTournament(tournamentRun{
+			names: names, tr: tr, prof: prof,
+			mode: *mode, rps: *rps, concurrency: *concurrency, workers: *workers,
+			nodes: *nodes, masters: *masters, timescale: *timescale,
+			fast: *fast, frame: *frame || *batch > 0, batch: *batch,
+			discipline: pf.Scheduling, timeout: *timeout, out: *out,
+			minRPS: *minRPS,
+		}, stdout)
+	}
+
 	var targetURLs []string
 	var harness *chaos.Harness
 	var sched chaos.Schedule
@@ -221,8 +284,9 @@ func run(args []string, stdout io.Writer) error {
 			LoadRefresh: 50 * time.Millisecond,
 			PolicyTick:  100 * time.Millisecond,
 			MakePolicy: func(id int) core.Policy {
-				return core.NewMS(nil, int64(id)+1)
+				return build(nil, int64(id)+1)
 			},
+			Discipline:    pf.Scheduling,
 			Uncalibrated:  *fast,
 			BinaryFraming: *frame || *batch > 0,
 			BatchWindow:   *batch,
@@ -275,15 +339,7 @@ func run(args []string, stdout io.Writer) error {
 		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
 		Timeout:   *timeout,
 	}
-	urls := make([]string, len(tr.Requests))
-	for i, req := range tr.Requests {
-		cls := "s"
-		if req.Class == trace.Dynamic {
-			cls = "d"
-		}
-		urls[i] = fmt.Sprintf("%s/req?class=%s&demand=%g&w=%g&script=%d&size=%d",
-			targetURLs[i%len(targetURLs)], cls, req.Demand, req.CPUWeight, req.Script, req.Size)
-	}
+	urls := buildURLs(targetURLs, tr)
 
 	s := Summary{
 		Mode:         *mode,
@@ -297,30 +353,7 @@ func run(args []string, stdout io.Writer) error {
 		Concurrency:  0,
 	}
 	var okCount, errCount, shedCount, exhaustedCount atomic.Int64
-	do := func(url string) bool {
-		resp, err := client.Get(url)
-		if err != nil {
-			errCount.Add(1)
-			return false
-		}
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
-			okCount.Add(1)
-			return true
-		case http.StatusServiceUnavailable:
-			// Deliberate shedding (503 + Retry-After) is a terminal
-			// outcome of overload protection, not a transport failure.
-			shedCount.Add(1)
-		case http.StatusBadGateway:
-			// Retry budget or deadline exhausted at the master.
-			exhaustedCount.Add(1)
-		default:
-			errCount.Add(1)
-		}
-		return false
-	}
+	do := newDo(client, &okCount, &errCount, &shedCount, &exhaustedCount)
 
 	start := time.Now()
 	var merged, corrected *obs.Histogram
@@ -374,19 +407,8 @@ func run(args []string, stdout io.Writer) error {
 		s.Chaos = &cs
 	}
 
-	buf, err := json.MarshalIndent(&s, "", "  ")
-	if err != nil {
+	if err := writeSummary(&s, *out, stdout); err != nil {
 		return err
-	}
-	buf = append(buf, '\n')
-	if *out != "" {
-		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "loadgen: %s mode, %d ok / %d errors, %.1f req/s → %s\n",
-			s.Mode, s.OK, s.Errors, s.ThroughputRPS, *out)
-	} else {
-		stdout.Write(buf) //nolint:errcheck
 	}
 
 	if s.Errors > 0 && s.OK == 0 {
@@ -394,6 +416,184 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *minRPS > 0 && s.ThroughputRPS < *minRPS {
 		return fmt.Errorf("throughput %.2f req/s below -min-rps %.2f", s.ThroughputRPS, *minRPS)
+	}
+	return nil
+}
+
+// buildURLs expands the trace's request mix into /req URLs striped
+// across the target masters.
+func buildURLs(targetURLs []string, tr *trace.Trace) []string {
+	urls := make([]string, len(tr.Requests))
+	for i, req := range tr.Requests {
+		cls := "s"
+		if req.Class == trace.Dynamic {
+			cls = "d"
+		}
+		urls[i] = fmt.Sprintf("%s/req?class=%s&demand=%g&w=%g&script=%d&size=%d",
+			targetURLs[i%len(targetURLs)], cls, req.Demand, req.CPUWeight, req.Script, req.Size)
+	}
+	return urls
+}
+
+// newDo builds the per-request driver, classifying each outcome into the
+// given counters.
+func newDo(client *http.Client, ok, errs, shed, exhausted *atomic.Int64) func(string) bool {
+	return func(url string) bool {
+		resp, err := client.Get(url)
+		if err != nil {
+			errs.Add(1)
+			return false
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok.Add(1)
+			return true
+		case http.StatusServiceUnavailable:
+			// Deliberate shedding (503 + Retry-After) is a terminal
+			// outcome of overload protection, not a transport failure.
+			shed.Add(1)
+		case http.StatusBadGateway:
+			// Retry budget or deadline exhausted at the master.
+			exhausted.Add(1)
+		default:
+			errs.Add(1)
+		}
+		return false
+	}
+}
+
+// writeSummary emits the JSON report to the -out file or stdout.
+func writeSummary(s *Summary, out string, stdout io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loadgen: %s mode, %d ok / %d errors, %.1f req/s → %s\n",
+			s.Mode, s.OK, s.Errors, s.ThroughputRPS, out)
+	} else {
+		stdout.Write(buf) //nolint:errcheck
+	}
+	return nil
+}
+
+// tournamentRun bundles everything one -tournament sweep needs.
+type tournamentRun struct {
+	names       []string
+	tr          *trace.Trace
+	prof        trace.Profile
+	mode        string
+	rps         float64
+	concurrency int
+	workers     int
+	nodes       int
+	masters     int
+	timescale   float64
+	fast        bool
+	frame       bool
+	batch       time.Duration
+	discipline  string
+	timeout     time.Duration
+	out         string
+	minRPS      float64
+}
+
+// runTournament boots one fresh self-hosted cluster per policy preset
+// and replays the identical request mix against each, so the live data
+// plane reproduces the simulator's head-to-head comparison. Entries are
+// emitted in the order the presets were named.
+func runTournament(tc tournamentRun, stdout io.Writer) error {
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+		Timeout:   tc.timeout,
+	}
+	s := Summary{
+		Mode:         tc.mode,
+		Profile:      tc.prof.Name,
+		Requests:     len(tc.tr.Requests),
+		Fast:         tc.fast,
+		Frame:        tc.frame,
+		BatchWindowS: tc.batch.Seconds(),
+		TargetRPS:    tc.rps,
+		Cores:        runtime.GOMAXPROCS(0),
+	}
+	if tc.mode == "closed" {
+		s.Concurrency = tc.concurrency
+	}
+	for _, name := range tc.names {
+		preset, err := policy.Lookup(name)
+		if err != nil {
+			return err
+		}
+		cfg := httpcluster.Config{
+			Nodes: tc.nodes, Masters: tc.masters, TimeScale: tc.timescale,
+			LoadRefresh: 50 * time.Millisecond,
+			PolicyTick:  100 * time.Millisecond,
+			MakePolicy: func(id int) core.Policy {
+				return preset.Build(nil, int64(id)+1)
+			},
+			Discipline:    tc.discipline,
+			Uncalibrated:  tc.fast,
+			BinaryFraming: tc.frame,
+			BatchWindow:   tc.batch,
+		}
+		c, err := httpcluster.Start(cfg)
+		if err != nil {
+			return fmt.Errorf("tournament %s: %w", preset.Name, err)
+		}
+		urls := buildURLs(c.MasterURLs(), tc.tr)
+		var ok, errs, shed, exhausted atomic.Int64
+		do := newDo(client, &ok, &errs, &shed, &exhausted)
+
+		start := time.Now()
+		var merged *obs.Histogram
+		switch tc.mode {
+		case "open":
+			merged = runOpen(urls, tc.tr, tc.rps, tc.workers, start, do)
+		case "closed":
+			merged, _ = runClosed(urls, tc.concurrency, tc.rps, do)
+		}
+		dur := time.Since(start).Seconds()
+		c.Shutdown()
+		client.CloseIdleConnections()
+
+		entry := TournamentEntry{
+			Policy:  preset.Name,
+			OK:      ok.Load(),
+			Errors:  errs.Load() + exhausted.Load(),
+			Shed:    shed.Load(),
+			Latency: statsOf(merged),
+		}
+		if dur > 0 {
+			entry.ThroughputRPS = float64(entry.OK) / dur
+		}
+		s.Tournament = append(s.Tournament, entry)
+		s.Sent += int64(len(urls))
+		s.OK += entry.OK
+		s.Errors += entry.Errors
+		s.Shed += entry.Shed
+		s.DurationS += dur
+	}
+	if s.DurationS > 0 {
+		s.ThroughputRPS = float64(s.OK) / s.DurationS
+	}
+	if s.Cores > 0 {
+		s.ReqSPerCore = s.ThroughputRPS / float64(s.Cores)
+	}
+	if err := writeSummary(&s, tc.out, stdout); err != nil {
+		return err
+	}
+	if s.Errors > 0 && s.OK == 0 {
+		return fmt.Errorf("every request failed (%d errors)", s.Errors)
+	}
+	if tc.minRPS > 0 && s.ThroughputRPS < tc.minRPS {
+		return fmt.Errorf("throughput %.2f req/s below -min-rps %.2f", s.ThroughputRPS, tc.minRPS)
 	}
 	return nil
 }

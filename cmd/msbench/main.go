@@ -25,9 +25,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"msweb/internal/experiments"
+	"msweb/internal/policy"
 	"msweb/internal/report"
 )
 
@@ -43,7 +45,9 @@ func main() {
 // piped table output stays clean.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("msbench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "which artifact to regenerate (table1|table2|table3|fig3a|fig3b|fig4a|fig4b|fig5|cachesweep|failover|flashcrowd|hetero|all)")
+	exp := fs.String("experiment", "all", "which artifact to regenerate (table1|table2|table3|fig3a|fig3b|fig4a|fig4b|fig5|cachesweep|failover|flashcrowd|hetero|tournament|all)")
+	var pf policy.Flags
+	pf.Register(fs)
 	quick := fs.Bool("quick", false, "reduced fidelity: fewer seeds, shorter replays")
 	seeds := fs.Int("seeds", 0, "override the number of seeds averaged per cell")
 	rho := fs.Float64("rho", 0, "override the target flat utilization (0 = default 0.65)")
@@ -55,6 +59,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if pf.List {
+		fmt.Fprint(stdout, policy.ListText())
+		return nil
+	}
+	// The unified policy flags select the tournament field: -policy takes
+	// a comma-separated preset list here (it names one preset in the
+	// serving binaries), and the stage flags add one custom pipeline
+	// entrant on top.
+	var tournCfg experiments.TournamentConfig
+	policySet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "policy" {
+			policySet = true
+		}
+	})
+	if policySet {
+		for _, name := range strings.Split(pf.Preset, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				tournCfg.Policies = append(tournCfg.Policies, name)
+			}
+		}
+	}
+	if pf.Custom() {
+		build, err := pf.Resolve()
+		if err != nil {
+			return err
+		}
+		name := pf.Spec().Name
+		if name == "" {
+			name = "custom"
+		}
+		tournCfg.Extra = append(tournCfg.Extra, policy.Preset{Name: name, Build: build})
 	}
 
 	experiments.SetParallelism(*par)
@@ -243,6 +280,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintln(stdout, experiments.FormatStaleness(16, rows))
 			return emit(experiments.StalenessTable(rows))
 		},
+		"tournament": func() error {
+			rows, err := experiments.RunTournament(16, opts, tournCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatTournament(16, rows))
+			return emit(experiments.TournamentTable(rows))
+		},
 		"table3": func() error {
 			t3 := experiments.DefaultTable3Options()
 			if *quick {
@@ -257,7 +302,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 	}
 
-	order := []string{"table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "cachesweep", "failover", "flashcrowd", "hetero", "discipline", "openclosed", "wsense", "staleness", "table3"}
+	order := []string{"table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "cachesweep", "failover", "flashcrowd", "hetero", "discipline", "openclosed", "wsense", "staleness", "tournament", "table3"}
 	// Experiments that never read the shared Options: table1 sizes
 	// itself, fig3 is closed-form, table3 has its own Table3Options.
 	ignoresOptions := map[string]bool{"table1": true, "fig3a": true, "fig3b": true, "table3": true}

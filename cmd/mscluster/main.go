@@ -5,6 +5,13 @@
 //
 //	mscluster -nodes 6 -masters 3 -policy ms
 //	mscluster -nodes 6 -masters 2 -fast -frame -batch 200us
+//	mscluster -admission-policy open -routing-policy jsq2 -scheduling-policy fcfs
+//	mscluster -list-policies
+//
+// The policy surface is the shared registry (internal/policy): -policy
+// selects a preset; the -admission-policy/-routing-policy/
+// -routing-scorers/-scheduling-policy stage flags assemble a custom
+// pipeline instead; -list-policies prints the catalog.
 //
 // -fast runs the slaves uncalibrated (virtual-time demand accounting,
 // no wall-clock sleeps); -frame dispatches master→slave over the
@@ -15,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,10 +33,18 @@ import (
 
 	"msweb/internal/core"
 	"msweb/internal/httpcluster"
+	"msweb/internal/policy"
 )
+
+// errListed signals the -list-policies print-and-exit path.
+var errListed = errors.New("listed policies")
 
 func main() {
 	cfg, err := buildConfig(os.Args[1:])
+	if errors.Is(err, errListed) {
+		fmt.Print(policy.ListText())
+		return
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mscluster:", err)
 		os.Exit(2)
@@ -53,7 +69,8 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	fs := flag.NewFlagSet("mscluster", flag.ContinueOnError)
 	nodes := fs.Int("nodes", 6, "cluster size")
 	masters := fs.Int("masters", 2, "number of master nodes")
-	policy := fs.String("policy", "ms", "scheduling policy: ms, ms-ns, ms-nr, msprime, rr, leastloaded")
+	var pf policy.Flags
+	pf.Register(fs)
 	scale := fs.Float64("timescale", 1, "duration scale factor (1 = real time)")
 	refresh := fs.Duration("refresh", 100*time.Millisecond, "load polling period")
 	seed := fs.Int64("seed", 1, "policy randomization seed")
@@ -63,43 +80,25 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	if err := fs.Parse(args); err != nil {
 		return httpcluster.Config{}, err
 	}
+	if pf.List {
+		return httpcluster.Config{}, errListed
+	}
 
-	mk, err := policyFactory(*policy, *seed)
+	build, err := pf.Resolve()
 	if err != nil {
 		return httpcluster.Config{}, err
 	}
-	cfg := httpcluster.DefaultConfig(*masters, mk)
+	cfg := httpcluster.DefaultConfig(*masters, func(id int) core.Policy {
+		return build(nil, *seed+int64(id))
+	})
 	cfg.Nodes = *nodes
 	cfg.TimeScale = *scale
 	cfg.LoadRefresh = *refresh
+	cfg.Discipline = pf.Scheduling
 	cfg.Uncalibrated = *fast
 	cfg.BinaryFraming = *frame || *batch > 0
 	cfg.BatchWindow = *batch
 	return cfg, cfg.Validate()
-}
-
-// policyFactory maps a policy name to a per-master constructor.
-func policyFactory(name string, seed int64) (func(int) core.Policy, error) {
-	switch name {
-	case "ms":
-		return func(id int) core.Policy { return core.NewMS(nil, seed+int64(id)) }, nil
-	case "ms-ns":
-		return func(id int) core.Policy {
-			return core.NewMS(nil, seed+int64(id), core.WithoutSampling(), core.WithName("M/S-ns"))
-		}, nil
-	case "ms-nr":
-		return func(id int) core.Policy {
-			return core.NewMS(nil, seed+int64(id), core.WithoutReservation(), core.WithName("M/S-nr"))
-		}, nil
-	case "msprime":
-		return func(id int) core.Policy { return core.NewMSPrime(seed + int64(id)) }, nil
-	case "rr":
-		return func(int) core.Policy { return core.NewRoundRobin() }, nil
-	case "leastloaded":
-		return func(id int) core.Policy { return core.NewLeastLoaded(seed + int64(id)) }, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (ms, ms-ns, ms-nr, msprime, rr, leastloaded)", name)
-	}
 }
 
 // printBanner announces the running cluster.

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"net/http"
 	"strings"
 	"testing"
 
 	"msweb/internal/httpcluster"
+	"msweb/internal/policy"
 )
 
 func TestBuildConfigDefaults(t *testing.T) {
@@ -34,14 +36,40 @@ func TestBuildConfigErrors(t *testing.T) {
 }
 
 func TestAllPoliciesConstruct(t *testing.T) {
-	for _, name := range []string{"ms", "ms-ns", "ms-nr", "msprime", "rr", "leastloaded"} {
-		mk, err := policyFactory(name, 1)
+	// Every registry preset (the old policyFactory names included) must
+	// yield a working cluster configuration through the unified flags.
+	for _, name := range policy.Names() {
+		cfg, err := buildConfig([]string{"-policy", name})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if p := mk(0); p == nil || p.Name() == "" {
+		if p := cfg.MakePolicy(0); p == nil || p.Name() == "" {
 			t.Fatalf("%s: bad policy instance", name)
 		}
+	}
+}
+
+func TestCustomPipelineFlags(t *testing.T) {
+	cfg, err := buildConfig([]string{
+		"-admission-policy", "open",
+		"-routing-policy", "scorers",
+		"-routing-scorers", "rsrc:1,qlen:0.25",
+		"-scheduling-policy", "fcfs",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Discipline != "fcfs" {
+		t.Fatalf("discipline %q not forwarded", cfg.Discipline)
+	}
+	if p := cfg.MakePolicy(0); p == nil || p.Name() == "" {
+		t.Fatal("custom pipeline did not construct")
+	}
+}
+
+func TestListPolicies(t *testing.T) {
+	if _, err := buildConfig([]string{"-list-policies"}); !errors.Is(err, errListed) {
+		t.Fatalf("want errListed, got %v", err)
 	}
 }
 

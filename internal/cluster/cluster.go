@@ -67,6 +67,17 @@ type Config struct {
 	Masters int
 	// OS configures every node (per-node overrides via Speeds).
 	OS simos.Config
+	// Discipline selects the per-node CPU scheduling discipline:
+	// core.DisciplineMLFQ (default), DisciplineRR (single-level
+	// round-robin) or DisciplineFCFS (single level, run-to-completion
+	// CPU chunks). It adjusts OS before node construction.
+	Discipline string
+	// EnableShedding lets the cluster shed requests the way the live
+	// master does: when no slaves are in view and the policy's
+	// absorption gate denies local execution, the request completes
+	// immediately as shed instead of queueing. Off by default — the
+	// paper's replays run open-loop without shedding.
+	EnableShedding bool
 	// Speeds optionally assigns per-node CPU speed factors for the
 	// heterogeneous extension; nil means homogeneous.
 	Speeds []float64
@@ -154,6 +165,9 @@ func (c Config) Validate() error {
 	case c.RetryDelay < 0:
 		return fmt.Errorf("cluster: negative retry delay")
 	}
+	if _, err := disciplinedOS(c.OS, c.Discipline); err != nil {
+		return err
+	}
 	if c.Cache != nil {
 		if c.Cache.Capacity <= 0 || c.Cache.TTL <= 0 {
 			return fmt.Errorf("cluster: cache needs positive capacity and TTL")
@@ -205,6 +219,9 @@ type Result struct {
 	MasterHistory []int
 	// Failovers counts requests restarted after a node failure.
 	Failovers int64
+	// Shed counts requests refused by the admission gate (only with
+	// Config.EnableShedding).
+	Shed int64
 	// CacheStats reports dynamic-content cache activity (zero value
 	// when caching is disabled).
 	CacheStats dyncache.Stats
@@ -250,6 +267,7 @@ type Cluster struct {
 	inflight    map[int64]*pendingRequest
 	nextReqID   int64
 	failovers   int64
+	shed        int64
 
 	// trace and warmupUntil back the typed arrival events: each arrival
 	// is scheduled as an index into trace.Requests instead of a closure.
@@ -267,6 +285,9 @@ type Cluster struct {
 	// explainer is the policy's PlacementExplainer side, resolved once
 	// at construction so tracing skips the per-request type assertion.
 	explainer core.PlacementExplainer
+	// gate is the policy's absorption-gate side (pipeline policies),
+	// consulted by the optional shedding path.
+	gate core.AbsorptionGate
 
 	cache          *dyncache.Cache
 	cacheHitDemand float64
@@ -298,6 +319,7 @@ func New(eng *sim.Engine, cfg Config, policy core.Policy) (*Cluster, error) {
 		nextReqID: 1, // 0 means "untraced" to the node OS
 	}
 	c.explainer, _ = policy.(core.PlacementExplainer)
+	c.gate, _ = policy.(core.AbsorptionGate)
 	c.arrivalC = c.arrival
 	c.submitC = c.submitCall
 	c.completeC = c.complete
@@ -320,9 +342,13 @@ func New(eng *sim.Engine, cfg Config, policy core.Policy) (*Cluster, error) {
 		c.cache = cache
 		c.cacheHitDemand = hit
 	}
+	osBase, err := disciplinedOS(cfg.OS, cfg.Discipline)
+	if err != nil {
+		return nil, err
+	}
 	c.nodes = make([]*simos.Node, cfg.Nodes)
 	for i := range c.nodes {
-		oscfg := cfg.OS
+		oscfg := osBase
 		if cfg.Speeds != nil {
 			oscfg.SpeedFactor = cfg.Speeds[i]
 		}
@@ -439,6 +465,19 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 	}
 	c.winArrivals++
 	master := c.view.Masters[c.front.Intn(len(c.view.Masters))]
+
+	// Optional live-parity shedding: with no slaves in view and the
+	// policy's absorption gate refusing local execution, the master
+	// refuses the request outright (the sim analogue of the 503 path).
+	if c.cfg.EnableShedding && c.gate != nil && len(c.view.Slaves) == 0 &&
+		c.gate.DeniesMasterAbsorption(master, &c.view) {
+		c.shed++
+		c.completed++
+		if onDone != nil {
+			onDone(c.eng.Now())
+		}
+		return
+	}
 
 	reqID := c.nextReqID
 	c.nextReqID++
@@ -693,6 +732,26 @@ func (c *Cluster) autoRecruit() {
 	}
 }
 
+// disciplinedOS maps a scheduling-discipline name onto the OS model:
+// MLFQ is the paper's default multilevel feedback queue; RR collapses
+// the ready queue to one level (pure quantum round-robin); FCFS
+// additionally stretches the quantum past any realistic burst so a CPU
+// chunk runs to completion once granted.
+func disciplinedOS(base simos.Config, discipline string) (simos.Config, error) {
+	switch discipline {
+	case "", core.DisciplineMLFQ:
+		return base, nil
+	case core.DisciplineRR:
+		base.ReadyLevels = 1
+		return base, nil
+	case core.DisciplineFCFS:
+		base.ReadyLevels = 1
+		base.CPUQuantum = 3600 // far beyond any burst: no preemption
+		return base, nil
+	}
+	return base, fmt.Errorf("cluster: unknown scheduling discipline %q", discipline)
+}
+
 func isMaster(id int, masters []int) bool {
 	for _, m := range masters {
 		if m == id {
@@ -775,6 +834,7 @@ func (c *Cluster) buildResult() *Result {
 		FinalMasters:     c.Masters(),
 		MasterHistory:    append([]int(nil), c.history...),
 		Failovers:        c.failovers,
+		Shed:             c.shed,
 		SimulatedSeconds: c.eng.Now(),
 		Events:           c.eng.Fired(),
 	}

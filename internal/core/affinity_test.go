@@ -30,7 +30,7 @@ func TestMSRespectsAffinity(t *testing.T) {
 	v.Load[1] = Load{CPUIdle: 1, DiskAvail: 1, Speed: 1}
 	v.Load[2] = Load{CPUIdle: 0.05, DiskAvail: 0.05, Speed: 1}
 	v.Load[3] = Load{CPUIdle: 1, DiskAvail: 1, Speed: 1}
-	ms := NewMS(nil, 1, WithPlacementImpact(0))
+	ms := NewPipeline(PipelineConfig{Seed: 1, PlacementImpact: NoPlacementImpact})
 	ms.Tick(0, v)
 	for i := 0; i < 20; i++ {
 		if got := ms.Place(Request{Class: trace.Dynamic, Script: 7}, 0, v); got != 2 {
@@ -52,9 +52,12 @@ func TestAffinityOverridesReservation(t *testing.T) {
 	// constraint must override the reservation cap.
 	v := testView([]int{0}, []int{1, 2})
 	v.Affinity = ScriptAffinity{5: {0}}
-	ms := NewMS(nil, 1, WithReservationConfig(ReservationConfig{
-		InitialTheta: 0, Alpha: 0.3, Decay: 0.5, // cap fully closed
-	}), WithPlacementImpact(0))
+	ms := NewPipeline(PipelineConfig{
+		Admission: NewTheta2Admission(ReservationConfig{
+			InitialTheta: 0, Alpha: 0.3, Decay: 0.5, // cap fully closed
+		}),
+		Seed: 1, PlacementImpact: NoPlacementImpact,
+	})
 	if got := ms.Place(Request{Class: trace.Dynamic, Script: 5}, 0, v); got != 0 {
 		t.Fatalf("pinned-to-master script placed at %d despite data constraint", got)
 	}

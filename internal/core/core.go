@@ -251,15 +251,7 @@ func pickMinRSRC(w float64, candidates []int, v *View, s *rng.Stream, scratch []
 	best := math.Inf(1)
 	bestNodes := scratch[:0]
 	for _, id := range candidates {
-		l := v.Load[id]
-		cost := RSRC(w, l.CPUIdle, l.DiskAvail)
-		if sp := l.Speed; sp > 0 && sp != 1 {
-			// Heterogeneous extension: a faster CPU cuts the CPU share
-			// of the cost (paper §4 defers to the authors' prior work;
-			// normalizing the CPU term by relative speed is the
-			// adaptation used there).
-			cost = (w/sp)/maxf(l.CPUIdle, MinIdleFloor) + (1-w)/maxf(l.DiskAvail, MinIdleFloor)
-		}
+		cost := nodeRSRC(w, v.Load[id])
 		switch {
 		case cost < best-1e-12:
 			best = cost
@@ -279,53 +271,32 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
-// MSOption configures NewMS.
-type MSOption func(*MS)
+// MS is the paper's full scheduler, expressed as the default pipeline:
+// θ₂-reservation admission, min-RSRC routing, MLFQ per-node scheduling.
+// The alias keeps the paper-facing name for the policy the experiments
+// are about while the mechanics live in Pipeline.
+type MS = Pipeline
+
+// MSOption configures NewMS's ablations.
+type MSOption func(*msConfig)
+
+type msConfig struct {
+	name        string
+	sampling    bool
+	reservation bool
+}
 
 // WithoutSampling disables off-line w sampling (the M/S-ns ablation):
 // every dynamic request is costed with w = 0.5.
-func WithoutSampling() MSOption { return func(m *MS) { m.sampling = false } }
+func WithoutSampling() MSOption { return func(c *msConfig) { c.sampling = false } }
 
 // WithoutReservation disables the θ₂ admission cap at masters (the
-// M/S-nr ablation).
-func WithoutReservation() MSOption { return func(m *MS) { m.reservation = false } }
+// M/S-nr ablation). The estimators keep running so adaptive stats stay
+// observable; only enforcement is off.
+func WithoutReservation() MSOption { return func(c *msConfig) { c.reservation = false } }
 
 // WithName overrides the reported policy name.
-func WithName(name string) MSOption { return func(m *MS) { m.name = name } }
-
-// WithReservationConfig replaces the reservation controller settings.
-func WithReservationConfig(cfg ReservationConfig) MSOption {
-	return func(m *MS) { m.res = NewReservationController(cfg) }
-}
-
-// WithPlacementImpact sets the in-view booking charge applied to a node
-// when a dynamic request is dispatched to it (see MS.Place). Zero
-// disables the correction.
-func WithPlacementImpact(impact float64) MSOption {
-	return func(m *MS) { m.impact = impact }
-}
-
-// MS is the paper's full scheduler. Statics run at the receiving master;
-// dynamics run at the min-RSRC node among the slaves plus — while the
-// reservation cap admits it — the masters.
-type MS struct {
-	name        string
-	wtable      WTable
-	sampling    bool
-	reservation bool
-	res         *ReservationController
-	rng         *rng.Stream
-	impact      float64
-	// last is the most recent Place decision, recorded unconditionally
-	// (plain field stores) so the tracing layer can annotate dispatches
-	// without the policy knowing whether anyone is listening.
-	last Placement
-	// candScratch and tieScratch are reused across Place calls so the
-	// per-request placement (candidate union, min-RSRC tie list)
-	// allocates nothing. Neither survives a call.
-	candScratch []int
-	tieScratch  []int
-}
+func WithName(name string) MSOption { return func(c *msConfig) { c.name = name } }
 
 // DefaultPlacementImpact is the booking charge: between two load-info
 // refreshes every placement marks its target that much busier in the
@@ -336,106 +307,26 @@ type MS struct {
 // occupies a sizable share of one resource for one refresh window.
 const DefaultPlacementImpact = 0.15
 
-// NewMS constructs the full M/S policy (use options for the ablations).
+// NewMS constructs the full M/S policy — the default pipeline — with
+// options for the paper's ablations. Other placement knobs (booking
+// impact, reservation tuning, affinity mode) are PipelineConfig fields;
+// build those variants with NewPipeline.
 func NewMS(wtable WTable, seed int64, opts ...MSOption) *MS {
-	m := &MS{
-		name:        "M/S",
-		wtable:      wtable,
-		sampling:    true,
-		reservation: true,
-		res:         NewReservationController(DefaultReservationConfig()),
-		rng:         rng.New(seed),
-		impact:      DefaultPlacementImpact,
-	}
+	c := msConfig{name: "M/S", sampling: true, reservation: true}
 	for _, o := range opts {
-		o(m)
+		o(&c)
 	}
-	return m
-}
-
-// Name implements Policy.
-func (m *MS) Name() string { return m.name }
-
-// Place implements Policy.
-func (m *MS) Place(req Request, master int, v *View) int {
-	m.res.ObserveArrival(req.Class)
-	if req.Class == trace.Static {
-		m.last = Placement{Node: master}
-		return master
+	adm := NewTheta2Admission(DefaultReservationConfig())
+	if !c.reservation {
+		adm.ObserveOnly()
 	}
-	w := DefaultW
-	if m.sampling {
-		w = m.wtable.W(req.Script)
-	}
-	candidates := v.Slaves
-	mastersEligible := !m.reservation || m.res.AdmitAtMaster()
-	if len(candidates) == 0 {
-		// No slave tier (M/S-1): masters are the only choice.
-		mastersEligible = true
-	}
-	if mastersEligible {
-		// Slaves-then-masters union in the reused scratch, preserving
-		// the order the tie-break RNG consumption depends on.
-		m.candScratch = append(append(m.candScratch[:0], candidates...), v.Masters...)
-		candidates = m.candScratch
-	}
-	if allowed := v.Affinity.Allowed(req.Script); allowed != nil {
-		// Partial replication: the script's data lives on a subset of
-		// nodes. Prefer allowed nodes within the reservation-eligible
-		// candidates; if none qualify, the data constraint overrides
-		// the reservation (the script cannot run elsewhere).
-		if c := intersect(candidates, allowed); len(c) > 0 {
-			candidates = c
-		} else if c := intersect(append(append([]int(nil), v.Slaves...), v.Masters...), allowed); len(c) > 0 {
-			candidates = c
-		}
-		// An allowed set with no live node degrades to the
-		// unconstrained candidates so the request still completes.
-	}
-	target, cost, tie := pickMinRSRC(w, candidates, v, m.rng, m.tieScratch)
-	m.tieScratch = tie[:0]
-	m.last = Placement{Node: target, RSRC: cost, W: w, MasterAdmitted: mastersEligible}
-	m.res.CountDynamic()
-	if isIn(target, v.Masters) {
-		m.res.CountMasterDynamic()
-	}
-	if m.impact > 0 {
-		// Book the placement into the cached view so the next dynamic
-		// in the same refresh window sees this node as busier.
-		l := &v.Load[target]
-		l.CPUIdle = maxf(0, l.CPUIdle-m.impact*w)
-		l.DiskAvail = maxf(0, l.DiskAvail-m.impact*(1-w))
-	}
-	return target
-}
-
-// ObserveCompletion implements Policy.
-func (m *MS) ObserveCompletion(class trace.Class, response, demand float64) {
-	m.res.ObserveCompletion(class, response, demand)
-}
-
-// Tick implements Policy.
-func (m *MS) Tick(now float64, v *View) {
-	m.res.Recompute(len(v.Masters), v.P())
-}
-
-// ThetaLimit exposes the current reservation cap for tests and reports.
-func (m *MS) ThetaLimit() float64 { return m.res.ThetaLimit() }
-
-// ArrivalRatio exposes the measured arrival-rate ratio a (AdaptiveStats).
-func (m *MS) ArrivalRatio() float64 { return m.res.A() }
-
-// ServiceRatio exposes the measured service-rate ratio r (AdaptiveStats).
-func (m *MS) ServiceRatio() float64 { return m.res.R() }
-
-// LastPlacement implements PlacementExplainer.
-func (m *MS) LastPlacement() Placement { return m.last }
-
-// AdmitsAtMaster implements MasterAdmission: whether the reservation cap
-// would admit the next dynamic request at a master. Policies running the
-// M/S-nr ablation always admit.
-func (m *MS) AdmitsAtMaster() bool {
-	return !m.reservation || m.res.AdmitAtMaster()
+	return NewPipeline(PipelineConfig{
+		Name:            c.name,
+		Admission:       adm,
+		Routing:         NewRSRCRouting(seed),
+		WTable:          wtable,
+		DisableSampling: !c.sampling,
+	})
 }
 
 // intersect returns the members of a that also appear in b, preserving

@@ -135,7 +135,10 @@ func TestMSDynamicPrefersIdleSlave(t *testing.T) {
 	v.Load[2] = Load{CPUIdle: 0.95, DiskAvail: 0.9, Speed: 1} // idle
 	// Booking disabled: this test checks the pure RSRC preference, not
 	// the between-refresh spreading.
-	ms := NewMS(WTable{7: 0.95}, 1, WithPlacementImpact(0))
+	ms := NewPipeline(PipelineConfig{
+		Name: "M/S", Seed: 1, WTable: WTable{7: 0.95},
+		PlacementImpact: NoPlacementImpact,
+	})
 	ms.Tick(0, v)
 	counts := map[int]int{}
 	for i := 0; i < 50; i++ {
@@ -208,7 +211,11 @@ func TestMSReservationCapsMasterAdmission(t *testing.T) {
 	for _, id := range v.Slaves {
 		v.Load[id] = Load{CPUIdle: 0.2, DiskAvail: 0.2, Speed: 1}
 	}
-	msnr := NewMS(nil, 1, WithoutReservation(), WithPlacementImpact(0))
+	msnr := NewPipeline(PipelineConfig{
+		Name:      "M/S-nr",
+		Admission: NewTheta2Admission(DefaultReservationConfig()).ObserveOnly(),
+		Seed:      1, PlacementImpact: NoPlacementImpact,
+	})
 	msnr.Tick(0, v)
 	toMaster = 0
 	for i := 0; i < n; i++ {
@@ -355,7 +362,10 @@ func TestMSPlacementExplanation(t *testing.T) {
 	v := testView([]int{0}, []int{1, 2})
 	v.Load[1] = Load{CPUIdle: 0.05, DiskAvail: 0.9, Speed: 1}
 	v.Load[2] = Load{CPUIdle: 0.95, DiskAvail: 0.9, Speed: 1}
-	ms := NewMS(WTable{7: 0.95}, 1, WithPlacementImpact(0))
+	ms := NewPipeline(PipelineConfig{
+		Name: "M/S", Seed: 1, WTable: WTable{7: 0.95},
+		PlacementImpact: NoPlacementImpact,
+	})
 	ms.Tick(0, v)
 
 	var exp PlacementExplainer = ms // compile-time interface check

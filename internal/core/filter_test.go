@@ -40,20 +40,20 @@ func TestMSAdmitsAtMaster(t *testing.T) {
 		t.Fatal("M/S-nr must always admit at masters")
 	}
 
-	// A reserving policy tracks its controller: drive the cap to zero by
-	// recomputing with a vanishing master share after master-heavy
-	// placements, then verify admission is denied.
-	ms := NewMS(nil, 1)
+	// A reserving policy tracks its admission stage: drive the cap to
+	// zero by recomputing with a vanishing master share after
+	// master-heavy placements, then verify admission is denied.
+	adm := NewTheta2Admission(DefaultReservationConfig())
+	ms := NewPipeline(PipelineConfig{Name: "M/S", Admission: adm, Seed: 1})
 	for i := 0; i < 64; i++ {
-		ms.res.ObserveArrival(trace.Dynamic)
-		ms.res.CountDynamic()
-		ms.res.CountMasterDynamic()
+		adm.ObserveArrival(trace.Dynamic)
+		adm.CountPlacement(true)
 	}
-	ms.res.Recompute(1, 64)
-	if ms.res.ThetaLimit() > 0.1 && ms.AdmitsAtMaster() {
+	adm.Tick(1, 64)
+	if adm.ThetaLimit() > 0.1 && ms.AdmitsAtMaster() {
 		t.Skip("controller kept a permissive cap; nothing to assert")
 	}
-	if ms.AdmitsAtMaster() != ms.res.AdmitAtMaster() {
-		t.Fatal("AdmitsAtMaster must mirror the reservation controller")
+	if ms.AdmitsAtMaster() != adm.AdmitAtMaster() {
+		t.Fatal("AdmitsAtMaster must mirror the admission stage")
 	}
 }

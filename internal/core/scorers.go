@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+
+	"msweb/internal/rng"
+)
+
+// Scorer composition: a routing stage assembled from weighted node
+// scorers, so placement preferences (cost prediction, queue pressure,
+// data affinity, hardware speed) can be mixed per deployment instead of
+// choosing one hard-coded index. Higher scores are better; the composed
+// stage picks argmax Σ weight_i·score_i with seeded random tie-breaks.
+//
+// Breaker state deliberately has no scorer: live masters filter
+// circuit-open nodes out of the candidate view before routing runs
+// (FilterLive), so a breaker scorer would only ever see healthy nodes.
+
+// Scorer rates one candidate node for one request; higher is better.
+// Implementations must be stateless per call (they run inside the
+// placement hot path, under the caller's lock).
+type Scorer interface {
+	Name() string
+	Score(req Request, w float64, id int, v *View) float64
+}
+
+// Registered scorer names.
+const (
+	ScorerRSRC     = "rsrc"
+	ScorerQueueLen = "qlen"
+	ScorerIdle     = "idle"
+	ScorerSpeed    = "speed"
+	ScorerAffinity = "affinity"
+)
+
+// RSRCScorer scores by negated RSRC cost (speed-normalized like the
+// default routing stage), so min-cost becomes max-score.
+type RSRCScorer struct{}
+
+// Name implements Scorer.
+func (RSRCScorer) Name() string { return ScorerRSRC }
+
+// Score implements Scorer.
+func (RSRCScorer) Score(req Request, w float64, id int, v *View) float64 {
+	return -nodeRSRC(w, v.Load[id])
+}
+
+// QueueLenScorer scores by negated combined queue population — the
+// join-shortest-queue signal as a composable preference.
+type QueueLenScorer struct{}
+
+// Name implements Scorer.
+func (QueueLenScorer) Name() string { return ScorerQueueLen }
+
+// Score implements Scorer.
+func (QueueLenScorer) Score(req Request, w float64, id int, v *View) float64 {
+	l := v.Load[id]
+	return -float64(l.CPUQueue + l.DiskQueue)
+}
+
+// IdleScorer scores by the request-weighted idle capacity
+// w·CPUIdle + (1−w)·DiskAvail — the c/μ numerator without the speed
+// factor (compose with SpeedScorer to recover it).
+type IdleScorer struct{}
+
+// Name implements Scorer.
+func (IdleScorer) Name() string { return ScorerIdle }
+
+// Score implements Scorer.
+func (IdleScorer) Score(req Request, w float64, id int, v *View) float64 {
+	l := v.Load[id]
+	return w*l.CPUIdle + (1-w)*l.DiskAvail
+}
+
+// SpeedScorer scores by the node's relative CPU speed, preferring faster
+// hardware on heterogeneous clusters.
+type SpeedScorer struct{}
+
+// Name implements Scorer.
+func (SpeedScorer) Name() string { return ScorerSpeed }
+
+// Score implements Scorer.
+func (SpeedScorer) Score(req Request, w float64, id int, v *View) float64 {
+	if sp := v.Load[id].Speed; sp > 0 {
+		return sp
+	}
+	return 1
+}
+
+// AffinityScorer is the soft form of the data-placement constraint: +1
+// for nodes holding a pinned script's replica, −1 for nodes a pinned
+// script would have to move data to, 0 when the script is unconstrained.
+// (Pipelines in AffinityHard mode filter instead; this scorer exists for
+// AffinityOff compositions that trade locality against load.)
+type AffinityScorer struct{}
+
+// Name implements Scorer.
+func (AffinityScorer) Name() string { return ScorerAffinity }
+
+// Score implements Scorer.
+func (AffinityScorer) Score(req Request, w float64, id int, v *View) float64 {
+	allowed := v.Affinity.Allowed(req.Script)
+	if allowed == nil {
+		return 0
+	}
+	if isIn(id, allowed) {
+		return 1
+	}
+	return -1
+}
+
+// nodeRSRC is the per-node cost used by pickMinRSRC, shared with the
+// RSRC scorer so the two stay one definition.
+func nodeRSRC(w float64, l Load) float64 {
+	if sp := l.Speed; sp > 0 && sp != 1 {
+		// Heterogeneous extension: a faster CPU cuts the CPU share of
+		// the cost (paper §4 defers to the authors' prior work;
+		// normalizing the CPU term by relative speed is the adaptation
+		// used there).
+		return (w/sp)/maxf(l.CPUIdle, MinIdleFloor) + (1-w)/maxf(l.DiskAvail, MinIdleFloor)
+	}
+	return RSRC(w, l.CPUIdle, l.DiskAvail)
+}
+
+// WeightedScorer is one term of a scorer composition.
+type WeightedScorer struct {
+	Scorer Scorer
+	Weight float64
+}
+
+// ScorerRouting is the composed routing stage: argmax of the weighted
+// scorer sum, seeded random tie-breaks.
+type ScorerRouting struct {
+	terms []WeightedScorer
+	rng   *rng.Stream
+	tie   []int
+}
+
+// NewScorerRouting composes a routing stage from weighted scorers; the
+// slice must be non-empty.
+func NewScorerRouting(seed int64, terms ...WeightedScorer) *ScorerRouting {
+	if len(terms) == 0 {
+		panic("core: scorer routing needs at least one scorer")
+	}
+	return &ScorerRouting{terms: terms, rng: rng.New(seed)}
+}
+
+// Name implements RoutingPolicy.
+func (*ScorerRouting) Name() string { return RoutingScorers }
+
+// Terms exposes the composition for registries and metric labels.
+func (r *ScorerRouting) Terms() []WeightedScorer { return r.terms }
+
+// Route implements RoutingPolicy.
+func (r *ScorerRouting) Route(req Request, w float64, candidates []int, v *View) (int, float64) {
+	best := math.Inf(-1)
+	tie := r.tie[:0]
+	for _, id := range candidates {
+		score := 0.0
+		for _, t := range r.terms {
+			score += t.Weight * t.Scorer.Score(req, w, id, v)
+		}
+		switch {
+		case score > best+1e-12:
+			best = score
+			tie = append(tie[:0], id)
+		case score >= best-1e-12:
+			tie = append(tie, id)
+		}
+	}
+	target := tie[r.rng.Intn(len(tie))]
+	r.tie = tie[:0]
+	// Negated so lower reads as "better" in placement traces.
+	return target, -best
+}

@@ -171,7 +171,13 @@ func RunStaleness(p int, opts Options) ([]StalenessRow, error) {
 		cfg := cluster.DefaultConfig(p, plan.M)
 		cfg.WarmupFraction = opts.Warmup
 		cfg.LoadRefresh = c.refresh
-		pol := core.NewMS(wt, c.seed, core.WithPlacementImpact(c.impact))
+		impact := c.impact
+		if impact == 0 {
+			impact = core.NoPlacementImpact
+		}
+		pol := core.NewPipeline(core.PipelineConfig{
+			Name: "M/S", WTable: wt, Seed: c.seed, PlacementImpact: impact,
+		})
 		res, err := cluster.Simulate(cfg, pol, tr)
 		if err != nil {
 			return 0, err

@@ -38,6 +38,9 @@ type Config struct {
 	// (virtual-time accounting, no wall-clock sleeps) — the uncapped
 	// configuration for throughput work. See NodeOptions.Uncalibrated.
 	Uncalibrated bool
+	// Discipline selects every node's CPU scheduling discipline; see
+	// NodeOptions.Discipline. Empty means the default round-robin.
+	Discipline string
 	// BinaryFraming upgrades every master→slave hop to the persistent
 	// binary frame protocol (HTTP fallback kept per pair).
 	BinaryFraming bool
@@ -129,6 +132,7 @@ func Start(cfg Config) (*Cluster, error) {
 			ID: id, Origin: origin, TimeScale: cfg.TimeScale,
 			Resilience:   cfg.Resilience,
 			Uncalibrated: cfg.Uncalibrated,
+			Discipline:   cfg.Discipline,
 		})
 		if err != nil {
 			c.Shutdown()
@@ -143,9 +147,10 @@ func Start(cfg Config) (*Cluster, error) {
 			Masters: masters, Slaves: slaves, NodeURLs: nodeURLs,
 			Policy:      cfg.MakePolicy(id),
 			LoadRefresh: cfg.LoadRefresh, PolicyTick: cfg.PolicyTick,
-			Resilience:  cfg.Resilience, Tracer: cfg.Tracer,
+			Resilience: cfg.Resilience, Tracer: cfg.Tracer,
 			PollDeadlineFloor: cfg.PollDeadlineFloor,
 			Uncalibrated:      cfg.Uncalibrated,
+			Discipline:        cfg.Discipline,
 			BinaryFraming:     cfg.BinaryFraming,
 			BatchWindow:       cfg.BatchWindow,
 			BatchMax:          cfg.BatchMax,

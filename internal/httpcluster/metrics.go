@@ -83,6 +83,13 @@ func (m *Master) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
 	m.placeMu.Unlock()
 
 	p := obs.NewPromWriter(rw)
+	p.Header("msweb_scheduler_policy_info", "Scheduling policy identity: constant 1, labeled with the pipeline's stage names.", "gauge")
+	if pl, ok := m.policy.(*core.Pipeline); ok {
+		p.Value("msweb_scheduler_policy_info",
+			label+`,policy="`+pl.Name()+`",admission="`+pl.AdmissionName()+`",routing="`+pl.RoutingName()+`",scheduling="`+pl.Scheduling()+`"`, 1)
+	} else {
+		p.Value("msweb_scheduler_policy_info", label+`,policy="`+m.policy.Name()+`"`, 1)
+	}
 	if hasStats {
 		p.Header("msweb_scheduler_theta2", "Reservation cap: max fraction of dynamics admitted at masters.", "gauge")
 		p.Value("msweb_scheduler_theta2", label, theta)

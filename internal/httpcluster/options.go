@@ -106,6 +106,12 @@ type NodeOptions struct {
 	// data plane for throughput work; calibrated mode (the default)
 	// remains the paper-faithful configuration.
 	Uncalibrated bool
+	// Discipline selects the node's CPU scheduling discipline:
+	// core.DisciplineMLFQ / DisciplineRR (both the default 10 ms
+	// round-robin slicing — the live plane has no priority decay, so
+	// MLFQ degenerates to RR) or DisciplineFCFS (run-to-completion:
+	// the quantum is stretched past any realistic service demand).
+	Discipline string
 	// BinaryFraming lets a master upgrade its master→slave hop to the
 	// persistent length-prefixed binary protocol (see frame.go),
 	// negotiated per node-pair with transparent HTTP fallback. Nodes
@@ -159,6 +165,11 @@ func (o NodeOptions) Validate(master bool) error {
 		return fmt.Errorf("httpcluster: negative admission bounds %+v", o.Resilience)
 	case o.BatchWindow < 0 || o.BatchMax < 0:
 		return fmt.Errorf("httpcluster: negative batch options (window %v, max %d)", o.BatchWindow, o.BatchMax)
+	}
+	switch o.Discipline {
+	case "", core.DisciplineMLFQ, core.DisciplineRR, core.DisciplineFCFS:
+	default:
+		return fmt.Errorf("httpcluster: unknown scheduling discipline %q", o.Discipline)
 	}
 	if !master {
 		return nil
@@ -232,6 +243,12 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 	n, err := newNode(o)
 	if err != nil {
 		return nil, err
+	}
+	// A pipeline policy owns the whole master-absorption decision: hand
+	// it the RSRC shed ceiling so its gate and the legacy inline rule
+	// cannot disagree.
+	if pl, ok := o.Policy.(*core.Pipeline); ok {
+		pl.SetShedRSRC(o.Resilience.ShedRSRC)
 	}
 	m := &Master{
 		Node:   n,

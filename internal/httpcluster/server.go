@@ -32,14 +32,10 @@ const (
 	DeadlineHeader = "X-Msweb-Deadline-Ns"
 )
 
-// LoadReport is the JSON body of a node's /load endpoint — the live
-// analogue of rstat(). It is the same type the simulator's policies
-// consume: core.Load carries the JSON tags, so the wire format and the
-// scheduler input cannot drift apart. The compact fmt=c fast path is the
-// same fields in core.Load wire form (see core.AppendWire).
-//
-// Deprecated: use core.Load directly.
-type LoadReport = core.Load
+// A node's /load endpoint serves core.Load directly — the live analogue
+// of rstat(). core.Load carries the JSON tags, so the wire format and
+// the scheduler input cannot drift apart. The compact fmt=c fast path
+// is the same fields in wire form (see core.AppendWire).
 
 // Node is one cluster machine: virtual resources behind a real HTTP
 // server exposing /exec (run work), /load (report load) and /metrics
@@ -93,7 +89,7 @@ func newNode(o NodeOptions) (*Node, error) {
 	return &Node{
 		ID:        o.ID,
 		URL:       "http://" + lis.Addr().String(),
-		res:       NewNodeResources(o.Origin, o.TimeScale, o.Uncalibrated),
+		res:       NewNodeResources(o.Origin, o.TimeScale, o.Uncalibrated, o.Discipline),
 		fork:      time.Duration(float64(3*time.Millisecond) * o.TimeScale),
 		timeScale: o.TimeScale,
 		origin:    o.Origin,
@@ -803,6 +799,18 @@ func (m *Master) shouldShed() (retryAfter int, shed bool) {
 	retryAfter = int((m.brk.cfg.OpenFor + time.Second - 1) / time.Second)
 	if retryAfter < 1 {
 		retryAfter = 1
+	}
+	// Pipeline policies own the whole absorption decision (ShedRSRC
+	// ceiling plus admission cap) behind one gate; the inline checks
+	// below reproduce the same rules for non-pipeline policies.
+	if gate, ok := m.policy.(core.AbsorptionGate); ok {
+		m.placeMu.Lock()
+		denied := gate.DeniesMasterAbsorption(m.ID, &s.view)
+		m.placeMu.Unlock()
+		if denied {
+			return retryAfter, true
+		}
+		return 0, false
 	}
 	if t := m.rs.ShedRSRC; t > 0 {
 		l := s.view.Load[m.ID]

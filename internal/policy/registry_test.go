@@ -1,0 +1,176 @@
+package policy
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"msweb/internal/core"
+	"msweb/internal/trace"
+)
+
+// view returns a small mixed-tier view for smoke-placing policies.
+func view() *core.View {
+	v := &core.View{Masters: []int{0, 1}, Slaves: []int{2, 3, 4}, Load: make([]core.Load, 5)}
+	for i := range v.Load {
+		v.Load[i] = core.Load{CPUIdle: 0.5, DiskAvail: 0.6, CPUQueue: i, DiskQueue: 1}
+	}
+	return v
+}
+
+func TestEveryPresetBuildsAndPlaces(t *testing.T) {
+	for _, p := range Presets() {
+		pol := p.Build(nil, 1)
+		if pol == nil {
+			t.Fatalf("preset %q built nil", p.Name)
+		}
+		if pol.Name() == "" {
+			t.Fatalf("preset %q has an empty policy name", p.Name)
+		}
+		v := view()
+		for i := 0; i < 32; i++ {
+			cls := trace.Static
+			if i%2 == 0 {
+				cls = trace.Dynamic
+			}
+			target := pol.Place(core.Request{Class: cls, Script: i % 4}, i%2, v)
+			if target < 0 || target >= len(v.Load) {
+				t.Fatalf("preset %q placed at %d, outside the view", p.Name, target)
+			}
+		}
+	}
+}
+
+func TestLookupUnknownPreset(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup(nope) must fail")
+	}
+}
+
+func TestTournamentNamesAreCompetitors(t *testing.T) {
+	names := TournamentNames()
+	if len(names) < 6 {
+		t.Fatalf("tournament field too small: %v", names)
+	}
+	has := func(n string) bool {
+		for _, x := range names {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"ms", "jsq2", "maxweight", "cmu", "greedy-rsrc", "random"} {
+		if !has(want) {
+			t.Fatalf("tournament field %v missing %q", names, want)
+		}
+	}
+}
+
+// TestSpecRoundTrip drives every stage name through flag parsing and a
+// build, covering the registry's whole custom surface.
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		args []string
+		name string // expected substring of the policy name ("" = any)
+	}{
+		{[]string{"-admission-policy", "theta2"}, ""},
+		{[]string{"-admission-policy", "theta2-observe"}, ""},
+		{[]string{"-admission-policy", "open"}, ""},
+		{[]string{"-admission-policy", "slaves-only"}, ""},
+		{[]string{"-routing-policy", "rsrc"}, "rsrc"},
+		{[]string{"-routing-policy", "jsq2"}, "jsq2"},
+		{[]string{"-routing-policy", "jsq5"}, "jsq5"},
+		{[]string{"-routing-policy", "maxweight"}, "maxweight"},
+		{[]string{"-routing-policy", "cmu"}, "cmu"},
+		{[]string{"-routing-policy", "random"}, "random"},
+		{[]string{"-routing-policy", "scorers", "-routing-scorers", "rsrc:1,qlen:0.5"}, "scorers"},
+		{[]string{"-routing-policy", "scorers", "-routing-scorers", "idle, speed:2, affinity:0.1"}, "scorers"},
+		{[]string{"-admission-policy", "open", "-routing-policy", "jsq3", "-scheduling-policy", "fcfs"}, "jsq3"},
+		{[]string{"-policy", "maxweight", "-scheduling-policy", "rr"}, "MaxWeight"},
+	}
+	for _, tc := range cases {
+		var f Flags
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		f.Register(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatalf("parse %v: %v", tc.args, err)
+		}
+		build, err := f.Resolve()
+		if err != nil {
+			t.Fatalf("resolve %v: %v", tc.args, err)
+		}
+		pol := build(nil, 7)
+		if tc.name != "" && !strings.Contains(strings.ToLower(pol.Name()), strings.ToLower(tc.name)) {
+			t.Fatalf("args %v built policy %q, want name containing %q", tc.args, pol.Name(), tc.name)
+		}
+		v := view()
+		if target := pol.Place(core.Request{Class: trace.Dynamic}, 0, v); target < 0 || target >= len(v.Load) {
+			t.Fatalf("args %v placed at %d, outside the view", tc.args, target)
+		}
+	}
+}
+
+func TestResolveRejectsBadNames(t *testing.T) {
+	bad := [][]string{
+		{"-policy", "nope"},
+		{"-admission-policy", "closed-door"},
+		{"-routing-policy", "dijkstra"},
+		{"-routing-policy", "jsq0"},
+		{"-routing-policy", "jsqx"},
+		{"-routing-policy", "scorers"}, // missing -routing-scorers
+		{"-routing-policy", "scorers", "-routing-scorers", "karma:1"},
+		{"-routing-policy", "scorers", "-routing-scorers", "rsrc:abc"},
+		{"-scheduling-policy", "edf"},
+	}
+	for _, args := range bad {
+		var f Flags
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		f.Register(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("parse %v: %v", args, err)
+		}
+		if _, err := f.Resolve(); err == nil {
+			t.Fatalf("resolve %v must fail", args)
+		}
+	}
+}
+
+func TestListTextMentionsEverything(t *testing.T) {
+	txt := ListText()
+	for _, name := range Names() {
+		if !strings.Contains(txt, name) {
+			t.Fatalf("ListText missing preset %q:\n%s", name, txt)
+		}
+	}
+	for _, name := range Admissions() {
+		if !strings.Contains(txt, name) {
+			t.Fatalf("ListText missing admission %q", name)
+		}
+	}
+	for _, name := range core.Disciplines() {
+		if !strings.Contains(txt, name) {
+			t.Fatalf("ListText missing discipline %q", name)
+		}
+	}
+	for _, name := range ScorerNames() {
+		if !strings.Contains(txt, name) {
+			t.Fatalf("ListText missing scorer %q", name)
+		}
+	}
+}
+
+// TestSeedDeterminism: same builder + same seed ⇒ identical decision
+// streams; this is what makes tournament cells reproducible.
+func TestSeedDeterminism(t *testing.T) {
+	for _, p := range Presets() {
+		a, b := p.Build(nil, 3), p.Build(nil, 3)
+		v1, v2 := view(), view()
+		for i := 0; i < 64; i++ {
+			req := core.Request{Class: trace.Dynamic, Script: i % 3}
+			if got, want := a.Place(req, 0, v1), b.Place(req, 0, v2); got != want {
+				t.Fatalf("preset %q diverged at request %d: %d vs %d", p.Name, i, got, want)
+			}
+		}
+	}
+}
