@@ -100,9 +100,11 @@ loadbench:
 		-out results/live_chaos.json
 	$(GO) run ./cmd/loadgen -mode closed -concurrency 32 -n 20000 \
 		-nodes 3 -masters 1 -fast -batch 200us -out results/live_fast.json
+	$(GO) run ./cmd/loadgen -mode closed -concurrency 16 -n 4000 \
+		-nodes 132 -masters 4 -shards 4 -fast -frame -out results/live_sharded.json
 	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
-			-live results/live_closed.json,results/live_open.json,results/live_chaos.json,results/live_fast.json > BENCH_results.json
+			-live results/live_closed.json,results/live_open.json,results/live_chaos.json,results/live_fast.json,results/live_sharded.json > BENCH_results.json
 
 # Head-to-head policy comparison: every registered competitor replays
 # identical traces through the simulator grid (CSV lands in

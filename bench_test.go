@@ -376,6 +376,38 @@ func BenchmarkClosedLoopSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedControlPlane simulates large fleets under the sharded
+// control plane and reports per-master per-tick poll work as a custom
+// metric. The sharded number must stay flat (≈ shard size + 1) as the
+// fleet grows; an unsharded master's equivalent is the fleet size, which
+// is reported alongside for the ratio.
+func BenchmarkShardedControlPlane(b *testing.B) {
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile: trace.KSU, Lambda: 400, Requests: 2000, MuH: 1200, R: 1.0 / 40, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wt := core.SampleW(tr, 16)
+	for _, p := range []int{1024, 4096} {
+		m := p / 64
+		b.Run(fmt.Sprintf("nodes=%d", p), func(b *testing.B) {
+			polled := 0.0
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.DefaultConfig(p, m)
+				cfg.Shards = m
+				res, err := cluster.Simulate(cfg, core.NewMS(wt, 1), tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				polled = res.Shards.NodesPolledPerTick
+			}
+			b.ReportMetric(polled, "polled/tick")
+			b.ReportMetric(float64(p), "global-equiv")
+		})
+	}
+}
+
 func BenchmarkMMPPTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, err := trace.Generate(trace.GenConfig{

@@ -133,6 +133,7 @@ type liveSummary struct {
 	Profile       string  `json:"profile"`
 	Fast          bool    `json:"fast"`
 	Frame         bool    `json:"frame"`
+	Shards        int     `json:"shards"`
 	Sent          int64   `json:"sent"`
 	OK            int64   `json:"ok"`
 	Errors        int64   `json:"errors"`
@@ -188,6 +189,11 @@ func liveResults(paths []string) ([]Result, float64, error) {
 				headline = s.ReqSPerCore
 			}
 		}
+		// A sharded control plane is a distinct experiment: name it apart
+		// so the global-view and sharded runs of one mode can coexist.
+		if s.Shards > 1 {
+			name += "/sharded"
+		}
 		r := Result{
 			Name:       name,
 			Iterations: s.Sent,
@@ -207,6 +213,9 @@ func liveResults(paths []string) ([]Result, float64, error) {
 		}
 		if s.Frame {
 			r.Metrics["frame"] = 1
+		}
+		if s.Shards > 1 {
+			r.Metrics["shards"] = float64(s.Shards)
 		}
 		if s.Corrected != nil {
 			r.Metrics["corrected_p99_s"] = s.Corrected.P99

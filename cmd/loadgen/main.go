@@ -115,6 +115,7 @@ type Summary struct {
 	Requests      int      `json:"requests"`
 	Fast          bool     `json:"fast,omitempty"`
 	Frame         bool     `json:"frame,omitempty"`
+	Shards        int      `json:"shards,omitempty"`
 	BatchWindowS  float64  `json:"batch_window_s,omitempty"`
 	Sent          int64    `json:"sent"`
 	OK            int64    `json:"ok"`
@@ -192,6 +193,9 @@ func run(args []string, stdout io.Writer) error {
 	fast := fs.Bool("fast", false, "run the self-hosted cluster uncalibrated: virtual-time demand accounting, no wall-clock sleeps")
 	frame := fs.Bool("frame", false, "dispatch master→slave over the persistent binary frame transport")
 	batch := fs.Duration("batch", 0, "coalescing window for batched dispatch over frames (0: off; implies -frame)")
+	shards := fs.Int("shards", 0, "partition the self-hosted slave tier across the masters (must equal -masters; 0/1 = global view)")
+	shardMap := fs.String("shard-map", "", "shard partitioning function: hash (default) or static")
+	gossip := fs.Duration("gossip", 0, "master↔master shard-summary pull period (0 = 4×refresh)")
 	var pf policy.Flags
 	pf.Register(fs)
 	tournament := fs.String("tournament", "", "run the live policy tournament over these comma-separated presets (\"competitors\" = the registry's competitor field); self-hosted cluster only")
@@ -209,8 +213,8 @@ func run(args []string, stdout io.Writer) error {
 	if *chaosOn && *targets != "" {
 		return fmt.Errorf("-chaos needs the self-hosted cluster (drop -targets): faults are injected via proxies in front of its slaves")
 	}
-	if *targets != "" && (*fast || *frame || *batch > 0) {
-		return fmt.Errorf("-fast/-frame/-batch configure the self-hosted cluster (drop -targets)")
+	if *targets != "" && (*fast || *frame || *batch > 0 || *shards > 1) {
+		return fmt.Errorf("-fast/-frame/-batch/-shards configure the self-hosted cluster (drop -targets)")
 	}
 	if *mode == "open" && *rps <= 0 {
 		return fmt.Errorf("-mode open requires -rps > 0")
@@ -268,6 +272,7 @@ func run(args []string, stdout io.Writer) error {
 			mode: *mode, rps: *rps, concurrency: *concurrency, workers: *workers,
 			nodes: *nodes, masters: *masters, timescale: *timescale,
 			fast: *fast, frame: *frame || *batch > 0, batch: *batch,
+			shards: *shards, shardMap: *shardMap, gossip: *gossip,
 			discipline: pf.Scheduling, timeout: *timeout, out: *out,
 			minRPS: *minRPS,
 		}, stdout)
@@ -290,6 +295,9 @@ func run(args []string, stdout io.Writer) error {
 			Uncalibrated:  *fast,
 			BinaryFraming: *frame || *batch > 0,
 			BatchWindow:   *batch,
+			Shards:        *shards,
+			ShardMapMode:  *shardMap,
+			GossipEvery:   *gossip,
 		}
 		if *chaosOn {
 			if *nodes <= *masters {
@@ -348,6 +356,7 @@ func run(args []string, stdout io.Writer) error {
 		Requests:     *n,
 		Fast:         *fast,
 		Frame:        *frame || *batch > 0,
+		Shards:       *shards,
 		BatchWindowS: (*batch).Seconds(),
 		TargetRPS:    *rps,
 		Concurrency:  0,
@@ -498,6 +507,9 @@ type tournamentRun struct {
 	fast        bool
 	frame       bool
 	batch       time.Duration
+	shards      int
+	shardMap    string
+	gossip      time.Duration
 	discipline  string
 	timeout     time.Duration
 	out         string
@@ -542,6 +554,9 @@ func runTournament(tc tournamentRun, stdout io.Writer) error {
 			Uncalibrated:  tc.fast,
 			BinaryFraming: tc.frame,
 			BatchWindow:   tc.batch,
+			Shards:        tc.shards,
+			ShardMapMode:  tc.shardMap,
+			GossipEvery:   tc.gossip,
 		}
 		c, err := httpcluster.Start(cfg)
 		if err != nil {

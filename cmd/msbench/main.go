@@ -45,7 +45,7 @@ func main() {
 // piped table output stays clean.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("msbench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "which artifact to regenerate (table1|table2|table3|fig3a|fig3b|fig4a|fig4b|fig5|cachesweep|failover|flashcrowd|hetero|tournament|all)")
+	exp := fs.String("experiment", "all", "which artifact to regenerate (table1|table2|table3|fig3a|fig3b|fig4a|fig4b|fig5|cachesweep|failover|flashcrowd|hetero|tournament|sharded|all)")
 	var pf policy.Flags
 	pf.Register(fs)
 	quick := fs.Bool("quick", false, "reduced fidelity: fewer seeds, shorter replays")
@@ -288,6 +288,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintln(stdout, experiments.FormatTournament(16, rows))
 			return emit(experiments.TournamentTable(rows))
 		},
+		"sharded": func() error {
+			fleets := []int{1000, 4000, 10000}
+			if *quick {
+				fleets = []int{256, 1024}
+			}
+			rows, err := experiments.RunShardScale(fleets, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatShardScale(rows))
+			return emit(experiments.ShardScaleTable(rows))
+		},
 		"table3": func() error {
 			t3 := experiments.DefaultTable3Options()
 			if *quick {
@@ -302,7 +314,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 	}
 
-	order := []string{"table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "cachesweep", "failover", "flashcrowd", "hetero", "discipline", "openclosed", "wsense", "staleness", "tournament", "table3"}
+	order := []string{"table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "cachesweep", "failover", "flashcrowd", "hetero", "discipline", "openclosed", "wsense", "staleness", "tournament", "sharded", "table3"}
 	// Experiments that never read the shared Options: table1 sizes
 	// itself, fig3 is closed-form, table3 has its own Table3Options.
 	ignoresOptions := map[string]bool{"table1": true, "fig3a": true, "fig3b": true, "table3": true}

@@ -77,6 +77,9 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	fast := fs.Bool("fast", false, "run uncalibrated: virtual-time demand accounting, no wall-clock sleeps")
 	frame := fs.Bool("frame", false, "dispatch master→slave over the persistent binary frame transport")
 	batch := fs.Duration("batch", 0, "coalescing window for batched dispatch over frames (0: off; implies -frame)")
+	shards := fs.Int("shards", 0, "partition the slave tier across the masters (must equal -masters; 0/1 = global view)")
+	shardMap := fs.String("shard-map", "", "shard partitioning function: hash (default) or static")
+	gossip := fs.Duration("gossip", 0, "master↔master shard-summary pull period (0 = 4×refresh)")
 	if err := fs.Parse(args); err != nil {
 		return httpcluster.Config{}, err
 	}
@@ -98,6 +101,9 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	cfg.Uncalibrated = *fast
 	cfg.BinaryFraming = *frame || *batch > 0
 	cfg.BatchWindow = *batch
+	cfg.Shards = *shards
+	cfg.ShardMapMode = *shardMap
+	cfg.GossipEvery = *gossip
 	return cfg, cfg.Validate()
 }
 

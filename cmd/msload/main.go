@@ -37,6 +37,7 @@ func run(args []string, stdout io.Writer) error {
 	scale := fs.Float64("timescale", 1, "interval/demand scale (must match the cluster)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-request timeout")
 	conc := fs.Int("concurrency", 0, "max in-flight requests (0 = unlimited)")
+	frame := fs.Bool("frame", false, "drive masters over the persistent binary frame transport instead of HTTP")
 	closed := fs.Bool("closed", false, "closed-loop mode: generate sessions instead of replaying a trace")
 	profile := fs.String("profile", "KSU", "session profile for -closed (UCB, KSU, ADL)")
 	sessionsN := fs.Int("sessions", 50, "session count for -closed")
@@ -74,6 +75,7 @@ func run(args []string, stdout io.Writer) error {
 		res, err := replay.RunClosed(context.Background(), strings.Split(*masters, ","), sessions, replay.Options{
 			TimeScale: *scale,
 			Timeout:   *timeout,
+			Frames:    *frame,
 		})
 		if err != nil {
 			return err
@@ -99,6 +101,7 @@ func run(args []string, stdout io.Writer) error {
 		TimeScale:   *scale,
 		Timeout:     *timeout,
 		Concurrency: *conc,
+		Frames:      *frame,
 	})
 	if err != nil {
 		return err

@@ -124,6 +124,19 @@ type Config struct {
 	Tracer obs.Tracer
 	// Seed drives the front end's random master selection.
 	Seed int64
+	// Shards > 1 partitions the slave tier across the master tier
+	// (master i owns shard i; must equal Masters): each master's policy
+	// sees and books against only its own shard, refreshed at O(shard)
+	// per tick, with shed requests spilling cross-shard via gossiped
+	// summaries. Requires a static topology (no availability events,
+	// adaptation or recruitment). 0 or 1 keeps the global shared view.
+	Shards int
+	// ShardMapMode selects the partitioning function: "hash"
+	// (consistent ring, the default) or "static" (position modulo).
+	ShardMapMode string
+	// GossipEvery is the cross-shard summary exchange period in seconds
+	// (default 4×LoadRefresh).
+	GossipEvery float64
 }
 
 // DefaultConfig returns a cluster configured with the paper's constants.
@@ -164,6 +177,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: auto-recruit needs positive period and LowRate < HighRate")
 	case c.RetryDelay < 0:
 		return fmt.Errorf("cluster: negative retry delay")
+	case c.Shards > 1 && c.Shards != c.Masters:
+		return fmt.Errorf("cluster: shards %d must equal masters %d", c.Shards, c.Masters)
+	case c.Shards > 1 && (c.Adaptive != nil || c.AutoRecruit != nil ||
+		len(c.Events) > 0 || len(c.InitiallyDown) > 0):
+		return fmt.Errorf("cluster: sharding requires a static topology")
+	case c.GossipEvery < 0:
+		return fmt.Errorf("cluster: negative gossip period")
 	}
 	if _, err := disciplinedOS(c.OS, c.Discipline); err != nil {
 		return err
@@ -227,6 +247,9 @@ type Result struct {
 	CacheStats dyncache.Stats
 	// Recruitments and Releases count auto-recruit transitions.
 	Recruitments, Releases int64
+	// Shards reports sharded control-plane accounting (nil when the run
+	// used the global shared view).
+	Shards *ShardStats
 	// NodeStats carries per-node OS counters.
 	NodeStats []simos.Stats
 	// NodeUtilization carries per-node lifetime CPU and disk busy
@@ -302,6 +325,20 @@ type Cluster struct {
 	winDemandH, winDemandC float64
 	winDoneH, winDoneC     int64
 	tickers                []*sim.Ticker
+
+	// sharded control plane (nil/zero when Config.Shards ≤ 1); see
+	// shard.go for the per-master views, summaries and accounting.
+	shardMap   *core.ShardMap
+	shardViews []core.View
+	shardSums  []core.ShardSummary
+	remoteSums [][]core.ShardSummary
+	remoteAt   [][]float64
+	pollWork   int64
+	pollRounds int64
+	ageSum     float64
+	ageN       int64
+	spilled    int64
+	spillShed  int64
 }
 
 // New builds a cluster around an existing engine.
@@ -370,6 +407,11 @@ func New(eng *sim.Engine, cfg Config, policy core.Policy) (*Cluster, error) {
 		c.view.Load[i] = core.Load{CPUIdle: 1, DiskAvail: 1, Speed: speed}
 	}
 	c.setMasters(cfg.Masters)
+	if cfg.Shards > 1 {
+		if err := c.setupShards(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -401,6 +443,12 @@ func (c *Cluster) refreshLoad() {
 		c.view.Load[i].DiskAvail = n.DiskAvailRatio()
 		c.view.Load[i].CPUQueue = cpuQ
 		c.view.Load[i].DiskQueue = diskQ
+	}
+	if c.shardMap != nil {
+		for s := range c.shardViews {
+			c.shardViews[s].Now = c.view.Now
+		}
+		c.refreshShardSummaries()
 	}
 }
 
@@ -465,18 +513,35 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 	}
 	c.winArrivals++
 	master := c.view.Masters[c.front.Intn(len(c.view.Masters))]
+	view := &c.view
+	if c.shardMap != nil {
+		// Sharded: this master places within its own shard only (the
+		// topology is static, so master ids index the shard views).
+		view = &c.shardViews[master]
+	}
 
 	// Optional live-parity shedding: with no slaves in view and the
 	// policy's absorption gate refusing local execution, the master
 	// refuses the request outright (the sim analogue of the 503 path).
-	if c.cfg.EnableShedding && c.gate != nil && len(c.view.Slaves) == 0 &&
-		c.gate.DeniesMasterAbsorption(master, &c.view) {
-		c.shed++
-		c.completed++
-		if onDone != nil {
-			onDone(c.eng.Now())
+	// A sharded master first tries to spill onto the least-loaded fresh
+	// remote digest, the way the live master does after shouldShed.
+	spillTarget := -1
+	if c.cfg.EnableShedding && c.gate != nil && len(view.Slaves) == 0 &&
+		c.gate.DeniesMasterAbsorption(master, view) {
+		if c.shardMap != nil {
+			spillTarget = c.pickSimSpill(master)
 		}
-		return
+		if spillTarget < 0 {
+			if c.shardMap != nil {
+				c.spillShed++
+			}
+			c.shed++
+			c.completed++
+			if onDone != nil {
+				onDone(c.eng.Now())
+			}
+			return
+		}
 	}
 
 	reqID := c.nextReqID
@@ -503,10 +568,16 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 		}
 	}
 
-	target := c.policy.Place(core.Request{Class: req.Class, Script: req.Script}, master, &c.view)
+	var target int
+	if spillTarget >= 0 {
+		target = spillTarget
+		c.spilled++
+	} else {
+		target = c.policy.Place(core.Request{Class: req.Class, Script: req.Script}, master, view)
+	}
 	if c.cfg.Tracer != nil {
 		ev := obs.Event{Kind: obs.KindDecision, Req: reqID, Time: c.eng.Now(), Node: target}
-		if c.explainer != nil {
+		if c.explainer != nil && spillTarget < 0 {
 			pl := c.explainer.LastPlacement()
 			ev.Value = pl.RSRC
 			ev.Admit = pl.MasterAdmitted
@@ -528,6 +599,10 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 	if target != master && req.Class == trace.Dynamic {
 		latency = c.cfg.RemoteLatency
 		c.remoteDyn++
+	}
+	if spillTarget >= 0 {
+		// Spills relay through the remote shard's owner: two hops.
+		latency = 2 * c.cfg.RemoteLatency
 	}
 	if c.cfg.Tracer != nil {
 		c.cfg.Tracer.Emit(obs.Event{
@@ -806,7 +881,13 @@ func (c *Cluster) startTickers() {
 	c.tickers = append(c.tickers, c.eng.Every(c.cfg.LoadRefresh, c.refreshLoad))
 	c.tickers = append(c.tickers, c.eng.Every(c.cfg.PolicyTick, func() {
 		c.policy.Tick(c.eng.Now(), &c.view)
+		if c.shardMap != nil {
+			c.sampleSummaryAge()
+		}
 	}))
+	if c.shardMap != nil {
+		c.tickers = append(c.tickers, c.eng.Every(c.gossipPeriod(), c.gossipShards))
+	}
 	if c.cfg.Adaptive != nil {
 		c.tickers = append(c.tickers, c.eng.Every(c.cfg.Adaptive.Period, c.adapt))
 	}
@@ -843,6 +924,7 @@ func (c *Cluster) buildResult() *Result {
 	}
 	res.Recruitments = c.recruitments
 	res.Releases = c.releases
+	res.Shards = c.shardStats()
 	res.StretchFactor = res.Summary.StretchFactor
 	res.NodeStats = make([]simos.Stats, len(c.nodes))
 	res.NodeUtilization = make([]ResourceUtilization, len(c.nodes))

@@ -1,0 +1,181 @@
+package cluster
+
+// Sharded control plane, simulation side. With Config.Shards > 1 the
+// slave tier is partitioned across the master tier by the same
+// deterministic core.ShardMap the live cluster uses (master i owns
+// shard i): each master's placement view holds only its own shard, its
+// per-tick refresh work is the shard size rather than the fleet size,
+// and cross-shard state travels as core.ShardSummary values exchanged
+// on a slow gossip tick. When a sharded master would shed (absorption
+// gate denies and its shard offers no slave), it first tries to spill
+// onto the least-loaded digest of a fresh remote summary, paying a
+// second dispatch hop.
+//
+// The simulation is the byte-deterministic side of the design: the same
+// trace and seed always produce the same placements, so experiments can
+// compare sharded and global control planes at 1k–10k nodes exactly.
+
+import (
+	"msweb/internal/core"
+)
+
+// simShardTopK mirrors the live shardTopK digest count.
+const simShardTopK = 8
+
+// ShardStats reports sharded control-plane accounting for one run.
+type ShardStats struct {
+	// Shards is the shard (= master) count.
+	Shards int
+	// MaxShardSize is the largest shard's slave population.
+	MaxShardSize int
+	// NodesPolledPerTick is the mean per-master per-tick refresh work
+	// (own node + own shard) — the O(shard) claim. An unsharded
+	// master's equivalent is the fleet size.
+	NodesPolledPerTick float64
+	// MeanSummaryAge is the mean age in virtual seconds of the remote
+	// summaries a master holds, sampled at every policy tick.
+	MeanSummaryAge float64
+	// Spilled counts requests served on a remote shard after the local
+	// shard shed them; SpillShed counts sheds with no fresh remote
+	// candidate left.
+	Spilled   int64
+	SpillShed int64
+}
+
+// setupShards builds the shard map and the per-master views. The views
+// alias the cluster-sized load array — a master's reads are bounded by
+// its Masters/Slaves lists, so aliasing is safe and keeps refresh
+// writes in one place.
+func (c *Cluster) setupShards() error {
+	m := c.cfg.Masters
+	slaves := make([]int, 0, c.cfg.Nodes-m)
+	for i := m; i < c.cfg.Nodes; i++ {
+		slaves = append(slaves, i)
+	}
+	sm, err := core.NewShardMap(c.cfg.ShardMapMode, c.cfg.Shards, slaves)
+	if err != nil {
+		return err
+	}
+	c.shardMap = sm
+	c.shardViews = make([]core.View, m)
+	c.shardSums = make([]core.ShardSummary, m)
+	c.remoteSums = make([][]core.ShardSummary, m)
+	c.remoteAt = make([][]float64, m)
+	for s := 0; s < m; s++ {
+		c.shardViews[s] = core.View{
+			Masters:  []int{s},
+			Slaves:   append([]int(nil), sm.Members(s)...),
+			Load:     c.view.Load,
+			Affinity: c.cfg.Affinity,
+		}
+		c.remoteSums[s] = make([]core.ShardSummary, m)
+		c.remoteAt[s] = make([]float64, m)
+		for t := range c.remoteAt[s] {
+			c.remoteAt[s][t] = -1
+		}
+	}
+	return nil
+}
+
+// gossipPeriod is the summary exchange period (default 4× the load
+// refresh, matching the live default).
+func (c *Cluster) gossipPeriod() float64 {
+	if c.cfg.GossipEvery > 0 {
+		return c.cfg.GossipEvery
+	}
+	return 4 * c.cfg.LoadRefresh
+}
+
+// refreshShardSummaries rebuilds each shard's own summary after a load
+// refresh and accounts the per-master poll work (one self-sample plus
+// the shard members).
+func (c *Cluster) refreshShardSummaries() {
+	atNs := int64(c.eng.Now() * 1e9)
+	for s := range c.shardSums {
+		members := c.shardMap.Members(s)
+		core.BuildShardSummary(&c.shardSums[s], s, atNs, members, c.view.Load, simShardTopK)
+		c.pollWork += int64(len(members)) + 1
+	}
+	c.pollRounds++
+}
+
+// gossipShards delivers every shard's current summary to every other
+// master — the sim analogue of the /shard pull round (piggybacked copies
+// only make summaries fresher in the live plane; the slow tick is the
+// guaranteed floor modeled here).
+func (c *Cluster) gossipShards() {
+	now := c.eng.Now()
+	for o := range c.remoteSums {
+		for s := range c.shardSums {
+			if s == o {
+				continue
+			}
+			dst := &c.remoteSums[o][s]
+			top := append(dst.Top[:0], c.shardSums[s].Top...)
+			*dst = c.shardSums[s]
+			dst.Top = top
+			c.remoteAt[o][s] = now
+		}
+	}
+}
+
+// sampleSummaryAge accumulates the age of every held remote summary —
+// the staleness a spill decision would act on right now.
+func (c *Cluster) sampleSummaryAge() {
+	now := c.eng.Now()
+	for o := range c.remoteAt {
+		for s, at := range c.remoteAt[o] {
+			if s == o || at < 0 {
+				continue
+			}
+			c.ageSum += now - at
+			c.ageN++
+		}
+	}
+}
+
+// pickSimSpill returns the best available node among fresh remote
+// summaries' digests (lowest RSRC, ties to the first found — summary
+// and digest order are deterministic), or -1 when no shard has a fresh
+// summary with a usable digest.
+func (c *Cluster) pickSimSpill(master int) int {
+	now := c.eng.Now()
+	ttl := 3 * c.gossipPeriod()
+	best, bestCost := -1, 0.0
+	for s := range c.remoteSums[master] {
+		if s == master || c.remoteAt[master][s] < 0 || now-c.remoteAt[master][s] > ttl {
+			continue
+		}
+		for _, d := range c.remoteSums[master][s].Top {
+			if !c.available[d.Node] {
+				continue
+			}
+			cost := core.NodeRSRC(core.DefaultW, d.Load)
+			if best < 0 || cost < bestCost {
+				best, bestCost = d.Node, cost
+			}
+		}
+	}
+	return best
+}
+
+// shardStats snapshots the run's sharding accounting (nil when
+// unsharded).
+func (c *Cluster) shardStats() *ShardStats {
+	if c.shardMap == nil {
+		return nil
+	}
+	st := &ShardStats{Shards: c.cfg.Shards, Spilled: c.spilled, SpillShed: c.spillShed}
+	for s := 0; s < c.cfg.Shards; s++ {
+		if n := len(c.shardMap.Members(s)); n > st.MaxShardSize {
+			st.MaxShardSize = n
+		}
+	}
+	if c.pollRounds > 0 {
+		st.NodesPolledPerTick = float64(c.pollWork) / float64(c.pollRounds*int64(c.cfg.Masters))
+	}
+	if c.ageN > 0 {
+		st.MeanSummaryAge = c.ageSum / float64(c.ageN)
+	}
+	return st
+}

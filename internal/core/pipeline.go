@@ -255,6 +255,27 @@ func (p *Pipeline) Place(req Request, master int, v *View) int {
 	return target
 }
 
+// PlaceRemote runs only the routing stage over v.Slaves and returns the
+// chosen node and routing cost, or (-1, 0) when the view offers no
+// candidate. It is the spill path of a sharded master: admission
+// already ruled (the local AbsorptionGate shed), the candidates are
+// remote digests the caller synthesized from peer summaries, and
+// booking against a view rebuilt per call would be meaningless — so no
+// arrival/placement counting and no booking happen here. Routing-stage
+// RNG draws are consumed, which is safe for the goldens because
+// unsharded runs never spill.
+func (p *Pipeline) PlaceRemote(req Request, v *View) (int, float64) {
+	if len(v.Slaves) == 0 {
+		return -1, 0
+	}
+	w := DefaultW
+	if p.sampling {
+		w = p.wtable.W(req.Script)
+	}
+	target, cost := p.route.Route(req, w, v.Slaves, v)
+	return target, cost
+}
+
 // ObserveCompletion implements Policy.
 func (p *Pipeline) ObserveCompletion(class trace.Class, response, demand float64) {
 	p.adm.ObserveCompletion(class, response, demand)

@@ -20,6 +20,7 @@ const (
 	RoutingJSQPrefix = "jsq"
 	RoutingMaxWeight = "maxweight"
 	RoutingCMu       = "cmu"
+	RoutingBalanced  = "balanced"
 	RoutingRandom    = "random"
 	RoutingScorers   = "scorers"
 )
@@ -199,6 +200,62 @@ func (r *CMuRouting) Route(req Request, w float64, candidates []int, v *View) (i
 	// Report the index negated so lower still reads as "better" in
 	// placement traces, matching the cost convention.
 	return target, -best
+}
+
+// BalancedRouting is the balanced-fairness dispatcher (Bonald & Comte,
+// "Balanced fair resource sharing in computer clusters"): under balanced
+// fairness the stationary distribution is insensitive to service-time
+// distributions and the per-class performance is governed by the
+// bottleneck resource's occupancy. Read as a routing index, the request
+// joins the node whose bottleneck — the busier of the two resources it
+// needs, weighted by its own mix w and normalized by node speed — is
+// least occupied after the join:
+//
+//	argmin max(w·(Q_cpu+1), (1−w)·(Q_disk+1)) / μ
+//
+// The +1 accounts for the request itself, so an empty fast node beats an
+// empty slow one and the index stays finite.
+type BalancedRouting struct {
+	rng *rng.Stream
+	tie []int
+}
+
+// NewBalancedRouting constructs the balanced-fairness stage.
+func NewBalancedRouting(seed int64) *BalancedRouting {
+	return &BalancedRouting{rng: rng.New(seed)}
+}
+
+// Name implements RoutingPolicy.
+func (*BalancedRouting) Name() string { return RoutingBalanced }
+
+// Route implements RoutingPolicy.
+func (r *BalancedRouting) Route(req Request, w float64, candidates []int, v *View) (int, float64) {
+	best := math.Inf(1)
+	tie := r.tie[:0]
+	for _, id := range candidates {
+		l := v.Load[id]
+		mu := l.Speed
+		if mu <= 0 {
+			mu = 1
+		}
+		cpu := w * float64(l.CPUQueue+1)
+		disk := (1 - w) * float64(l.DiskQueue+1)
+		cost := cpu
+		if disk > cost {
+			cost = disk
+		}
+		cost /= mu
+		switch {
+		case cost < best-1e-12:
+			best = cost
+			tie = append(tie[:0], id)
+		case cost <= best+1e-12:
+			tie = append(tie, id)
+		}
+	}
+	target := tie[r.rng.Intn(len(tie))]
+	r.tie = tie[:0]
+	return target, best
 }
 
 // RandomRouting dispatches uniformly at random — the memoryless baseline

@@ -109,6 +109,11 @@ func (AffinityScorer) Score(req Request, w float64, id int, v *View) float64 {
 	return -1
 }
 
+// NodeRSRC is the per-node placement cost including the heterogeneous
+// speed adjustment — exported so spill ranking over shard digests uses
+// the same definition the digests were ordered by.
+func NodeRSRC(w float64, l Load) float64 { return nodeRSRC(w, l) }
+
 // nodeRSRC is the per-node cost used by pickMinRSRC, shared with the
 // RSRC scorer so the two stay one definition.
 func nodeRSRC(w float64, l Load) float64 {

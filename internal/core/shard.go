@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Shard map: the deterministic partition of the slave fleet across the
+// master tier. Every master computes the same map from the same inputs
+// (mode, shard count, slave ID list), so there is no coordination step:
+// master i owns shard i, polls only its members, tracks breakers for
+// them, and books placements against them. Cross-shard state travels as
+// compact ShardSummary digests (shardwire.go), never as full views, so
+// no component does O(cluster size) work per tick.
+//
+// Two modes:
+//
+//   - ShardStatic assigns the slave at position i of the input list to
+//     shard i mod shards — the predictable fallback whose membership a
+//     human can compute in their head.
+//   - ShardHash places shards on a consistent-hash ring (FNV-1a over
+//     virtual points) and assigns each slave to the first shard point
+//     clockwise from its own hash — membership stays mostly stable when
+//     the shard count changes, the property that matters for live
+//     resharding (the arktos partitioned-API-server move).
+
+// Shard map modes.
+const (
+	ShardStatic = "static"
+	ShardHash   = "hash"
+)
+
+// ringPointsPerShard is the virtual-node multiplier of the hash ring;
+// enough points that shard sizes stay within a few percent of even for
+// fleets in the hundreds-to-thousands range.
+const ringPointsPerShard = 64
+
+// ShardMap is an immutable node→shard partition. The zero value is not
+// usable; construct with NewShardMap.
+type ShardMap struct {
+	mode    string
+	shards  int
+	owner   map[int]int // slave node ID → shard
+	members [][]int     // shard → slave node IDs, ascending
+}
+
+// NewShardMap partitions the given slave IDs into shards. mode "" means
+// ShardHash. shards < 1 or a single shard yields the trivial one-shard
+// map (every slave in shard 0) — the unsharded degenerate case callers
+// can still index uniformly.
+func NewShardMap(mode string, shards int, slaves []int) (*ShardMap, error) {
+	if mode == "" {
+		mode = ShardHash
+	}
+	if mode != ShardStatic && mode != ShardHash {
+		return nil, fmt.Errorf("core: unknown shard map mode %q (want %q or %q)", mode, ShardStatic, ShardHash)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	m := &ShardMap{
+		mode:    mode,
+		shards:  shards,
+		owner:   make(map[int]int, len(slaves)),
+		members: make([][]int, shards),
+	}
+	switch {
+	case shards == 1:
+		for _, id := range slaves {
+			m.owner[id] = 0
+		}
+	case mode == ShardStatic:
+		for i, id := range slaves {
+			m.owner[id] = i % shards
+		}
+	default: // ShardHash
+		ring := buildRing(shards)
+		for _, id := range slaves {
+			m.owner[id] = ring.ownerOf(hashID(id))
+		}
+	}
+	for _, id := range slaves {
+		s := m.owner[id]
+		m.members[s] = append(m.members[s], id)
+	}
+	for s := range m.members {
+		sort.Ints(m.members[s])
+	}
+	return m, nil
+}
+
+// Mode reports the construction mode ("static" or "hash").
+func (m *ShardMap) Mode() string { return m.mode }
+
+// NumShards reports the shard count.
+func (m *ShardMap) NumShards() int { return m.shards }
+
+// ShardOf reports the shard owning the given slave, or -1 when the node
+// is not in the map (masters, unknown IDs).
+func (m *ShardMap) ShardOf(node int) int {
+	if s, ok := m.owner[node]; ok {
+		return s
+	}
+	return -1
+}
+
+// Members reports the slaves of one shard in ascending ID order. The
+// returned slice is owned by the map; callers must not mutate it.
+func (m *ShardMap) Members(shard int) []int {
+	if shard < 0 || shard >= len(m.members) {
+		return nil
+	}
+	return m.members[shard]
+}
+
+// ring is a consistent-hash ring of shard virtual points.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// buildRing hashes ringPointsPerShard virtual points per shard onto the
+// ring. Point hashes mix the shard index and the point index so shards
+// interleave rather than clump.
+func buildRing(shards int) *ring {
+	r := &ring{points: make([]ringPoint, 0, shards*ringPointsPerShard)}
+	for s := 0; s < shards; s++ {
+		for p := 0; p < ringPointsPerShard; p++ {
+			r.points = append(r.points, ringPoint{hash: hashPoint(s, p), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash collisions resolve by shard index so the ring order — and
+		// therefore the whole map — is deterministic.
+		return a.shard < b.shard
+	})
+	return r
+}
+
+// ownerOf finds the first ring point clockwise from h.
+func (r *ring) ownerOf(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// mix64 is the splitmix64 finalizer — full-avalanche mixing of a 64-bit
+// word, so consecutive small integers (node IDs, shard/point indices)
+// spread uniformly over the ring. FNV-style byte folding is too weak
+// here: low-entropy inputs clump and shard sizes skew badly.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashID hashes a node ID onto the ring.
+func hashID(id int) uint64 {
+	return mix64(uint64(int64(id)))
+}
+
+// hashPoint hashes shard virtual point (s, p).
+func hashPoint(s, p int) uint64 {
+	return mix64(uint64(int64(s))<<32 ^ uint64(int64(p)) ^ 0x5bd1e995)
+}

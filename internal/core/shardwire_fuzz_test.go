@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseShardSummary pins the s1 decoder's safety contract: arbitrary
+// input never panics, over-reads, or allocates unboundedly (the digest
+// cap), and any accepted input re-encodes to a line that parses back to
+// the same summary.
+func FuzzParseShardSummary(f *testing.F) {
+	seeds := []ShardSummary{
+		{Shard: 0, AtNs: 0, Nodes: 0},
+		{Shard: 3, AtNs: 1234567890, Nodes: 64, CPUIdle: 0.5, DiskAvail: 0.25,
+			CPUQueue: 17, DiskQueue: 9, Idle: 40,
+			Top: []ShardDigest{
+				{Node: 12, Load: Load{CPUIdle: 0.9, DiskAvail: 0.8, Speed: 1}},
+				{Node: 77, Load: Load{CPUIdle: 0.7, DiskAvail: 0.6, CPUQueue: 2, DiskQueue: 1, Speed: 2}},
+			}},
+		{Shard: -1, AtNs: -5, Nodes: 1, CPUIdle: math.Inf(1), DiskAvail: math.Inf(-1),
+			Top: []ShardDigest{{Node: 0, Load: Load{Speed: math.NaN()}}}},
+	}
+	for _, s := range seeds {
+		f.Add(s.AppendWire(nil))
+	}
+	for _, raw := range [][]byte{
+		[]byte("s1 "),
+		[]byte("s1 1 2 3 0 0 0 0 0 1\n"),
+		[]byte("s1 1 2 3 0 0 0 0 0 9999\n"),
+		[]byte("junk"),
+		[]byte(""),
+	} {
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var s ShardSummary
+		if err := ParseShardSummary(b, &s); err != nil {
+			return
+		}
+		if len(s.Top) > MaxShardDigests {
+			t.Fatalf("digest cap violated: %d", len(s.Top))
+		}
+		re := s.AppendWire(nil)
+		var s2 ShardSummary
+		if err := ParseShardSummary(re, &s2); err != nil {
+			t.Fatalf("re-encoded %q does not parse: %v", re, err)
+		}
+		if s.Shard != s2.Shard || s.AtNs != s2.AtNs || s.Nodes != s2.Nodes ||
+			!sameF64(s.CPUIdle, s2.CPUIdle) || !sameF64(s.DiskAvail, s2.DiskAvail) ||
+			s.CPUQueue != s2.CPUQueue || s.DiskQueue != s2.DiskQueue || s.Idle != s2.Idle ||
+			len(s.Top) != len(s2.Top) {
+			t.Fatalf("round trip drift: %+v -> %q -> %+v", s, re, s2)
+		}
+		for i := range s.Top {
+			a, b := s.Top[i], s2.Top[i]
+			if a.Node != b.Node || !sameF64(a.Load.CPUIdle, b.Load.CPUIdle) ||
+				!sameF64(a.Load.DiskAvail, b.Load.DiskAvail) ||
+				a.Load.CPUQueue != b.Load.CPUQueue || a.Load.DiskQueue != b.Load.DiskQueue ||
+				!sameF64(a.Load.Speed, b.Load.Speed) {
+				t.Fatalf("digest %d drift: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -54,6 +54,20 @@ func TestReqPathAllocPins(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Shutdown()
+	// Sharded master (2 shards, master 0 owning an empty shard): the /req
+	// pipeline plus the shard-stamp header attach must stay pinned too.
+	ms, err := LaunchMaster(NodeOptions{
+		ID: 0, Masters: []int{0, 1}, NodeURLs: []string{"", ""},
+		Policy:      core.NewMS(nil, 1),
+		TimeScale:   1e-6,
+		LoadRefresh: time.Hour, PolicyTick: time.Hour,
+		Shards:     2,
+		Resilience: Resilience{DisableShedding: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Shutdown()
 
 	cases := []struct {
 		name    string
@@ -63,6 +77,8 @@ func TestReqPathAllocPins(t *testing.T) {
 	}{
 		{"master /req static", m.Handler(), "/req?class=s&demand=0&w=0.5&script=0", 0.1},
 		{"master /req dynamic", m.Handler(), "/req?class=d&demand=0&w=0.9&script=1", 0.1},
+		{"sharded /req static", ms.Handler(), "/req?class=s&demand=0&w=0.5&script=0", 0.1},
+		{"sharded /req dynamic", ms.Handler(), "/req?class=d&demand=0&w=0.9&script=1", 0.1},
 		{"node /exec", n.Handler(), "/exec?demand=0&w=0.5&size=64", 0.1},
 	}
 	for _, c := range cases {
@@ -118,7 +134,7 @@ func TestFrameHotPathAllocPin(t *testing.T) {
 			t.Fatalf("status %d", st)
 		}
 		sts = append(sts[:0], st)
-		frame = appendRespFrame(frame[:0], sts, n.currentLoad().load)
+		frame = appendRespFrame(frame[:0], sts, n.currentLoad().load, nil)
 	}
 	run() // warm the scratch buffers
 	// Same amortized load-stamp budget as the HTTP pins above.

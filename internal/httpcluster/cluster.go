@@ -49,6 +49,17 @@ type Config struct {
 	// frame (default 64).
 	BatchWindow time.Duration
 	BatchMax    int
+	// Shards > 1 partitions the slave fleet across the master tier:
+	// master i polls, tracks breakers for and books against only shard i,
+	// spilling shed dynamics cross-shard via gossiped summaries. Must
+	// equal Masters. 0 or 1 keeps the unsharded global view.
+	Shards int
+	// ShardMapMode selects the partitioning function: "hash" (consistent
+	// ring, the default) or "static" (position modulo).
+	ShardMapMode string
+	// GossipEvery is the master↔master /shard pull period (default
+	// 4×LoadRefresh).
+	GossipEvery time.Duration
 }
 
 // DefaultConfig mirrors the Table 3 setup: 6 nodes, the given master
@@ -75,6 +86,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("httpcluster: polling periods must be positive")
 	case c.MakePolicy == nil:
 		return fmt.Errorf("httpcluster: MakePolicy is required")
+	case c.Shards > 1 && c.Shards != c.Masters:
+		return fmt.Errorf("httpcluster: shards %d must equal masters %d", c.Shards, c.Masters)
 	}
 	return nil
 }
@@ -154,6 +167,9 @@ func Start(cfg Config) (*Cluster, error) {
 			BinaryFraming:     cfg.BinaryFraming,
 			BatchWindow:       cfg.BatchWindow,
 			BatchMax:          cfg.BatchMax,
+			Shards:            cfg.Shards,
+			ShardMapMode:      cfg.ShardMapMode,
+			GossipEvery:       cfg.GossipEvery,
 		})
 		if err != nil {
 			c.Shutdown()

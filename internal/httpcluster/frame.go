@@ -10,10 +10,12 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"msweb/internal/core"
+	"msweb/internal/trace"
 )
 
 // Persistent binary framing for the master→slave /exec hop.
@@ -33,22 +35,32 @@ import (
 //	frame    := u32 payloadLen | payload        (payloadLen ≤ 1 MiB)
 //	exec     := ver(1) 'E' count(u16) count × entry
 //	entry    := demand f64 | w f64 | deadlineNs i64 | flags u8
+//	req      := ver(1) 'Q' count(u16) count × qentry
+//	qentry   := demand f64 | w f64 | script u32 | timeoutMs u32 | flags u8
 //	resp     := ver(1) 'R' count(u16) count × status(u16)
 //	            hasLoad u8 [ cpuIdle f64 | diskAvail f64 |
 //	                         cpuQueue i32 | diskQueue i32 | speed f64 ]
+//	            [ hasSum u8 [ sumLen u16 | sumLen × byte ] ]
 //
-// Statuses reuse HTTP codes (200 OK, 400 bad entry, 503 shed, 504
-// deadline expired) so the master's retry/breaker classification is
-// transport-independent. Every response carries the node's piggybacked
-// load report, replacing a /load poll round trip.
+// 'E' frames carry master→slave exec dispatches; 'Q' frames carry
+// client→master requests (the /req analogue, so external load drivers
+// skip HTTP entirely — qentry flags: bit0 dynamic, bit1 idempotent).
+// Statuses reuse HTTP codes (200 OK, 400 bad entry, 502 exhausted, 503
+// shed, 504 deadline expired) so the master's retry/breaker
+// classification is transport-independent. Every response carries the
+// node's piggybacked load report, replacing a /load poll round trip;
+// sharded masters append their own-shard summary (an s1 line) as the
+// optional trailing block, which old readers simply never see (the
+// block is absent, not truncated, when the server predates it).
 
 const (
 	// frameProtocol is the Upgrade token negotiated on GET /frame.
 	frameProtocol = "msweb-frame/1"
 	// frameVersion versions the payload layout.
 	frameVersion = 1
-	// frameKindExec / frameKindResp tag payloads.
+	// frameKindExec / frameKindReq / frameKindResp tag payloads.
 	frameKindExec = 'E'
+	frameKindReq  = 'Q'
 	frameKindResp = 'R'
 	// maxFramePayload bounds a frame so a corrupt length prefix cannot
 	// make a reader allocate unbounded memory.
@@ -57,10 +69,15 @@ const (
 	maxFrameBatch = 1024
 	// execEntrySize is the fixed wire size of one exec entry.
 	execEntrySize = 8 + 8 + 8 + 1
+	// reqEntrySize is the fixed wire size of one client-request entry.
+	reqEntrySize = 8 + 8 + 4 + 4 + 1
 	// frameLoadSize is the fixed wire size of a piggybacked load report.
 	frameLoadSize = 8 + 8 + 4 + 4 + 8
 
 	execFlagFork = 1 << 0
+
+	reqFlagDynamic = 1 << 0
+	reqFlagIdem    = 1 << 1
 )
 
 // frameExec is one exec entry: the binary analogue of the /exec query.
@@ -68,6 +85,17 @@ type frameExec struct {
 	demand, w  float64
 	deadlineNs int64 // absolute UnixNano; 0 = none
 	fork       bool
+}
+
+// frameReq is one client-request entry: the binary analogue of the
+// /req query. timeoutMs is the relative deadline budget (0 = server
+// default), matching the X-Msweb-Timeout-Ms header's semantics.
+type frameReq struct {
+	demand, w float64
+	script    int
+	timeoutMs int
+	dynamic   bool
+	idem      bool
 }
 
 // frame codec -------------------------------------------------------------
@@ -92,10 +120,39 @@ func appendExecFrame(b []byte, reqs []frameExec) []byte {
 	return b
 }
 
+// appendReqFrame appends a complete length-prefixed client-request
+// frame (the 'Q' kind external drivers send to a master).
+func appendReqFrame(b []byte, reqs []frameReq) []byte {
+	payload := 2 + 2 + len(reqs)*reqEntrySize
+	b = binary.LittleEndian.AppendUint32(b, uint32(payload))
+	b = append(b, frameVersion, frameKindReq)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(reqs)))
+	for i := range reqs {
+		r := &reqs[i]
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.demand))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.w))
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(r.script)))
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(r.timeoutMs)))
+		var flags byte
+		if r.dynamic {
+			flags |= reqFlagDynamic
+		}
+		if r.idem {
+			flags |= reqFlagIdem
+		}
+		b = append(b, flags)
+	}
+	return b
+}
+
 // appendRespFrame appends a complete length-prefixed response frame with
-// per-entry statuses and the node's piggybacked load report.
-func appendRespFrame(b []byte, statuses []int, load core.Load) []byte {
-	payload := 2 + 2 + len(statuses)*2 + 1 + frameLoadSize
+// per-entry statuses, the node's piggybacked load report, and (when sum
+// is non-empty) the serving master's own-shard summary line.
+func appendRespFrame(b []byte, statuses []int, load core.Load, sum []byte) []byte {
+	payload := 2 + 2 + len(statuses)*2 + 1 + frameLoadSize + 1
+	if len(sum) > 0 {
+		payload += 2 + len(sum)
+	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(payload))
 	b = append(b, frameVersion, frameKindResp)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(statuses)))
@@ -108,7 +165,12 @@ func appendRespFrame(b []byte, statuses []int, load core.Load) []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(load.CPUQueue)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(load.DiskQueue)))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(load.Speed))
-	return b
+	if len(sum) == 0 {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(sum)))
+	return append(b, sum...)
 }
 
 var (
@@ -151,26 +213,65 @@ func parseExecPayload(payload []byte, dst []frameExec) ([]frameExec, error) {
 	return dst, nil
 }
 
-// parseRespPayload decodes a response payload, appending statuses to dst
-// and returning the piggybacked load report when present.
-func parseRespPayload(payload []byte, dst []int) ([]int, core.Load, bool, error) {
-	var load core.Load
+// parseReqPayload decodes a client-request ('Q') payload, appending
+// entries to dst. Same safety contract as parseExecPayload.
+func parseReqPayload(payload []byte, dst []frameReq) ([]frameReq, error) {
 	if len(payload) < 4 {
-		return dst, load, false, errFrameShort
+		return dst, errFrameShort
 	}
 	if payload[0] != frameVersion {
-		return dst, load, false, errFrameVersion
+		return dst, errFrameVersion
 	}
-	if payload[1] != frameKindResp {
-		return dst, load, false, errFrameKind
+	if payload[1] != frameKindReq {
+		return dst, errFrameKind
 	}
 	count := int(binary.LittleEndian.Uint16(payload[2:]))
 	if count < 1 || count > maxFrameBatch {
-		return dst, load, false, errFrameCount
+		return dst, errFrameCount
+	}
+	body := payload[4:]
+	if len(body) != count*reqEntrySize {
+		return dst, errFrameShort
+	}
+	for i := 0; i < count; i++ {
+		e := body[i*reqEntrySize:]
+		flags := e[24]
+		dst = append(dst, frameReq{
+			demand:    math.Float64frombits(binary.LittleEndian.Uint64(e)),
+			w:         math.Float64frombits(binary.LittleEndian.Uint64(e[8:])),
+			script:    int(int32(binary.LittleEndian.Uint32(e[16:]))),
+			timeoutMs: int(int32(binary.LittleEndian.Uint32(e[20:]))),
+			dynamic:   flags&reqFlagDynamic != 0,
+			idem:      flags&reqFlagIdem != 0,
+		})
+	}
+	return dst, nil
+}
+
+// parseRespPayload decodes a response payload, appending statuses to
+// dst and returning the piggybacked load report and, when the serving
+// master attached one, its shard-summary line (aliasing payload — copy
+// before the frame buffer is reused). Responses that end right after
+// the load block (peers predating the summary extension) parse as
+// summary-less rather than short.
+func parseRespPayload(payload []byte, dst []int) ([]int, core.Load, bool, []byte, error) {
+	var load core.Load
+	if len(payload) < 4 {
+		return dst, load, false, nil, errFrameShort
+	}
+	if payload[0] != frameVersion {
+		return dst, load, false, nil, errFrameVersion
+	}
+	if payload[1] != frameKindResp {
+		return dst, load, false, nil, errFrameKind
+	}
+	count := int(binary.LittleEndian.Uint16(payload[2:]))
+	if count < 1 || count > maxFrameBatch {
+		return dst, load, false, nil, errFrameCount
 	}
 	body := payload[4:]
 	if len(body) < count*2+1 {
-		return dst, load, false, errFrameShort
+		return dst, load, false, nil, errFrameShort
 	}
 	for i := 0; i < count; i++ {
 		dst = append(dst, int(binary.LittleEndian.Uint16(body[i*2:])))
@@ -178,21 +279,46 @@ func parseRespPayload(payload []byte, dst []int) ([]int, core.Load, bool, error)
 	body = body[count*2:]
 	hasLoad := body[0] != 0
 	body = body[1:]
-	if !hasLoad {
-		if len(body) != 0 {
-			return dst, load, false, errFrameShort
+	if hasLoad {
+		if len(body) < frameLoadSize {
+			return dst, load, false, nil, errFrameShort
 		}
-		return dst, load, false, nil
+		load.CPUIdle = math.Float64frombits(binary.LittleEndian.Uint64(body))
+		load.DiskAvail = math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
+		load.CPUQueue = int(int32(binary.LittleEndian.Uint32(body[16:])))
+		load.DiskQueue = int(int32(binary.LittleEndian.Uint32(body[20:])))
+		load.Speed = math.Float64frombits(binary.LittleEndian.Uint64(body[24:]))
+		body = body[frameLoadSize:]
 	}
-	if len(body) != frameLoadSize {
-		return dst, load, false, errFrameShort
+	sum, err := parseRespSummary(body)
+	if err != nil {
+		return dst, load, false, nil, err
 	}
-	load.CPUIdle = math.Float64frombits(binary.LittleEndian.Uint64(body))
-	load.DiskAvail = math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
-	load.CPUQueue = int(int32(binary.LittleEndian.Uint32(body[16:])))
-	load.DiskQueue = int(int32(binary.LittleEndian.Uint32(body[20:])))
-	load.Speed = math.Float64frombits(binary.LittleEndian.Uint64(body[24:]))
-	return dst, load, true, nil
+	return dst, load, hasLoad, sum, nil
+}
+
+// parseRespSummary decodes the optional trailing summary block.
+func parseRespSummary(body []byte) ([]byte, error) {
+	if len(body) == 0 {
+		return nil, nil // pre-extension peer: no block at all
+	}
+	hasSum := body[0] != 0
+	body = body[1:]
+	if !hasSum {
+		if len(body) != 0 {
+			return nil, errFrameShort
+		}
+		return nil, nil
+	}
+	if len(body) < 2 {
+		return nil, errFrameShort
+	}
+	n := int(binary.LittleEndian.Uint16(body))
+	body = body[2:]
+	if len(body) != n || n == 0 {
+		return nil, errFrameShort
+	}
+	return body, nil
 }
 
 // readFrame reads one length-prefixed frame into buf (grown as needed)
@@ -309,13 +435,17 @@ func (n *Node) closeFrameConns() {
 	n.frameWG.Wait()
 }
 
-// serveFrames is one connection's exchange loop. All scratch is
-// connection-owned, so a steady-state exchange allocates nothing. A
-// malformed frame drops the connection: the peer is either corrupt or
-// hostile, and the master will fall back to a fresh dial.
+// serveFrames is one connection's exchange loop, dispatching on the
+// payload kind: 'E' exec batches run on the node's resources, 'Q'
+// client batches run through a master's full /req pipeline (refused
+// entry-wise with 501 on plain nodes). All scratch is connection-owned,
+// so a steady-state exchange allocates nothing. A malformed frame drops
+// the connection: the peer is either corrupt or hostile, and the master
+// will fall back to a fresh dial.
 func (n *Node) serveFrames(conn net.Conn, br *bufio.Reader) {
 	var buf, out []byte
 	var reqs []frameExec
+	var creqs []frameReq
 	var statuses []int
 	for {
 		payload, nbuf, err := readFrame(br, buf)
@@ -323,17 +453,39 @@ func (n *Node) serveFrames(conn net.Conn, br *bufio.Reader) {
 		if err != nil {
 			return
 		}
-		reqs, err = parseExecPayload(payload, reqs[:0])
+		count := 0
+		if len(payload) >= 2 && payload[1] == frameKindReq {
+			creqs, err = parseReqPayload(payload, creqs[:0])
+			count = len(creqs)
+		} else {
+			reqs, err = parseExecPayload(payload, reqs[:0])
+			count = len(reqs)
+		}
 		if err != nil {
 			return
 		}
-		if cap(statuses) < len(reqs) {
-			statuses = make([]int, len(reqs))
+		if cap(statuses) < count {
+			statuses = make([]int, count)
 		}
-		statuses = statuses[:len(reqs)]
-		n.runFrameBatch(reqs, statuses)
+		statuses = statuses[:count]
+		if len(creqs) > 0 {
+			if n.serveClientFrames == nil {
+				for i := range statuses {
+					statuses[i] = http.StatusNotImplemented
+				}
+			} else {
+				n.serveClientFrames(creqs, statuses)
+			}
+			creqs = creqs[:0]
+		} else {
+			n.runFrameBatch(reqs, statuses)
+		}
 		n.framesServed.Add(1)
-		out = appendRespFrame(out[:0], statuses, n.currentLoad().load)
+		var sum []byte
+		if s := n.shardWire.Load(); s != nil {
+			sum = s.wire
+		}
+		out = appendRespFrame(out[:0], statuses, n.currentLoad().load, sum)
 		if _, err := conn.Write(out); err != nil {
 			return
 		}
@@ -535,7 +687,7 @@ func (f *frameDialer) exchange(target int, reqs []frameExec, dst []int, deadline
 		fc.c.Close()
 		return dst, err, true
 	}
-	dst, load, hasLoad, err := parseRespPayload(payload, dst)
+	dst, load, hasLoad, sum, err := parseRespPayload(payload, dst)
 	if err != nil || len(dst) != len(reqs) {
 		fc.c.Close()
 		if err == nil {
@@ -545,6 +697,11 @@ func (f *frameDialer) exchange(target int, reqs []frameExec, dst []int, deadline
 	}
 	if hasLoad {
 		f.m.storePiggy(target, load)
+	}
+	if len(sum) > 0 {
+		// A sharded peer answered: fold its shard summary before the
+		// frame buffer (which sum aliases) is reused.
+		f.m.storeShardSummaryWire(sum)
 	}
 	f.release(target, fc)
 	return dst, nil, true
@@ -576,4 +733,49 @@ type execCall struct {
 	reqs [1]frameExec
 	sts  [1]int
 	done chan error
+}
+
+// runFrameReqs serves a 'Q' batch through the master's /req pipeline —
+// the hook behind Node.serveClientFrames. Entries run concurrently
+// (each may block in dispatch or virtual work), mirroring how separate
+// HTTP /req calls would interleave.
+func (m *Master) runFrameReqs(reqs []frameReq, statuses []int) {
+	if len(reqs) == 1 {
+		statuses[0] = m.serveFrameReq(reqs[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i] = m.serveFrameReq(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// serveFrameReq adapts one 'Q' entry to serveReq, returning the same
+// status taxonomy /req answers with (200, 400, 502, 503).
+func (m *Master) serveFrameReq(r frameReq) int {
+	if r.demand < 0 || math.IsNaN(r.demand) || math.IsInf(r.demand, 0) || math.IsNaN(r.w) {
+		return http.StatusBadRequest
+	}
+	p := reqParams{demand: r.demand, w: r.w, demandOK: true, wOK: true,
+		script: r.script, idem: r.idem}
+	if r.dynamic {
+		p.class = trace.Dynamic
+	}
+	start := time.Now()
+	deadline := start.Add(m.rs.DispatchTimeout)
+	if r.timeoutMs > 0 {
+		if d := start.Add(time.Duration(r.timeoutMs) * time.Millisecond); d.Before(deadline) {
+			deadline = d
+		}
+	}
+	status, _ := m.serveReq(p, start, deadline)
+	if status == 0 {
+		return http.StatusOK
+	}
+	return status
 }

@@ -69,22 +69,70 @@ func TestFrameCodecRoundTrip(t *testing.T) {
 
 	sts := []int{200, 503, 504}
 	load := core.Load{CPUIdle: 0.75, DiskAvail: 0.5, CPUQueue: 3, DiskQueue: 1, Speed: 1}
-	rb := appendRespFrame(nil, sts, load)
+	sum := (&core.ShardSummary{Shard: 2, AtNs: 42, Nodes: 3, CPUIdle: 0.5}).AppendWire(nil)
+	rb := appendRespFrame(nil, sts, load, sum)
 	payload, _, err = readFrame(bufio.NewReader(bytes.NewReader(rb)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotSts, gotLoad, hasLoad, err := parseRespPayload(payload, nil)
+	gotSts, gotLoad, hasLoad, gotSum, err := parseRespPayload(payload, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !hasLoad || gotLoad != load {
 		t.Fatalf("load round trip: got %+v (hasLoad=%v) want %+v", gotLoad, hasLoad, load)
 	}
+	if !bytes.Equal(gotSum, sum) {
+		t.Fatalf("summary round trip: got %q want %q", gotSum, sum)
+	}
 	for i := range sts {
 		if gotSts[i] != sts[i] {
 			t.Fatalf("status %d: got %d want %d", i, gotSts[i], sts[i])
 		}
+	}
+
+	// Summary-less responses carry an explicit empty block…
+	rb = appendRespFrame(nil, sts, load, nil)
+	if _, _, _, gotSum, err = parseRespPayload(rb[4:], nil); err != nil || gotSum != nil {
+		t.Fatalf("summary-less response: sum=%q err=%v", gotSum, err)
+	}
+	// …and responses from peers predating the block (ending right after
+	// the load report) still parse.
+	if _, _, hasLoad, gotSum, err = parseRespPayload(rb[4:len(rb)-1], nil); err != nil || !hasLoad || gotSum != nil {
+		t.Fatalf("pre-extension response: hasLoad=%v sum=%q err=%v", hasLoad, gotSum, err)
+	}
+}
+
+// The client-request ('Q') codec must round-trip batches exactly.
+func TestReqFrameCodecRoundTrip(t *testing.T) {
+	reqs := []frameReq{
+		{demand: 0.25, w: 0.5, script: 7, timeoutMs: 1500, dynamic: true, idem: true},
+		{demand: 0, w: 1, script: 0, timeoutMs: 0, dynamic: false, idem: false},
+		{demand: 3, w: 0.9, script: 1 << 20, timeoutMs: 1, dynamic: true, idem: false},
+	}
+	b := appendReqFrame(nil, reqs)
+	payload, _, err := readFrame(bufio.NewReader(bytes.NewReader(b)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseReqPayload(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], reqs[i])
+		}
+	}
+	// Kind confusion must fail loudly, not mis-decode.
+	if _, err := parseExecPayload(payload, nil); err == nil {
+		t.Fatal("exec parser accepted a 'Q' payload")
+	}
+	if _, err := parseReqPayload(appendExecFrame(nil, []frameExec{{w: 0.5}})[4:], nil); err == nil {
+		t.Fatal("req parser accepted an 'E' payload")
 	}
 }
 

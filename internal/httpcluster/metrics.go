@@ -139,4 +139,22 @@ func (m *Master) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
 	}
 	p.Histogram("msweb_master_retry_backoff_seconds", "Retry backoff sleeps actually taken before re-placement.", label, &backoffs)
 	p.Histogram("msweb_master_response_seconds", "Client-visible /req response time at this master (unscaled seconds).", label, &hist)
+
+	if m.shardMap != nil {
+		p.Header("msweb_master_placement_local_total", "Requests served on this master's own shard.", "counter")
+		p.Value("msweb_master_placement_local_total", label, float64(m.quality.Local.Load()))
+		p.Header("msweb_master_placement_spilled_total", "Shed dynamics successfully spilled to a remote shard.", "counter")
+		p.Value("msweb_master_placement_spilled_total", label, float64(m.quality.Spilled.Load()))
+		p.Header("msweb_master_placement_spill_failures_total", "Failed spill dispatch attempts (each retried or shed).", "counter")
+		p.Value("msweb_master_placement_spill_failures_total", label, float64(m.quality.SpillFailed.Load()))
+		p.Header("msweb_master_shard_summaries_total", "Remote shard summaries folded in (gossip pulls + piggybacked).", "counter")
+		p.Value("msweb_master_shard_summaries_total", label, float64(m.gossipRx.Load()))
+		p.Header("msweb_master_shard_summary_age_seconds", "Age of the freshest summary held per remote shard (-1 = never heard).", "gauge")
+		for s := range m.shardSums {
+			if s == m.shard {
+				continue
+			}
+			p.Value("msweb_master_shard_summary_age_seconds", `shard="`+strconv.Itoa(s)+`"`, m.shardFresh.AgeSeconds(s, nowNs))
+		}
+	}
 }

@@ -151,6 +151,20 @@ type NodeOptions struct {
 	// fast polling periods do not misclassify briefly-slow nodes as
 	// failed (default 100 ms, the old hard-coded minimum).
 	PollDeadlineFloor time.Duration
+	// Shards partitions the slave fleet across the master tier: master i
+	// of Masters owns shard i, polls only its members, and spills shed
+	// dynamics to remote shards via gossiped summaries (see shard.go).
+	// 0 or 1 keeps the unsharded single-view master, byte-identical to
+	// the pre-sharding behavior. Values > 1 must equal len(Masters).
+	Shards int
+	// ShardMapMode picks the partition function: core.ShardHash
+	// (consistent-hash ring, the default) or core.ShardStatic
+	// (position-modulo).
+	ShardMapMode string
+	// GossipEvery is the master↔master /shard pull period (default
+	// 4×LoadRefresh — deliberately slow; piggybacked summaries are the
+	// fast path).
+	GossipEvery time.Duration
 }
 
 // Validate reports option errors. Master-only fields are checked only
@@ -188,6 +202,19 @@ func (o NodeOptions) Validate(master bool) error {
 				return fmt.Errorf("httpcluster: tier lists node %d outside NodeURLs (len %d)", id, len(o.NodeURLs))
 			}
 		}
+	}
+	if o.Shards > 1 {
+		if o.Shards != len(o.Masters) {
+			return fmt.Errorf("httpcluster: %d shards need exactly that many masters (have %d)", o.Shards, len(o.Masters))
+		}
+		switch o.ShardMapMode {
+		case "", core.ShardHash, core.ShardStatic:
+		default:
+			return fmt.Errorf("httpcluster: unknown shard map mode %q", o.ShardMapMode)
+		}
+	}
+	if o.GossipEvery < 0 {
+		return fmt.Errorf("httpcluster: negative gossip period %v", o.GossipEvery)
 	}
 	return nil
 }
@@ -286,9 +313,49 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 		}
 	}
 	m.SetNodeURL(o.ID, m.URL)
+
+	// The scheduling view: the whole cluster when unsharded, this
+	// master's own shard (itself plus its shard's slaves) when sharded —
+	// the tier lists are shared by every snapshot generation, so they
+	// bound the placement, breaker-filter and shed scans to O(shard).
+	viewMasters := append([]int(nil), o.Masters...)
+	viewSlaves := append([]int(nil), o.Slaves...)
+	if o.Shards > 1 {
+		mode := o.ShardMapMode
+		sm, err := core.NewShardMap(mode, o.Shards, o.Slaves)
+		if err != nil {
+			return nil, err
+		}
+		myShard := -1
+		for i, id := range o.Masters {
+			if id == o.ID {
+				myShard = i
+				break
+			}
+		}
+		if myShard < 0 {
+			return nil, fmt.Errorf("httpcluster: sharded master %d not in Masters %v", o.ID, o.Masters)
+		}
+		m.shardMap = sm
+		m.shard = myShard
+		m.shardOwners = append([]int(nil), o.Masters...)
+		m.gossipEvery = o.GossipEvery
+		if m.gossipEvery <= 0 {
+			m.gossipEvery = 4 * o.LoadRefresh
+		}
+		m.summaryTTL = 3 * m.gossipEvery
+		m.shardSums = make([]shardSumSlot, o.Shards)
+		m.shardFresh = obs.NewFreshness(o.Shards)
+		viewMasters = []int{o.ID}
+		viewSlaves = append([]int(nil), sm.Members(myShard)...)
+	}
+	// pollSet: the nodes this master samples each round — its view plus
+	// itself (the view already contains it as a master).
+	m.pollSet = append(append([]int(nil), viewMasters...), viewSlaves...)
+
 	initial := core.View{
-		Masters: append([]int(nil), o.Masters...),
-		Slaves:  append([]int(nil), o.Slaves...),
+		Masters: viewMasters,
+		Slaves:  viewSlaves,
 		Load:    make([]core.Load, len(o.NodeURLs)),
 	}
 	for i := range initial.Load {
@@ -297,17 +364,30 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 	// Prime the policy once so adaptive state (θ₂ in particular) reflects
 	// the configured topology before the first ticker fires — and so a
 	// /metrics scrape of a fresh master reports the topology-derived cap
-	// rather than a placeholder.
+	// rather than a placeholder. Sharded masters prime against their own
+	// shard: the reservation becomes a per-shard control loop.
 	m.policy.Tick(0, &initial)
 	// Publish generation 1; the zero workEpoch forces the first placement
 	// to seed its working copy from this snapshot.
-	m.snap.Store(&loadSnapshot{epoch: 1, at: time.Now().UnixNano(), view: initial})
+	m.snap.Store(&loadSnapshot{
+		epoch:  1,
+		at:     time.Now().UnixNano(),
+		atNode: make([]int64, len(o.NodeURLs)),
+		view:   initial,
+	})
+	if m.shardMap != nil {
+		// Publish the first own-shard stamp immediately so /shard and the
+		// response piggyback are live before the first poll round.
+		m.rebuildShardStamp(m.snap.Load())
+	}
+	m.serveClientFrames = m.runFrameReqs
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/req", m.handleRequest)
 	mux.HandleFunc("/exec", m.handleExec)
 	mux.HandleFunc("/frame", m.handleFrame)
 	mux.HandleFunc("/load", m.handleLoad)
+	mux.HandleFunc("/shard", m.handleShard)
 	mux.HandleFunc("/stats", m.handleStats)
 	mux.HandleFunc("/metrics", m.handleMetrics)
 	m.serve(mux)
@@ -315,5 +395,9 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 	m.wg.Add(2)
 	go m.pollLoop(o.LoadRefresh)
 	go m.tickLoop(o.PolicyTick)
+	if m.shardMap != nil {
+		m.wg.Add(1)
+		go m.gossipLoop(m.gossipEvery)
+	}
 	return m, nil
 }

@@ -75,9 +75,14 @@ func (n *Node) refreshLoadStamp() *loadStamp {
 
 // attachLoadHeader piggybacks the node's load report onto a response.
 // Direct map assignment of the cached slice: no []string allocation,
-// unlike Header().Set.
+// unlike Header().Set. Sharded masters additionally attach their
+// own-shard summary stamp (nil pointer everywhere else — one atomic
+// load and a branch).
 func (n *Node) attachLoadHeader(h http.Header) {
 	h[LoadHeader] = n.currentLoad().hdr
+	if s := n.shardWire.Load(); s != nil {
+		h[ShardHeader] = s.hdr
+	}
 }
 
 // piggySlot is a master's mailbox for one node's piggybacked reports.
@@ -133,12 +138,15 @@ func (m *Master) peekPiggy(id int) (core.Load, int64) {
 
 // applyPiggy overlays piggybacked reports newer than what the working
 // view already reflects. Callers hold placeMu. epochMoved means the
-// working view was just re-seeded from a snapshot published at snapAt:
-// applied-at floors reset to snapAt so reports newer than the snapshot
-// are re-applied (the copy wiped them) and reports older than it are
-// not (the poll is fresher). Steady state with no new reports is one
-// atomic load.
-func (m *Master) applyPiggy(epochMoved bool, snapAt int64) {
+// working view was just re-seeded from snapshot s: each node's
+// applied-at floor resets to that node's own sample time (s.atNode),
+// NOT the snapshot publish time — a report that arrives mid-round is
+// older than the publish stamp yet fresher than the node's actual
+// sample, and flooring at publish time would silently drop it on every
+// epoch move (reordered-report race). Reports newer than the floor are
+// re-applied (the copy wiped them); older ones are not (the poll is
+// fresher). Steady state with no new reports is one atomic load.
+func (m *Master) applyPiggy(epochMoved bool, s *loadSnapshot) {
 	if len(m.piggy) == 0 {
 		return
 	}
@@ -149,7 +157,11 @@ func (m *Master) applyPiggy(epochMoved bool, snapAt int64) {
 	m.piggyApplied = v
 	for id := range m.piggy {
 		if epochMoved {
-			m.piggyAppliedAt[id] = snapAt
+			floor := s.at
+			if id < len(s.atNode) {
+				floor = s.atNode[id]
+			}
+			m.piggyAppliedAt[id] = floor
 		}
 		l, at := m.peekPiggy(id)
 		if at > m.piggyAppliedAt[id] {

@@ -84,7 +84,8 @@ func TestPollSkipsFreshPiggyback(t *testing.T) {
 	polled := n.Executed()
 	reports := make([]core.Load, len(m.urls))
 	fetched := make([]bool, len(m.urls))
-	m.pollOnce(time.Hour, reports, fetched)
+	fetchedAt := make([]int64, len(m.urls))
+	m.pollOnce(time.Hour, reports, fetched, fetchedAt)
 	if m.pollSkipped.Load() != 1 {
 		t.Fatalf("poll_skipped=%d, want 1", m.pollSkipped.Load())
 	}
@@ -99,7 +100,7 @@ func TestPollSkipsFreshPiggyback(t *testing.T) {
 	m.piggy[1].mu.Lock()
 	m.piggy[1].at -= int64(2 * time.Millisecond)
 	m.piggy[1].mu.Unlock()
-	m.pollOnce(time.Millisecond, reports, fetched)
+	m.pollOnce(time.Millisecond, reports, fetched, fetchedAt)
 	if m.pollSkipped.Load() != 1 {
 		t.Fatalf("stale slot still skipped (poll_skipped=%d)", m.pollSkipped.Load())
 	}

@@ -64,6 +64,17 @@ type Node struct {
 	// stamp caches the node's piggybacked load report (see piggyback.go).
 	stamp atomic.Pointer[loadStamp]
 
+	// shardWire is the own-shard summary a sharded master piggybacks on
+	// its responses and serves at /shard (see shard.go). Always nil on
+	// slaves and unsharded masters, so the plain data plane pays one
+	// atomic load and a branch.
+	shardWire atomic.Pointer[shardStamp]
+
+	// serveClientFrames, when set (masters only), serves client-request
+	// ('Q') frames through the master's full /req pipeline; nil nodes
+	// refuse the frame kind.
+	serveClientFrames func(reqs []frameReq, statuses []int)
+
 	// Hijacked binary-frame connections, invisible to srv.Shutdown, are
 	// tracked here so Shutdown can close them (see frame.go).
 	frameMu     sync.Mutex
@@ -281,8 +292,15 @@ func (n *Node) Shutdown() {
 // published snapshots, so no lock covers the view.
 type loadSnapshot struct {
 	epoch uint64
-	at    int64 // unixnano publish time; piggybacked reports newer than this overlay it
-	view  core.View
+	at    int64 // unixnano publish time
+	// atNode stamps when each node's load column was actually sampled:
+	// fetch completion for polled nodes, piggyback receipt for nodes the
+	// poller skipped, carried forward for nodes the round never reached.
+	// The piggyback overlay compares against these — not the publish
+	// time — so a report that arrives mid-round (older than publish,
+	// newer than its node's sample) survives the epoch move.
+	atNode []int64
+	view   core.View
 }
 
 // Master is a level-I node: it serves client requests, executes statics
@@ -334,6 +352,30 @@ type Master struct {
 	// marks, guarded by placeMu.
 	piggyApplied   uint64
 	piggyAppliedAt []int64
+
+	// Sharded control plane (see shard.go; nil shardMap = unsharded).
+	// pollSet is the node set this master polls each round: every node
+	// when unsharded, its own shard's slaves plus itself when sharded —
+	// the O(shard) bound on per-tick fan-out work.
+	shardMap    *core.ShardMap
+	shard       int   // own shard index (== position in the master list)
+	shardOwners []int // shard index → owning master's node id
+	pollSet     []int
+	gossipEvery time.Duration
+	summaryTTL  time.Duration // spill candidates ignore older summaries
+	// shardSums holds the freshest summary per remote shard; shardFresh
+	// stamps receipt times behind the per-shard staleness gauge. ownSum
+	// is the poll loop's build scratch for this master's own summary.
+	shardSums  []shardSumSlot
+	shardFresh *obs.Freshness
+	ownSum     core.ShardSummary
+	quality    obs.PlacementQuality
+	gossipRx   atomic.Int64
+	// spillView is the synthesized remote view handed to PlaceRemote:
+	// cluster-sized load array, candidate list rebuilt per spill from
+	// fresh summary digests. Guarded by placeMu.
+	spillView  core.View
+	spillCands []int
 
 	// frames is the binary-framing client (nil = transport disabled);
 	// batchWindow/batchMax configure batched dispatch over it.
@@ -437,7 +479,7 @@ func (m *Master) refreshWorkView() {
 	// Overlay piggybacked reports fresher than what the view reflects,
 	// so placement sees every response's load sample, not just the last
 	// poll round's.
-	m.applyPiggy(epochMoved, s.at)
+	m.applyPiggy(epochMoved, s)
 	now := time.Now().UnixNano()
 	live := func(id int) bool {
 		// The master itself is always placeable (last-resort local run).
@@ -519,10 +561,11 @@ func (m *Master) nodeURL(id int) string {
 	return ""
 }
 
-// pollLoop refreshes the load view from every node's /load endpoint.
-// Each round fans out one fetch goroutine per node under a shared
-// deadline (the polling period), so one slow or dead node delays the
-// snapshot swap by at most the period instead of serializing behind
+// pollLoop refreshes the load view from the poll set's /load endpoints
+// — every node when unsharded, this master's own shard when sharded.
+// Each round fans out one fetch goroutine per polled node under a
+// shared deadline (the polling period), so one slow or dead node delays
+// the snapshot swap by at most the period instead of serializing behind
 // every other fetch.
 func (m *Master) pollLoop(every time.Duration) {
 	defer m.wg.Done()
@@ -530,21 +573,25 @@ func (m *Master) pollLoop(every time.Duration) {
 	defer t.Stop()
 	reports := make([]core.Load, len(m.urls))
 	fetched := make([]bool, len(m.urls))
+	fetchedAt := make([]int64, len(m.urls))
 	for {
 		select {
 		case <-m.stop:
 			return
 		case <-t.C:
-			m.pollOnce(every, reports, fetched)
+			m.pollOnce(every, reports, fetched, fetchedAt)
 		}
 	}
 }
 
-// pollOnce runs one fan-out poll round and publishes the next snapshot.
-// Nodes whose piggybacked report is younger than the poll period are
-// not polled again — the report stands in for the fetch, saving the
-// connection (the poller is the fallback, piggybacking the fast path).
-func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []bool) {
+// pollOnce runs one fan-out poll round over m.pollSet and publishes the
+// next snapshot. Nodes whose piggybacked report is younger than the
+// poll period are not polled again — the report stands in for the
+// fetch, saving the connection (the poller is the fallback,
+// piggybacking the fast path). fetchedAt records each sampled node's
+// actual sample time (piggyback receipt or fetch completion), which
+// becomes the snapshot's per-node atNode stamp.
+func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []bool, fetchedAt []int64) {
 	deadline := period
 	if deadline < m.pollFloor {
 		// Floor the shared fetch deadline: with very fast polling periods
@@ -558,7 +605,7 @@ func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []b
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	var wg sync.WaitGroup
-	for id := range m.urls {
+	for _, id := range m.pollSet {
 		fetched[id] = false
 		base := m.nodeURL(id)
 		if base == "" {
@@ -568,6 +615,7 @@ func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []b
 			if l, at := m.peekPiggy(id); at > 0 && now-at < int64(period) {
 				reports[id] = l
 				fetched[id] = true
+				fetchedAt[id] = at
 				m.pollSkipped.Add(1)
 				continue
 			}
@@ -580,9 +628,11 @@ func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []b
 				m.brk.PollFailure(id, time.Now().UnixNano())
 				return
 			}
+			sampled := time.Now().UnixNano()
 			reports[id] = rep
 			fetched[id] = true
-			m.fresh.Touch(id, time.Now().UnixNano())
+			fetchedAt[id] = sampled
+			m.fresh.Touch(id, sampled)
 		}(id, base)
 	}
 	wg.Wait()
@@ -590,8 +640,9 @@ func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []b
 	m.brk.rotate()
 
 	next := &loadSnapshot{
-		epoch: prev.epoch + 1,
-		at:    time.Now().UnixNano(),
+		epoch:  prev.epoch + 1,
+		at:     time.Now().UnixNano(),
+		atNode: make([]int64, len(reports)),
 		view: core.View{
 			// Role lists are immutable across snapshots and shared.
 			Masters:  prev.view.Masters,
@@ -600,6 +651,8 @@ func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []b
 			Load:     append([]core.Load(nil), prev.view.Load...),
 		},
 	}
+	// Un-polled nodes carry their previous sample stamp forward.
+	copy(next.atNode, prev.atNode)
 	for id := range reports {
 		if !fetched[id] {
 			continue
@@ -611,9 +664,15 @@ func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []b
 			rep.Speed = next.view.Load[id].Speed
 		}
 		next.view.Load[id] = rep
+		next.atNode[id] = fetchedAt[id]
 		m.brk.PollSuccess(id) // node answers again
 	}
 	m.snap.Store(next)
+	if m.shardMap != nil {
+		// Slow path (once per poll round): refresh the own-shard summary
+		// stamp that responses piggyback and /shard serves.
+		m.rebuildShardStamp(next)
+	}
 }
 
 // fetchLoad polls one node, preferring the compact wire format and
@@ -701,7 +760,8 @@ func (m *Master) reqDeadline(start time.Time, req *http.Request) time.Time {
 //
 // Every accepted request reaches exactly one terminal outcome: 2xx
 // (served), 503 + Retry-After (shed by overload protection), or 502
-// (retry budget / deadline exhausted).
+// (retry budget / deadline exhausted). The outcome logic lives in
+// serveReq, shared with the binary client-frame transport.
 func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 	p := parseReqQuery(req.URL.RawQuery)
 	if !p.demandOK || p.demand < 0 {
@@ -712,8 +772,25 @@ func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "bad w", http.StatusBadRequest)
 		return
 	}
-
 	start := time.Now()
+	status, retryAfter := m.serveReq(p, start, m.reqDeadline(start, req))
+	switch status {
+	case 0:
+		m.attachLoadHeader(rw.Header())
+		writeBody(rw, p.size)
+	case http.StatusServiceUnavailable:
+		rw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		http.Error(rw, "overloaded: request shed", http.StatusServiceUnavailable)
+	default:
+		http.Error(rw, "dynamic request exhausted its retry budget or deadline", status)
+	}
+}
+
+// serveReq runs one accepted client request through admission,
+// execution/dispatch and completion accounting — the transport-neutral
+// core of /req, also driven by 'Q' frames. Returns status 0 (served),
+// 503 with a Retry-After hint (shed), or 502 (exhausted).
+func (m *Master) serveReq(p reqParams, start time.Time, deadline time.Time) (status, retryAfter int) {
 	m.accepted.Add(1)
 	var reqID int64
 	if m.tracer != nil {
@@ -730,25 +807,41 @@ func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 	if limit := m.rs.MaxInflight; limit > 0 {
 		if m.inflight.Add(1) > int64(limit) {
 			m.inflight.Add(-1)
-			m.shedReply(rw, reqID, 1)
-			return
+			m.shedCount.Add(1)
+			m.emit(obs.KindShed, reqID, m.ID, 1)
+			return http.StatusServiceUnavailable, 1
 		}
 		defer m.inflight.Add(-1)
 	}
 
 	if p.class == trace.Static {
 		m.runWork(p.demand, p.w, false)
-	} else {
-		if retryAfter, shed := m.shouldShed(); shed {
-			m.shedReply(rw, reqID, retryAfter)
-			return
+		m.quality.Local.Add(1)
+	} else if ra, shed := m.shouldShed(); shed {
+		// The local shard is saturated. A sharded master first tries to
+		// spill to the best remote shard it knows a fresh summary for;
+		// only when no remote candidate exists (or the spill exhausts its
+		// budget the same way local dispatch would) does the request reach
+		// the shed/exhausted outcome — so sharding never converts a
+		// servable request into a 503.
+		st, attempted := m.spillRemote(p, reqID, deadline)
+		if !attempted {
+			m.shedCount.Add(1)
+			m.emit(obs.KindShed, reqID, m.ID, float64(ra))
+			return http.StatusServiceUnavailable, ra
 		}
-		if status := m.runDynamic(p, reqID, m.reqDeadline(start, req)); status != 0 {
+		if st != 0 {
 			m.exhausted.Add(1)
 			m.emit(obs.KindExhausted, reqID, m.ID, float64(m.rs.RetryBudget))
-			http.Error(rw, "dynamic request exhausted its retry budget or deadline", status)
-			return
+			return st, 0
 		}
+	} else {
+		if st := m.runDynamic(p, reqID, deadline); st != 0 {
+			m.exhausted.Add(1)
+			m.emit(obs.KindExhausted, reqID, m.ID, float64(m.rs.RetryBudget))
+			return st, 0
+		}
+		m.quality.Local.Add(1)
 	}
 	// Feed the reservation estimators with the server-side response
 	// time, normalized back to unscaled seconds.
@@ -759,17 +852,7 @@ func (m *Master) handleRequest(rw http.ResponseWriter, req *http.Request) {
 	m.placeMu.Unlock()
 	m.served.Add(1)
 	m.emit(obs.KindComplete, reqID, m.ID, resp)
-
-	m.attachLoadHeader(rw.Header())
-	writeBody(rw, p.size)
-}
-
-// shedReply refuses a request with 503 + Retry-After.
-func (m *Master) shedReply(rw http.ResponseWriter, reqID int64, retryAfter int) {
-	m.shedCount.Add(1)
-	m.emit(obs.KindShed, reqID, m.ID, float64(retryAfter))
-	rw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-	http.Error(rw, "overloaded: request shed", http.StatusServiceUnavailable)
+	return 0, 0
 }
 
 // shouldShed decides whether a dynamic request must be shed instead of
@@ -784,9 +867,11 @@ func (m *Master) shouldShed() (retryAfter int, shed bool) {
 		return 0, false
 	}
 	s := m.snap.Load()
-	if len(s.view.Slaves) == 0 {
+	if len(s.view.Slaves) == 0 && m.shardMap == nil {
 		// Single-tier (M/S-1-style) deployments have no degraded regime
-		// to protect; locals are the design, not a fallback.
+		// to protect; locals are the design, not a fallback. A sharded
+		// master that drew an empty shard is different: its peers have
+		// slaves, so overload should shed here and spill there.
 		return 0, false
 	}
 	now := time.Now().UnixNano()
@@ -1051,6 +1136,7 @@ func (m *Master) forward(target int, p reqParams, deadline time.Time) error {
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
 	resp.Body.Close()
 	m.storePiggyHeader(target, resp.Header)
+	m.storeShardHeader(resp.Header)
 	switch resp.StatusCode {
 	case http.StatusOK:
 		return nil

@@ -1,0 +1,16 @@
+package obs
+
+import "sync/atomic"
+
+// PlacementQuality counts where a master's requests ended up — the
+// observable behind the sharded control plane's placement-quality
+// gauges. Local counts requests served within the master's own view
+// (its shard, or the whole cluster when unsharded); Spilled counts
+// dynamics served by a remote shard after the local one shed; and
+// SpillFailed counts spill dispatch attempts that erred. All fields are
+// independent atomics: writers are hot paths, readers are /metrics.
+type PlacementQuality struct {
+	Local       atomic.Int64
+	Spilled     atomic.Int64
+	SpillFailed atomic.Int64
+}

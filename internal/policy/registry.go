@@ -80,6 +80,13 @@ var presets = []Preset{
 				Routing: core.NewCMuRouting(seed), WTable: wt,
 			})
 		}},
+	{"balanced", "balanced fairness (Bonald & Comte): least bottleneck occupancy per unit speed", true,
+		func(wt core.WTable, seed int64) core.Policy {
+			return core.NewPipeline(core.PipelineConfig{
+				Name: "Balanced", Admission: core.NewOpenAdmission(),
+				Routing: core.NewBalancedRouting(seed), WTable: wt,
+			})
+		}},
 	{"greedy-rsrc", "greedy min-RSRC: no reservation, no sampling, no booking", true,
 		func(wt core.WTable, seed int64) core.Policy {
 			return core.NewPipeline(core.PipelineConfig{
@@ -156,7 +163,7 @@ func Admissions() []string {
 // Routings lists the registered routing-stage names (jsqD stands for any
 // small d, e.g. jsq2, jsq5).
 func Routings() []string {
-	return []string{core.RoutingRSRC, "jsqD", core.RoutingMaxWeight, core.RoutingCMu, core.RoutingRandom, core.RoutingScorers}
+	return []string{core.RoutingRSRC, "jsqD", core.RoutingMaxWeight, core.RoutingCMu, core.RoutingBalanced, core.RoutingRandom, core.RoutingScorers}
 }
 
 // ScorerNames lists the registered scorer names.
@@ -186,6 +193,8 @@ func buildRouting(name, scorers string, seed int64) (core.RoutingPolicy, error) 
 		return core.NewMaxWeightRouting(seed), nil
 	case name == core.RoutingCMu:
 		return core.NewCMuRouting(seed), nil
+	case name == core.RoutingBalanced:
+		return core.NewBalancedRouting(seed), nil
 	case name == core.RoutingRandom:
 		return core.NewRandomRouting(seed), nil
 	case name == core.RoutingScorers:

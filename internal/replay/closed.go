@@ -39,6 +39,11 @@ func RunClosed(ctx context.Context, masterURLs []string, sessions []workload.Ses
 		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
 		Timeout:   opts.Timeout,
 	}
+	var frames *framePool
+	if opts.Frames {
+		frames = newFramePool(opts.Timeout)
+		defer frames.close()
+	}
 
 	var (
 		mu        sync.Mutex
@@ -62,24 +67,29 @@ func RunClosed(ctx context.Context, masterURLs []string, sessions []workload.Ses
 			if ctx.Err() != nil {
 				return
 			}
-			cls := "s"
-			if req.Class == trace.Dynamic {
-				cls = "d"
-			}
-			url := fmt.Sprintf("%s/req?class=%s&demand=%g&w=%g&script=%d&size=%d",
-				master, cls, req.Demand, req.CPUWeight, req.Script, req.Size)
+			var ok bool
 			t0 := time.Now()
-			resp, err := client.Get(url)
-			var got int64
-			if resp != nil {
-				got, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+			if frames != nil {
+				ok, _ = frames.do(master, req)
+			} else {
+				cls := "s"
+				if req.Class == trace.Dynamic {
+					cls = "d"
+				}
+				url := fmt.Sprintf("%s/req?class=%s&demand=%g&w=%g&script=%d&size=%d",
+					master, cls, req.Demand, req.CPUWeight, req.Script, req.Size)
+				resp, err := client.Get(url)
+				var got int64
+				if resp != nil {
+					got, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				ok = err == nil && resp.StatusCode == http.StatusOK
+				if ok && req.Size > 0 && got != req.Size {
+					ok = false
+				}
 			}
 			elapsed := time.Since(t0)
-			ok := err == nil && resp.StatusCode == http.StatusOK
-			if ok && req.Size > 0 && got != req.Size {
-				ok = false
-			}
 			mu.Lock()
 			sent++
 			if ok {

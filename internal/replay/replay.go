@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"msweb/internal/httpcluster"
 	"msweb/internal/metrics"
 	"msweb/internal/trace"
 )
@@ -28,6 +29,71 @@ type Options struct {
 	Timeout time.Duration
 	// Concurrency caps in-flight requests (0 = unlimited).
 	Concurrency int
+	// Frames sends requests as 'Q' frames over persistent msweb-frame/1
+	// connections instead of HTTP GET /req — no request parse, no header
+	// map, no response body (statuses only, so Size verification does not
+	// apply). The masters must speak the frame protocol.
+	Frames bool
+}
+
+// framePool shares persistent frame connections per master across the
+// driver's request goroutines.
+type framePool struct {
+	timeout time.Duration
+	mu      sync.Mutex
+	idle    map[string][]*httpcluster.FrameClient
+}
+
+func newFramePool(timeout time.Duration) *framePool {
+	return &framePool{timeout: timeout, idle: make(map[string][]*httpcluster.FrameClient)}
+}
+
+func (p *framePool) get(master string) (*httpcluster.FrameClient, error) {
+	p.mu.Lock()
+	if cs := p.idle[master]; len(cs) > 0 {
+		fc := cs[len(cs)-1]
+		p.idle[master] = cs[:len(cs)-1]
+		p.mu.Unlock()
+		return fc, nil
+	}
+	p.mu.Unlock()
+	return httpcluster.DialFrame(master, p.timeout)
+}
+
+func (p *framePool) put(master string, fc *httpcluster.FrameClient) {
+	p.mu.Lock()
+	p.idle[master] = append(p.idle[master], fc)
+	p.mu.Unlock()
+}
+
+func (p *framePool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, cs := range p.idle {
+		for _, fc := range cs {
+			fc.Close()
+		}
+	}
+	p.idle = nil
+}
+
+// do sends one request on a pooled connection; a transport error drops
+// the connection (the next get dials fresh).
+func (p *framePool) do(master string, req trace.Request) (ok bool, err error) {
+	fc, err := p.get(master)
+	if err != nil {
+		return false, err
+	}
+	sts, err := fc.Do([]httpcluster.FrameRequest{{
+		Demand: req.Demand, W: req.CPUWeight, Script: req.Script,
+		Dynamic: req.Class == trace.Dynamic, Idem: true,
+	}}, time.Now().Add(p.timeout))
+	if err != nil {
+		fc.Close()
+		return false, err
+	}
+	p.put(master, fc)
+	return sts[0] == http.StatusOK, nil
 }
 
 // DefaultOptions replays in real time.
@@ -65,6 +131,11 @@ func Run(ctx context.Context, masterURLs []string, tr *trace.Trace, opts Options
 	client := &http.Client{
 		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
 		Timeout:   opts.Timeout,
+	}
+	var frames *framePool
+	if opts.Frames {
+		frames = newFramePool(opts.Timeout)
+		defer frames.close()
 	}
 
 	var (
@@ -110,24 +181,29 @@ func Run(ctx context.Context, masterURLs []string, tr *trace.Trace, opts Options
 			if gate != nil {
 				defer func() { <-gate }()
 			}
-			cls := "s"
-			if req.Class == trace.Dynamic {
-				cls = "d"
-			}
-			url := fmt.Sprintf("%s/req?class=%s&demand=%g&w=%g&script=%d&size=%d",
-				master, cls, req.Demand, req.CPUWeight, req.Script, req.Size)
+			var ok bool
 			t0 := time.Now()
-			resp, err := client.Get(url)
-			var got int64
-			if resp != nil {
-				got, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+			if frames != nil {
+				ok, _ = frames.do(master, req)
+			} else {
+				cls := "s"
+				if req.Class == trace.Dynamic {
+					cls = "d"
+				}
+				url := fmt.Sprintf("%s/req?class=%s&demand=%g&w=%g&script=%d&size=%d",
+					master, cls, req.Demand, req.CPUWeight, req.Script, req.Size)
+				resp, err := client.Get(url)
+				var got int64
+				if resp != nil {
+					got, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				ok = err == nil && resp.StatusCode == http.StatusOK
+				if ok && req.Size > 0 && got != req.Size {
+					ok = false // truncated or padded body: count as failure
+				}
 			}
 			elapsed := time.Since(t0)
-			ok := err == nil && resp.StatusCode == http.StatusOK
-			if ok && req.Size > 0 && got != req.Size {
-				ok = false // truncated or padded body: count as failure
-			}
 			mu.Lock()
 			defer mu.Unlock()
 			if !ok {

@@ -72,6 +72,33 @@ func TestReplayRoundRobinAcrossMasters(t *testing.T) {
 	}
 }
 
+// The frame drive mode replays the same trace over persistent 'Q'
+// frames instead of HTTP GETs: same completions, same counters on the
+// cluster side, no response bodies to verify.
+func TestReplayOverFrames(t *testing.T) {
+	c := startTestCluster(t, 2, 4, 0.25)
+	tr, err := trace.Generate(trace.GenConfig{
+		Profile: trace.KSU, Lambda: 40, Requests: 60, MuH: 110, R: 1.0 / 40, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), c.MasterURLs(), tr,
+		Options{TimeScale: 0.25, Timeout: time.Minute, Frames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d requests failed over frames", res.Failed)
+	}
+	if res.Summary.Count != 60 {
+		t.Fatalf("collected %d samples, want 60", res.Summary.Count)
+	}
+	if got := c.Masters[0].Accepted() + c.Masters[1].Accepted(); got != 60 {
+		t.Fatalf("masters accepted %d requests, want 60", got)
+	}
+}
+
 func TestReplayEmptyTrace(t *testing.T) {
 	c := startTestCluster(t, 1, 2, 0.25)
 	res, err := Run(context.Background(), c.MasterURLs(), &trace.Trace{Name: "empty"}, DefaultOptions())
