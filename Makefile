@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench benchdiff loadbench tournament experiments csv clean help
+.PHONY: all build vet lint test test-short race check bench benchdiff loadbench scalebench tournament experiments csv clean help
 
 all: build vet test
 
@@ -22,6 +22,11 @@ help:
 	@echo "  loadbench   live-cluster load generation (closed + open loop via"
 	@echo "              cmd/loadgen) folded into BENCH_results.json with the"
 	@echo "              microbenchmarks and baseline deltas"
+	@echo "  scalebench  cores→throughput scaling sweep: the frame-native client"
+	@echo "              drives a fast-mode cluster with SO_REUSEPORT-sharded"
+	@echo "              listeners at each GOMAXPROCS width; the curve (and its"
+	@echo "              parallel efficiency) lands in BENCH_results.json as a"
+	@echo "              scaling section (widths beyond this machine are skipped)"
 	@echo "  tournament  head-to-head policy comparison on both planes: the"
 	@echo "              simulator grid (msbench) and a live loadgen sweep,"
 	@echo "              folded into BENCH_results.json as a Tournament section"
@@ -105,6 +110,22 @@ loadbench:
 	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
 			-live results/live_closed.json,results/live_open.json,results/live_chaos.json,results/live_fast.json,results/live_sharded.json > BENCH_results.json
+
+# Multi-core scaling harness: the frame-native client ('Q' frames over
+# persistent connections) drives a fast-mode cluster with
+# SO_REUSEPORT-sharded listeners, replaying the closed-loop benchmark at
+# each GOMAXPROCS width in -scaling-sweep. benchjson folds the summary's
+# cores→aggregate-req/s curve into BENCH_results.json as a scaling
+# section with speedup and parallel efficiency per point; widths this
+# machine cannot provide are reported as skipped, never failed.
+scalebench:
+	@mkdir -p results
+	$(GO) run ./cmd/loadgen -mode closed -concurrency 16 -n 20000 \
+		-nodes 3 -masters 1 -fast -frame -frame-client -listener-shards 2 \
+		-scaling-sweep 1,2,4 -out results/live_scaling.json
+	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
+			-live results/live_scaling.json > BENCH_results.json
 
 # Head-to-head policy comparison: every registered competitor replays
 # identical traces through the simulator grid (CSV lands in

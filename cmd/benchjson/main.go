@@ -57,16 +57,45 @@ type Report struct {
 	Goarch string `json:"goarch,omitempty"`
 	Pkg    string `json:"pkg,omitempty"`
 	CPU    string `json:"cpu,omitempty"`
-	// ReqSPerCore is the headline figure: the best per-core throughput
-	// among the folded-in fast-mode (uncalibrated) loadgen runs, where
-	// the data plane itself is the bottleneck rather than emulated
-	// service times.
+	// ReqS is the aggregate-throughput headline: the best whole-process
+	// req/s among the folded-in fast-mode (uncalibrated) loadgen runs.
+	// On a multi-core run this is the number that matters; ReqSPerCore
+	// remains the cross-machine normalizer (best per-core throughput
+	// among the same runs, where the data plane itself is the bottleneck
+	// rather than emulated service times).
+	ReqS        float64            `json:"req_s,omitempty"`
 	ReqSPerCore float64            `json:"req_s_per_core,omitempty"`
 	Results     []Result           `json:"results"`
 	Live        []Result           `json:"live,omitempty"`
+	Scaling     *ScalingReport     `json:"scaling,omitempty"`
 	Tournament  []TournamentResult `json:"tournament,omitempty"`
 	Baseline    []Result           `json:"baseline,omitempty"`
 	Deltas      []Delta            `json:"deltas,omitempty"`
+}
+
+// ScalingReport is the cores→throughput curve folded in from a loadgen
+// -scaling-sweep summary, with speedup and parallel efficiency computed
+// relative to the narrowest completed point.
+type ScalingReport struct {
+	Points []ScalingResult `json:"points"`
+	// PeakCores/PeakReqS locate the best completed point;
+	// ParallelEfficiency is the widest completed point's speedup over
+	// the narrowest, divided by the core ratio (1.0 = perfect scaling).
+	PeakCores          int     `json:"peak_cores,omitempty"`
+	PeakReqS           float64 `json:"peak_req_s,omitempty"`
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
+}
+
+// ScalingResult is one width of the sweep.
+type ScalingResult struct {
+	Cores       int     `json:"cores"`
+	Skipped     bool    `json:"skipped,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
+	ReqS        float64 `json:"req_s,omitempty"`
+	ReqSPerCore float64 `json:"req_s_per_core,omitempty"`
+	P99S        float64 `json:"p99_s,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	Efficiency  float64 `json:"efficiency,omitempty"`
 }
 
 // TournamentResult is one (profile, load, policy) cell of the policy
@@ -133,6 +162,7 @@ type liveSummary struct {
 	Profile       string  `json:"profile"`
 	Fast          bool    `json:"fast"`
 	Frame         bool    `json:"frame"`
+	FrameClient   bool    `json:"frame_client"`
 	Shards        int     `json:"shards"`
 	Sent          int64   `json:"sent"`
 	OK            int64   `json:"ok"`
@@ -142,6 +172,14 @@ type liveSummary struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 	Cores         int     `json:"cores"`
 	ReqSPerCore   float64 `json:"req_s_per_core"`
+	Scaling       []struct {
+		Cores       int     `json:"cores"`
+		Skipped     bool    `json:"skipped"`
+		Reason      string  `json:"reason"`
+		ReqS        float64 `json:"req_s"`
+		ReqSPerCore float64 `json:"req_s_per_core"`
+		P99S        float64 `json:"p99_s"`
+	} `json:"scaling"`
 	Latency       struct {
 		P50  float64 `json:"p50"`
 		P95  float64 `json:"p95"`
@@ -162,31 +200,54 @@ type liveSummary struct {
 	} `json:"chaos"`
 }
 
+// liveHeadline carries the figures liveResults extracts beyond the
+// per-run records: the per-core and aggregate throughput headlines and
+// the cores→throughput curve of any -scaling-sweep summary.
+type liveHeadline struct {
+	perCore   float64
+	aggregate float64
+	scaling   *ScalingReport
+}
+
 // liveResults converts loadgen summary files into pseudo-benchmark
 // results named LiveCluster/<mode>, with Iterations carrying the
 // request count and the latency quantiles keyed by unit-style names.
 // Fast-mode (uncalibrated) runs are named apart with a /fast suffix and
-// the best of them supplies the report's req_s_per_core headline.
-func liveResults(paths []string) ([]Result, float64, error) {
+// the best of them supplies the report's headlines: req_s (aggregate,
+// the figure that matters on multi-core runs) and req_s_per_core (the
+// cross-machine normalizer).
+func liveResults(paths []string) ([]Result, liveHeadline, error) {
 	var out []Result
-	var headline float64
+	var hl liveHeadline
 	for _, path := range paths {
 		buf, err := os.ReadFile(path)
 		if err != nil {
-			return nil, 0, err
+			return nil, hl, err
 		}
 		var s liveSummary
 		if err := json.Unmarshal(buf, &s); err != nil {
-			return nil, 0, fmt.Errorf("%s: %w", path, err)
+			return nil, hl, fmt.Errorf("%s: %w", path, err)
 		}
 		if s.Mode == "" {
-			return nil, 0, fmt.Errorf("%s: not a loadgen summary (no mode)", path)
+			return nil, hl, fmt.Errorf("%s: not a loadgen summary (no mode)", path)
 		}
 		name := "LiveCluster/" + s.Mode
 		if s.Fast {
 			name += "/fast"
-			if s.ReqSPerCore > headline {
-				headline = s.ReqSPerCore
+			if s.ReqSPerCore > hl.perCore {
+				hl.perCore = s.ReqSPerCore
+			}
+			if s.ThroughputRPS > hl.aggregate {
+				hl.aggregate = s.ThroughputRPS
+			}
+		}
+		if s.FrameClient {
+			name += "/frameclient"
+		}
+		if len(s.Scaling) > 0 {
+			name += "/scaling"
+			if sr := scalingReport(&s); sr != nil {
+				hl.scaling = sr
 			}
 		}
 		// A sharded control plane is a distinct experiment: name it apart
@@ -235,7 +296,40 @@ func liveResults(paths []string) ([]Result, float64, error) {
 		}
 		out = append(out, r)
 	}
-	return out, headline, nil
+	return out, hl, nil
+}
+
+// scalingReport folds one summary's sweep points into the report's
+// scaling section, computing speedup and parallel efficiency relative
+// to the narrowest completed width. Skipped points (widths the machine
+// could not provide) are carried through so the curve keeps the shape
+// the sweep asked for.
+func scalingReport(s *liveSummary) *ScalingReport {
+	sr := &ScalingReport{}
+	baseCores, baseReqS := 0, 0.0
+	for _, p := range s.Scaling {
+		pt := ScalingResult{
+			Cores: p.Cores, Skipped: p.Skipped, Reason: p.Reason,
+			ReqS: p.ReqS, ReqSPerCore: p.ReqSPerCore, P99S: p.P99S,
+		}
+		if !p.Skipped && p.ReqS > 0 {
+			if baseCores == 0 {
+				baseCores, baseReqS = p.Cores, p.ReqS
+			}
+			pt.Speedup = p.ReqS / baseReqS
+			pt.Efficiency = pt.Speedup / (float64(p.Cores) / float64(baseCores))
+			if p.ReqS > sr.PeakReqS {
+				sr.PeakCores, sr.PeakReqS = p.Cores, p.ReqS
+			}
+			// The widest completed point's efficiency is the headline.
+			sr.ParallelEfficiency = pt.Efficiency
+		}
+		sr.Points = append(sr.Points, pt)
+	}
+	if baseCores == 0 {
+		return nil // every point skipped: no curve to report
+	}
+	return sr
 }
 
 // Delta compares one benchmark between the baseline and current runs.
@@ -270,13 +364,15 @@ func main() {
 		rep.Tournament = tr
 	}
 	if *live != "" {
-		lr, headline, err := liveResults(strings.Split(*live, ","))
+		lr, hl, err := liveResults(strings.Split(*live, ","))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 		rep.Live = lr
-		rep.ReqSPerCore = headline
+		rep.ReqSPerCore = hl.perCore
+		rep.ReqS = hl.aggregate
+		rep.Scaling = hl.scaling
 	}
 	if *baseline != "" {
 		f, err := os.Open(*baseline)

@@ -122,8 +122,11 @@ func TestLiveResults(t *testing.T) {
 	if fr.Metrics["req_s_per_core"] != 23000 || fr.Metrics["cores"] != 1 || fr.Metrics["frame"] != 1 {
 		t.Fatalf("fast metrics mis-folded: %+v", fr.Metrics)
 	}
-	if headline != 23000 {
-		t.Fatalf("req_s_per_core headline %v, want 23000", headline)
+	if headline.perCore != 23000 {
+		t.Fatalf("req_s_per_core headline %v, want 23000", headline.perCore)
+	}
+	if headline.aggregate != 23000 {
+		t.Fatalf("req_s aggregate headline %v, want 23000", headline.aggregate)
 	}
 
 	bad := filepath.Join(dir, "bad.json")
@@ -133,6 +136,64 @@ func TestLiveResults(t *testing.T) {
 	}
 	if _, _, err := liveResults([]string{filepath.Join(dir, "missing.json")}); err == nil {
 		t.Fatal("accepted a missing file")
+	}
+}
+
+func TestScalingFold(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scaling.json")
+	os.WriteFile(path, []byte(`{
+		"mode": "closed", "fast": true, "frame_client": true,
+		"sent": 800, "ok": 800, "errors": 0,
+		"throughput_rps": 36000, "req_s": 36000, "cores": 2, "req_s_per_core": 18000,
+		"latency": {"p99": 0.001},
+		"scaling": [
+			{"cores": 1, "ok": 400, "req_s": 20000, "req_s_per_core": 20000, "p99_s": 0.001},
+			{"cores": 2, "ok": 400, "req_s": 36000, "req_s_per_core": 18000, "p99_s": 0.0012},
+			{"cores": 4, "skipped": true, "reason": "needs 4 procs, machine has 2 CPUs"}
+		]
+	}`), 0o644) //nolint:errcheck
+	rs, hl, err := liveResults([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Name != "LiveCluster/closed/fast/frameclient/scaling" {
+		t.Fatalf("scaling run not named apart: %+v", rs[0])
+	}
+	if hl.aggregate != 36000 {
+		t.Fatalf("aggregate headline %v, want 36000", hl.aggregate)
+	}
+	sr := hl.scaling
+	if sr == nil || len(sr.Points) != 3 {
+		t.Fatalf("scaling report mis-folded: %+v", sr)
+	}
+	if sr.PeakCores != 2 || sr.PeakReqS != 36000 {
+		t.Fatalf("peak mis-located: %+v", sr)
+	}
+	// Speedup 36000/20000 = 1.8 at 2× cores → efficiency 0.9.
+	if got := sr.Points[1].Speedup; got < 1.79 || got > 1.81 {
+		t.Fatalf("speedup %v, want 1.8", got)
+	}
+	if got := sr.ParallelEfficiency; got < 0.89 || got > 0.91 {
+		t.Fatalf("parallel efficiency %v, want 0.9", got)
+	}
+	if !sr.Points[2].Skipped || sr.Points[2].Reason == "" {
+		t.Fatalf("skipped point not carried through: %+v", sr.Points[2])
+	}
+
+	// A sweep where every point was skipped (1-CPU box asked for 2,4)
+	// yields no curve, and must not fabricate one.
+	allSkipped := filepath.Join(dir, "skipped.json")
+	os.WriteFile(allSkipped, []byte(`{
+		"mode": "closed", "fast": true,
+		"scaling": [{"cores": 2, "skipped": true, "reason": "x"}]
+	}`), 0o644) //nolint:errcheck
+	_, hl, err = liveResults([]string{allSkipped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl.scaling != nil {
+		t.Fatalf("fabricated a curve from skipped points: %+v", hl.scaling)
 	}
 }
 

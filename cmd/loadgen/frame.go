@@ -1,0 +1,126 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msweb/internal/httpcluster"
+	"msweb/internal/trace"
+)
+
+// framePool hands out persistent 'Q'-frame connections to the target
+// masters — the binary transport's analogue of http.Transport's
+// keep-alive pool. Connections are pooled per target: a worker pops one
+// (dialing fresh when the free list is empty), issues a request, and
+// returns it; transport errors close the connection so the next request
+// redials. Under C concurrent workers the pool converges on at most C
+// connections per target, each with its own reused scratch buffers.
+type framePool struct {
+	targets []string
+	timeout time.Duration
+	mu      sync.Mutex
+	free    [][]*httpcluster.FrameClient
+	dials   atomic.Int64
+}
+
+func newFramePool(targets []string, timeout time.Duration) *framePool {
+	return &framePool{
+		targets: targets,
+		timeout: timeout,
+		free:    make([][]*httpcluster.FrameClient, len(targets)),
+	}
+}
+
+func (p *framePool) get(t int) (*httpcluster.FrameClient, error) {
+	p.mu.Lock()
+	if s := p.free[t]; len(s) > 0 {
+		fc := s[len(s)-1]
+		p.free[t] = s[:len(s)-1]
+		p.mu.Unlock()
+		return fc, nil
+	}
+	p.mu.Unlock()
+	p.dials.Add(1)
+	return httpcluster.DialFrame(p.targets[t], p.timeout)
+}
+
+func (p *framePool) put(t int, fc *httpcluster.FrameClient) {
+	p.mu.Lock()
+	p.free[t] = append(p.free[t], fc)
+	p.mu.Unlock()
+}
+
+// Close tears down every pooled connection. Safe to call repeatedly.
+func (p *framePool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for t, s := range p.free {
+		for _, fc := range s {
+			fc.Close() //nolint:errcheck
+		}
+		p.free[t] = nil
+	}
+}
+
+// frameWork is one trace request pre-encoded for the frame transport.
+// The one-entry batch array is built once, so the hot path slices it
+// without allocating per request.
+type frameWork struct {
+	target int
+	batch  [1]httpcluster.FrameRequest
+}
+
+// buildFrameWork expands the trace's request mix into frame requests
+// striped across the target masters — the 'Q'-frame analogue of
+// buildURLs.
+func buildFrameWork(targets []string, tr *trace.Trace) []frameWork {
+	works := make([]frameWork, len(tr.Requests))
+	for i, req := range tr.Requests {
+		works[i] = frameWork{
+			target: i % len(targets),
+			batch: [1]httpcluster.FrameRequest{{
+				Demand:  req.Demand,
+				W:       req.CPUWeight,
+				Script:  req.Script,
+				Dynamic: req.Class == trace.Dynamic,
+			}},
+		}
+	}
+	return works
+}
+
+// newFrameDo builds the frame-transport per-request driver. Statuses
+// reuse HTTP codes, so the outcome classification is byte-identical to
+// the HTTP path's.
+func newFrameDo(pool *framePool, works []frameWork, ok, errs, shed, exhausted *atomic.Int64) func(int) bool {
+	return func(i int) bool {
+		w := &works[i]
+		fc, err := pool.get(w.target)
+		if err != nil {
+			errs.Add(1)
+			return false
+		}
+		sts, err := fc.Do(w.batch[:], time.Now().Add(pool.timeout))
+		if err != nil {
+			// Poisoned connection: drop it so the next get redials.
+			fc.Close() //nolint:errcheck
+			errs.Add(1)
+			return false
+		}
+		pool.put(w.target, fc)
+		switch sts[0] {
+		case http.StatusOK:
+			ok.Add(1)
+			return true
+		case http.StatusServiceUnavailable:
+			shed.Add(1)
+		case http.StatusBadGateway:
+			exhausted.Add(1)
+		default:
+			errs.Add(1)
+		}
+		return false
+	}
+}

@@ -68,6 +68,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -109,23 +110,30 @@ func statsOf(h *obs.Histogram) LatencyStats {
 
 // Summary is loadgen's JSON report.
 type Summary struct {
-	Mode          string   `json:"mode"`
-	Profile       string   `json:"profile"`
-	Targets       []string `json:"targets"`
-	Requests      int      `json:"requests"`
-	Fast          bool     `json:"fast,omitempty"`
-	Frame         bool     `json:"frame,omitempty"`
-	Shards        int      `json:"shards,omitempty"`
-	BatchWindowS  float64  `json:"batch_window_s,omitempty"`
-	Sent          int64    `json:"sent"`
-	OK            int64    `json:"ok"`
-	Errors        int64    `json:"errors"`
-	Shed          int64    `json:"shed,omitempty"`
-	Exhausted     int64    `json:"exhausted,omitempty"`
-	DurationS     float64  `json:"duration_s"`
-	ThroughputRPS float64  `json:"throughput_rps"`
+	Mode           string   `json:"mode"`
+	Profile        string   `json:"profile"`
+	Targets        []string `json:"targets"`
+	Requests       int      `json:"requests"`
+	Fast           bool     `json:"fast,omitempty"`
+	Frame          bool     `json:"frame,omitempty"`
+	FrameClient    bool     `json:"frame_client,omitempty"`
+	Shards         int      `json:"shards,omitempty"`
+	ListenerShards int      `json:"listener_shards,omitempty"`
+	BatchWindowS   float64  `json:"batch_window_s,omitempty"`
+	Sent           int64    `json:"sent"`
+	OK             int64    `json:"ok"`
+	Errors         int64    `json:"errors"`
+	Shed           int64    `json:"shed,omitempty"`
+	Exhausted      int64    `json:"exhausted,omitempty"`
+	DurationS      float64  `json:"duration_s"`
+	ThroughputRPS  float64  `json:"throughput_rps"`
+	// ReqS is the aggregate throughput (same number as ThroughputRPS,
+	// under the name the multi-core scaling harness reports): on a
+	// multi-core run the aggregate is the headline, with ReqSPerCore as
+	// the cross-machine normalizer.
+	ReqS float64 `json:"req_s"`
 	// Cores and ReqSPerCore normalize throughput for cross-machine
-	// comparison: the 100k req/s headline is stated per core.
+	// comparison: the single-core 100k req/s headline is stated per core.
 	Cores       int          `json:"cores"`
 	ReqSPerCore float64      `json:"req_s_per_core"`
 	TargetRPS   float64      `json:"target_rps,omitempty"`
@@ -141,6 +149,10 @@ type Summary struct {
 	// preset, each measured against a fresh self-hosted cluster replaying
 	// the identical request mix.
 	Tournament []TournamentEntry `json:"tournament,omitempty"`
+	// Scaling is present with -scaling-sweep: the cores→aggregate-req/s
+	// curve, one point per requested GOMAXPROCS width (points wider than
+	// the machine are marked skipped, never failed).
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
 }
 
 // TournamentEntry is one policy's aggregate in a -tournament run.
@@ -192,7 +204,13 @@ func run(args []string, stdout io.Writer) error {
 	chaosKills := fs.Bool("chaos-kills-only", false, "restrict injected faults to node kills (no pauses, latency or slow-loris)")
 	fast := fs.Bool("fast", false, "run the self-hosted cluster uncalibrated: virtual-time demand accounting, no wall-clock sleeps")
 	frame := fs.Bool("frame", false, "dispatch master→slave over the persistent binary frame transport")
+	frameClient := fs.Bool("frame-client", false, "drive the masters over persistent 'Q' frames instead of HTTP GET /req (works with -targets too)")
 	batch := fs.Duration("batch", 0, "coalescing window for batched dispatch over frames (0: off; implies -frame)")
+	lshards := fs.Int("listener-shards", 0, "SO_REUSEPORT accept sockets per node in the self-hosted cluster (0/1: single listener)")
+	sweep := fs.String("scaling-sweep", "", "comma-separated core widths (e.g. 1,2,4): run the closed-loop benchmark at each GOMAXPROCS width and report the cores→req/s curve; self-hosted cluster only")
+	sweepClientCores := fs.Int("scaling-client-cores", 0, "with -scaling-sweep, reserve this many extra cores for the client on top of each cluster width (0: client shares the width)")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
+	blockProfile := fs.String("blockprofile", "", "write a goroutine-blocking profile to this file at exit")
 	shards := fs.Int("shards", 0, "partition the self-hosted slave tier across the masters (must equal -masters; 0/1 = global view)")
 	shardMap := fs.String("shard-map", "", "shard partitioning function: hash (default) or static")
 	gossip := fs.Duration("gossip", 0, "master↔master shard-summary pull period (0 = 4×refresh)")
@@ -207,14 +225,23 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	if prof := *mutexProfile; prof != "" {
+		runtime.SetMutexProfileFraction(100)
+		defer writeProfile("mutex", prof)
+	}
+	if prof := *blockProfile; prof != "" {
+		runtime.SetBlockProfileRate(100_000) // one sample per 100µs blocked
+		defer writeProfile("block", prof)
+	}
+
 	if *mode != "open" && *mode != "closed" {
 		return fmt.Errorf("-mode must be open or closed, got %q", *mode)
 	}
 	if *chaosOn && *targets != "" {
 		return fmt.Errorf("-chaos needs the self-hosted cluster (drop -targets): faults are injected via proxies in front of its slaves")
 	}
-	if *targets != "" && (*fast || *frame || *batch > 0 || *shards > 1) {
-		return fmt.Errorf("-fast/-frame/-batch/-shards configure the self-hosted cluster (drop -targets)")
+	if *targets != "" && (*fast || *frame || *batch > 0 || *shards > 1 || *lshards > 1) {
+		return fmt.Errorf("-fast/-frame/-batch/-shards/-listener-shards configure the self-hosted cluster (drop -targets)")
 	}
 	if *mode == "open" && *rps <= 0 {
 		return fmt.Errorf("-mode open requires -rps > 0")
@@ -251,6 +278,30 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *sweep != "" {
+		if *targets != "" {
+			return fmt.Errorf("-scaling-sweep boots its own clusters (drop -targets)")
+		}
+		if *chaosOn || *tournament != "" {
+			return fmt.Errorf("-scaling-sweep is exclusive with -chaos and -tournament")
+		}
+		widths, err := parseWidths(*sweep)
+		if err != nil {
+			return err
+		}
+		return runScalingSweep(scalingRun{
+			widths: widths, clientCores: *sweepClientCores,
+			tr: tr, prof: prof,
+			rps: *rps, concurrency: *concurrency,
+			nodes: *nodes, masters: *masters, timescale: *timescale,
+			fast: *fast, frame: *frame || *batch > 0, frameClient: *frameClient,
+			batch: *batch, lshards: *lshards,
+			shards: *shards, shardMap: *shardMap, gossip: *gossip,
+			build: build, discipline: pf.Scheduling,
+			timeout: *timeout, out: *out, minRPS: *minRPS,
+		}, stdout)
+	}
+
 	if *tournament != "" {
 		if *targets != "" {
 			return fmt.Errorf("-tournament boots its own clusters (drop -targets)")
@@ -272,7 +323,8 @@ func run(args []string, stdout io.Writer) error {
 			mode: *mode, rps: *rps, concurrency: *concurrency, workers: *workers,
 			nodes: *nodes, masters: *masters, timescale: *timescale,
 			fast: *fast, frame: *frame || *batch > 0, batch: *batch,
-			shards: *shards, shardMap: *shardMap, gossip: *gossip,
+			lshards: *lshards,
+			shards:  *shards, shardMap: *shardMap, gossip: *gossip,
 			discipline: pf.Scheduling, timeout: *timeout, out: *out,
 			minRPS: *minRPS,
 		}, stdout)
@@ -291,13 +343,14 @@ func run(args []string, stdout io.Writer) error {
 			MakePolicy: func(id int) core.Policy {
 				return build(nil, int64(id)+1)
 			},
-			Discipline:    pf.Scheduling,
-			Uncalibrated:  *fast,
-			BinaryFraming: *frame || *batch > 0,
-			BatchWindow:   *batch,
-			Shards:        *shards,
-			ShardMapMode:  *shardMap,
-			GossipEvery:   *gossip,
+			Discipline:     pf.Scheduling,
+			Uncalibrated:   *fast,
+			BinaryFraming:  *frame || *batch > 0,
+			BatchWindow:    *batch,
+			ListenerShards: *lshards,
+			Shards:         *shards,
+			ShardMapMode:   *shardMap,
+			GossipEvery:    *gossip,
 		}
 		if *chaosOn {
 			if *nodes <= *masters {
@@ -343,39 +396,48 @@ func run(args []string, stdout io.Writer) error {
 		targetURLs = strings.Split(*targets, ",")
 	}
 
-	client := &http.Client{
-		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
-		Timeout:   *timeout,
-	}
-	urls := buildURLs(targetURLs, tr)
-
 	s := Summary{
-		Mode:         *mode,
-		Profile:      prof.Name,
-		Targets:      targetURLs,
-		Requests:     *n,
-		Fast:         *fast,
-		Frame:        *frame || *batch > 0,
-		Shards:       *shards,
-		BatchWindowS: (*batch).Seconds(),
-		TargetRPS:    *rps,
-		Concurrency:  0,
+		Mode:           *mode,
+		Profile:        prof.Name,
+		Targets:        targetURLs,
+		Requests:       *n,
+		Fast:           *fast,
+		Frame:          *frame || *batch > 0,
+		FrameClient:    *frameClient,
+		Shards:         *shards,
+		ListenerShards: *lshards,
+		BatchWindowS:   (*batch).Seconds(),
+		TargetRPS:      *rps,
+		Concurrency:    0,
 	}
 	var okCount, errCount, shedCount, exhaustedCount atomic.Int64
-	do := newDo(client, &okCount, &errCount, &shedCount, &exhaustedCount)
+	var do func(int) bool
+	if *frameClient {
+		pool := newFramePool(targetURLs, *timeout)
+		defer pool.Close()
+		works := buildFrameWork(targetURLs, tr)
+		do = newFrameDo(pool, works, &okCount, &errCount, &shedCount, &exhaustedCount)
+	} else {
+		client := &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+			Timeout:   *timeout,
+		}
+		urls := buildURLs(targetURLs, tr)
+		do = newHTTPDo(client, urls, &okCount, &errCount, &shedCount, &exhaustedCount)
+	}
 
 	start := time.Now()
 	var merged, corrected *obs.Histogram
 	switch *mode {
 	case "open":
-		merged = runOpen(urls, tr, *rps, *workers, start, do)
+		merged = runOpen(*n, tr, *rps, *workers, start, do)
 	case "closed":
 		s.Concurrency = *concurrency
-		merged, corrected = runClosed(urls, *concurrency, *rps, do)
+		merged, corrected = runClosed(*n, *concurrency, *rps, do)
 	}
 	dur := time.Since(start)
 
-	s.Sent = int64(len(urls))
+	s.Sent = int64(*n)
 	s.OK = okCount.Load()
 	s.Errors = errCount.Load()
 	s.Shed = shedCount.Load()
@@ -384,6 +446,7 @@ func run(args []string, stdout io.Writer) error {
 	if s.DurationS > 0 {
 		s.ThroughputRPS = float64(s.OK) / s.DurationS
 	}
+	s.ReqS = s.ThroughputRPS
 	s.Cores = runtime.GOMAXPROCS(0)
 	if s.Cores > 0 {
 		s.ReqSPerCore = s.ThroughputRPS / float64(s.Cores)
@@ -444,11 +507,11 @@ func buildURLs(targetURLs []string, tr *trace.Trace) []string {
 	return urls
 }
 
-// newDo builds the per-request driver, classifying each outcome into the
-// given counters.
-func newDo(client *http.Client, ok, errs, shed, exhausted *atomic.Int64) func(string) bool {
-	return func(url string) bool {
-		resp, err := client.Get(url)
+// newHTTPDo builds the HTTP per-request driver, classifying each outcome
+// into the given counters.
+func newHTTPDo(client *http.Client, urls []string, ok, errs, shed, exhausted *atomic.Int64) func(int) bool {
+	return func(i int) bool {
+		resp, err := client.Get(urls[i])
 		if err != nil {
 			errs.Add(1)
 			return false
@@ -470,6 +533,25 @@ func newDo(client *http.Client, ok, errs, shed, exhausted *atomic.Int64) func(st
 			errs.Add(1)
 		}
 		return false
+	}
+}
+
+// writeProfile dumps a runtime profile family (mutex, block) to path at
+// exit; failures are reported but never fail the run.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	p := pprof.Lookup(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "loadgen: no %s profile\n", name)
+		return
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %s profile: %v\n", name, err)
 	}
 }
 
@@ -507,6 +589,7 @@ type tournamentRun struct {
 	fast        bool
 	frame       bool
 	batch       time.Duration
+	lshards     int
 	shards      int
 	shardMap    string
 	gossip      time.Duration
@@ -550,13 +633,14 @@ func runTournament(tc tournamentRun, stdout io.Writer) error {
 			MakePolicy: func(id int) core.Policy {
 				return preset.Build(nil, int64(id)+1)
 			},
-			Discipline:    tc.discipline,
-			Uncalibrated:  tc.fast,
-			BinaryFraming: tc.frame,
-			BatchWindow:   tc.batch,
-			Shards:        tc.shards,
-			ShardMapMode:  tc.shardMap,
-			GossipEvery:   tc.gossip,
+			Discipline:     tc.discipline,
+			Uncalibrated:   tc.fast,
+			BinaryFraming:  tc.frame,
+			BatchWindow:    tc.batch,
+			ListenerShards: tc.lshards,
+			Shards:         tc.shards,
+			ShardMapMode:   tc.shardMap,
+			GossipEvery:    tc.gossip,
 		}
 		c, err := httpcluster.Start(cfg)
 		if err != nil {
@@ -564,15 +648,16 @@ func runTournament(tc tournamentRun, stdout io.Writer) error {
 		}
 		urls := buildURLs(c.MasterURLs(), tc.tr)
 		var ok, errs, shed, exhausted atomic.Int64
-		do := newDo(client, &ok, &errs, &shed, &exhausted)
+		do := newHTTPDo(client, urls, &ok, &errs, &shed, &exhausted)
 
 		start := time.Now()
 		var merged *obs.Histogram
+		n := len(urls)
 		switch tc.mode {
 		case "open":
-			merged = runOpen(urls, tc.tr, tc.rps, tc.workers, start, do)
+			merged = runOpen(n, tc.tr, tc.rps, tc.workers, start, do)
 		case "closed":
-			merged, _ = runClosed(urls, tc.concurrency, tc.rps, do)
+			merged, _ = runClosed(n, tc.concurrency, tc.rps, do)
 		}
 		dur := time.Since(start).Seconds()
 		c.Shutdown()
@@ -598,6 +683,7 @@ func runTournament(tc tournamentRun, stdout io.Writer) error {
 	if s.DurationS > 0 {
 		s.ThroughputRPS = float64(s.OK) / s.DurationS
 	}
+	s.ReqS = s.ThroughputRPS
 	if s.Cores > 0 {
 		s.ReqSPerCore = s.ThroughputRPS / float64(s.Cores)
 	}
@@ -617,15 +703,15 @@ func runTournament(tc tournamentRun, stdout io.Writer) error {
 // target rate, measuring latency from each request's scheduled start. A
 // fully buffered queue means the dispatcher never blocks on a slow
 // server: delay shows up in the measurements, not in the schedule.
-func runOpen(urls []string, tr *trace.Trace, rps float64, workers int, start time.Time, do func(string) bool) *obs.Histogram {
+func runOpen(n int, tr *trace.Trace, rps float64, workers int, start time.Time, do func(int) bool) *obs.Histogram {
 	type item struct {
-		url   string
+		idx   int
 		sched time.Time
 	}
-	queue := make(chan item, len(urls))
-	for i, u := range urls {
+	queue := make(chan item, n)
+	for i := 0; i < n; i++ {
 		// Trace arrivals are already at mean rate Lambda == rps.
-		queue <- item{url: u, sched: start.Add(time.Duration(tr.Requests[i].Arrival * float64(time.Second)))}
+		queue <- item{idx: i, sched: start.Add(time.Duration(tr.Requests[i].Arrival * float64(time.Second)))}
 	}
 	close(queue)
 
@@ -643,7 +729,7 @@ func runOpen(urls []string, tr *trace.Trace, rps float64, workers int, start tim
 				if d := time.Until(it.sched); d > 0 {
 					time.Sleep(d)
 				}
-				do(it.url)
+				do(it.idx)
 				// Scheduled start, not send time: if every worker was
 				// busy past sched, that wait is server-induced queueing
 				// and belongs in the latency.
@@ -665,7 +751,7 @@ func runOpen(urls []string, tr *trace.Trace, rps float64, workers int, start tim
 // histogram back-fills coordinated omission at that interval; with no
 // pacing the workers run flat out and corrected is nil (there is no
 // intended schedule to correct against).
-func runClosed(urls []string, concurrency int, rps float64, do func(string) bool) (*obs.Histogram, *obs.Histogram) {
+func runClosed(n, concurrency int, rps float64, do func(int) bool) (*obs.Histogram, *obs.Histogram) {
 	var next atomic.Int64
 	interval := 0.0
 	if rps > 0 {
@@ -687,7 +773,7 @@ func runClosed(urls []string, concurrency int, rps float64, do func(string) bool
 			}
 			for {
 				i := next.Add(1) - 1
-				if i >= int64(len(urls)) {
+				if i >= int64(n) {
 					return
 				}
 				if interval > 0 {
@@ -697,7 +783,7 @@ func runClosed(urls []string, concurrency int, rps float64, do func(string) bool
 					sched = sched.Add(time.Duration(interval * float64(time.Second)))
 				}
 				t0 := time.Now()
-				do(urls[i])
+				do(int(i))
 				lat := time.Since(t0).Seconds()
 				raw.Observe(lat)
 				corr.ObserveCoordinated(lat, interval)

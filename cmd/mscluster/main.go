@@ -28,6 +28,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -39,6 +41,11 @@ import (
 // errListed signals the -list-policies print-and-exit path.
 var errListed = errors.New("listed policies")
 
+// profileFlags holds the -mutexprofile/-blockprofile destinations; the
+// profiles are captured for the whole serving lifetime and written at
+// shutdown.
+var profileFlags struct{ mutex, block string }
+
 func main() {
 	cfg, err := buildConfig(os.Args[1:])
 	if errors.Is(err, errListed) {
@@ -48,6 +55,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mscluster:", err)
 		os.Exit(2)
+	}
+	if profileFlags.mutex != "" {
+		runtime.SetMutexProfileFraction(100)
+		defer writeProfile("mutex", profileFlags.mutex)
+	}
+	if profileFlags.block != "" {
+		runtime.SetBlockProfileRate(100_000) // one sample per 100µs blocked
+		defer writeProfile("block", profileFlags.block)
 	}
 	c, err := httpcluster.Start(cfg)
 	if err != nil {
@@ -61,6 +76,25 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nshutting down")
+}
+
+// writeProfile dumps a runtime profile family (mutex, block) to path;
+// failures are reported but never change the exit status.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mscluster: %s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	p := pprof.Lookup(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "mscluster: no %s profile\n", name)
+		return
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "mscluster: %s profile: %v\n", name, err)
+	}
 }
 
 // buildConfig turns command-line flags into a cluster configuration.
@@ -77,9 +111,12 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	fast := fs.Bool("fast", false, "run uncalibrated: virtual-time demand accounting, no wall-clock sleeps")
 	frame := fs.Bool("frame", false, "dispatch master→slave over the persistent binary frame transport")
 	batch := fs.Duration("batch", 0, "coalescing window for batched dispatch over frames (0: off; implies -frame)")
+	lshards := fs.Int("listener-shards", 0, "SO_REUSEPORT accept sockets per node (0/1: single listener)")
 	shards := fs.Int("shards", 0, "partition the slave tier across the masters (must equal -masters; 0/1 = global view)")
 	shardMap := fs.String("shard-map", "", "shard partitioning function: hash (default) or static")
 	gossip := fs.Duration("gossip", 0, "master↔master shard-summary pull period (0 = 4×refresh)")
+	fs.StringVar(&profileFlags.mutex, "mutexprofile", "", "write a mutex-contention profile to this file at shutdown")
+	fs.StringVar(&profileFlags.block, "blockprofile", "", "write a goroutine-blocking profile to this file at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return httpcluster.Config{}, err
 	}
@@ -101,6 +138,7 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	cfg.Uncalibrated = *fast
 	cfg.BinaryFraming = *frame || *batch > 0
 	cfg.BatchWindow = *batch
+	cfg.ListenerShards = *lshards
 	cfg.Shards = *shards
 	cfg.ShardMapMode = *shardMap
 	cfg.GossipEvery = *gossip

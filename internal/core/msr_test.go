@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"msweb/internal/trace"
+)
+
+// msrView builds a view where node `best` has far more idle capacity
+// than the other slaves.
+func msrView(best int) *View {
+	v := testView([]int{0}, []int{1, 2, 3})
+	v.Load[0] = Load{CPUIdle: 0.05, DiskAvail: 0.05, CPUQueue: 9, DiskQueue: 9, Speed: 1}
+	for _, id := range []int{1, 2, 3} {
+		v.Load[id] = Load{CPUIdle: 0.1, DiskAvail: 0.1, CPUQueue: 8, DiskQueue: 8, Speed: 1}
+	}
+	v.Load[best] = Load{CPUIdle: 0.9, DiskAvail: 0.9, Speed: 1}
+	return v
+}
+
+func TestMSRRoutingPicksBestRate(t *testing.T) {
+	r := NewMSRRouting(1, 0.001) // near-zero hold: re-score every placement
+	req := Request{Class: trace.Dynamic}
+	for _, best := range []int{1, 2, 3} {
+		v := msrView(best)
+		if got, _ := r.Route(req, 0.5, []int{1, 2, 3}, v); got != best {
+			t.Fatalf("MSR placed at %d, want %d", got, best)
+		}
+	}
+}
+
+func TestMSRRoutingHoldsCommitment(t *testing.T) {
+	// An enormous mean hold freezes the first decision: the commitment
+	// must survive the view flipping to favor another node.
+	r := NewMSRRouting(1, 1e9)
+	req := Request{Class: trace.Dynamic}
+	first, _ := r.Route(req, 0.5, []int{1, 2, 3}, msrView(1))
+	if first != 1 {
+		t.Fatalf("first placement at %d, want 1", first)
+	}
+	for i := 0; i < 50; i++ {
+		if got, _ := r.Route(req, 0.5, []int{1, 2, 3}, msrView(3)); got != first {
+			t.Fatalf("placement %d: hold broken, went to %d", i, got)
+		}
+	}
+}
+
+func TestMSRRoutingRescoresWhenTargetDropsOut(t *testing.T) {
+	// Even mid-hold, losing the committed target (breaker open, shed)
+	// must re-route immediately — to the best remaining candidate, using
+	// the fresh view.
+	r := NewMSRRouting(1, 1e9)
+	req := Request{Class: trace.Dynamic}
+	if got, _ := r.Route(req, 0.5, []int{1, 2, 3}, msrView(1)); got != 1 {
+		t.Fatalf("first placement at %d, want 1", got)
+	}
+	v := msrView(1)
+	v.Load[3] = Load{CPUIdle: 0.8, DiskAvail: 0.8, Speed: 1}
+	if got, _ := r.Route(req, 0.5, []int{2, 3}, v); got != 3 {
+		t.Fatalf("after target loss placed at %d, want 3", got)
+	}
+}
+
+func TestMSRRoutingDeterministic(t *testing.T) {
+	a := NewMSRRouting(7, 0)
+	b := NewMSRRouting(7, 0)
+	req := Request{Class: trace.Dynamic}
+	for i := 0; i < 200; i++ {
+		v := msrView(1 + i%3)
+		ga, _ := a.Route(req, 0.5, []int{1, 2, 3}, v)
+		gb, _ := b.Route(req, 0.5, []int{1, 2, 3}, v)
+		if ga != gb {
+			t.Fatalf("placement %d: seeds diverged (%d vs %d)", i, ga, gb)
+		}
+	}
+}
+
+func TestMSRRoutingInPipeline(t *testing.T) {
+	p := NewPipeline(PipelineConfig{
+		Admission: NewOpenAdmission(), Routing: NewMSRRouting(1, 0.001),
+		PlacementImpact: NoPlacementImpact,
+	})
+	if p.RoutingName() != RoutingMSR {
+		t.Fatalf("routing name %q, want %q", p.RoutingName(), RoutingMSR)
+	}
+	if got := p.Place(Request{Class: trace.Dynamic}, 0, msrView(2)); got != 2 {
+		t.Fatalf("pipeline placed at %d, want 2", got)
+	}
+}

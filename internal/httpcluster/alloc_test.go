@@ -141,4 +141,58 @@ func TestFrameHotPathAllocPin(t *testing.T) {
 	if allocs := testing.AllocsPerRun(100, run); allocs > 0.1 {
 		t.Errorf("frame hot path: %.2f allocs/op, pinned at ≤ 0.10", allocs)
 	}
+
+	// The 'Q'-frame (client-request) loop — the steady state a
+	// frame-native load driver exercises against a master — must hold the
+	// same pin: encode, length-prefixed read, decode, the full /req
+	// pipeline (admission, placement, completion), response encode with
+	// the piggybacked load, and the client-side status decode.
+	m, err := LaunchMaster(NodeOptions{
+		ID: 0, Masters: []int{0}, NodeURLs: []string{""},
+		Policy:      core.NewMS(nil, 1),
+		TimeScale:   1e-6,
+		LoadRefresh: time.Hour, PolicyTick: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+
+	qsrc := []frameReq{{demand: 0, w: 0.5, script: 1, dynamic: true}}
+	qreqs := make([]frameReq, 0, 1)
+	qsts := make([]int, 1)
+	dec := make([]int, 0, 1)
+	runQ := func() {
+		frame = appendReqFrame(frame[:0], qsrc)
+		rd.Reset(frame)
+		br.Reset(rd)
+		var err error
+		payload, buf, err = readFrame(br, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qreqs, err = parseReqPayload(payload, qreqs[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.runFrameReqs(qreqs, qsts)
+		if qsts[0] != http.StatusOK {
+			t.Fatalf("status %d", qsts[0])
+		}
+		frame = appendRespFrame(frame[:0], qsts, m.currentLoad().load, nil)
+		rd.Reset(frame)
+		br.Reset(rd)
+		payload, buf, err = readFrame(br, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, _, _, err = parseRespPayload(payload, dec[:0])
+		if err != nil || dec[0] != http.StatusOK {
+			t.Fatalf("decode: %v %v", dec, err)
+		}
+	}
+	runQ() // warm the scratch buffers
+	if allocs := testing.AllocsPerRun(100, runQ); allocs > 0.1 {
+		t.Errorf("'Q' frame hot path: %.2f allocs/op, pinned at ≤ 0.10", allocs)
+	}
 }

@@ -49,6 +49,10 @@ type Config struct {
 	// frame (default 64).
 	BatchWindow time.Duration
 	BatchMax    int
+	// ListenerShards is how many SO_REUSEPORT accept sockets every node
+	// binds to its port (see NodeOptions.ListenerShards); 0/1 keeps the
+	// single listener.
+	ListenerShards int
 	// Shards > 1 partitions the slave fleet across the master tier:
 	// master i polls, tracks breakers for and books against only shard i,
 	// spilling shed dynamics cross-shard via gossiped summaries. Must
@@ -143,9 +147,10 @@ func Start(cfg Config) (*Cluster, error) {
 	for _, id := range slaves {
 		n, err := LaunchNode(NodeOptions{
 			ID: id, Origin: origin, TimeScale: cfg.TimeScale,
-			Resilience:   cfg.Resilience,
-			Uncalibrated: cfg.Uncalibrated,
-			Discipline:   cfg.Discipline,
+			Resilience:     cfg.Resilience,
+			Uncalibrated:   cfg.Uncalibrated,
+			Discipline:     cfg.Discipline,
+			ListenerShards: cfg.ListenerShards,
 		})
 		if err != nil {
 			c.Shutdown()
@@ -164,6 +169,7 @@ func Start(cfg Config) (*Cluster, error) {
 			PollDeadlineFloor: cfg.PollDeadlineFloor,
 			Uncalibrated:      cfg.Uncalibrated,
 			Discipline:        cfg.Discipline,
+			ListenerShards:    cfg.ListenerShards,
 			BinaryFraming:     cfg.BinaryFraming,
 			BatchWindow:       cfg.BatchWindow,
 			BatchMax:          cfg.BatchMax,

@@ -390,48 +390,80 @@ func (n *Node) handleFrame(rw http.ResponseWriter, req *http.Request) {
 		conn.Close()
 		return
 	}
-	if !n.trackFrameConn(conn) {
+	shard, ok := n.trackFrameConn(conn)
+	if !ok {
 		conn.Close() // shutting down
 		return
 	}
-	defer n.untrackFrameConn(conn)
+	defer n.untrackFrameConn(shard, conn)
 	defer conn.Close()
 	n.serveFrames(conn, brw.Reader)
 }
 
-// trackFrameConn registers a hijacked frame connection so Shutdown can
-// close it (hijacked connections are invisible to http.Server.Shutdown).
-// Returns false when the node is already shutting down.
-func (n *Node) trackFrameConn(c net.Conn) bool {
-	n.frameMu.Lock()
-	defer n.frameMu.Unlock()
-	if n.frameClosed {
-		return false
-	}
-	if n.frameConns == nil {
-		n.frameConns = make(map[net.Conn]struct{})
-	}
-	n.frameConns[c] = struct{}{}
-	n.frameWG.Add(1)
-	return true
+// frameConnShard is one slot of the sharded frame-connection registry —
+// per-listener-shard pools, so connection churn on one accept loop never
+// takes a lock any other loop's connections contend on.
+type frameConnShard struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
-func (n *Node) untrackFrameConn(c net.Conn) {
-	n.frameMu.Lock()
-	delete(n.frameConns, c)
-	n.frameMu.Unlock()
+// trackFrameConn registers a hijacked frame connection so Shutdown can
+// close it (hijacked connections are invisible to http.Server.Shutdown),
+// returning the registry shard it landed in. ok is false when the node
+// is already shutting down.
+func (n *Node) trackFrameConn(c net.Conn) (shard int, ok bool) {
+	shard = int(n.frameSeq.Add(1) % uint64(len(n.frameReg)))
+	reg := &n.frameReg[shard]
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if n.frameClosed.Load() {
+		return 0, false
+	}
+	if reg.conns == nil {
+		reg.conns = make(map[net.Conn]struct{})
+	}
+	reg.conns[c] = struct{}{}
+	n.frameWG.Add(1)
+	return shard, true
+}
+
+func (n *Node) untrackFrameConn(shard int, c net.Conn) {
+	reg := &n.frameReg[shard]
+	reg.mu.Lock()
+	delete(reg.conns, c)
+	reg.mu.Unlock()
 	n.frameWG.Done()
 }
 
-// closeFrameConns kills every live frame connection and waits for their
-// loops to exit; subsequent upgrades are refused.
-func (n *Node) closeFrameConns() {
-	n.frameMu.Lock()
-	n.frameClosed = true
-	for c := range n.frameConns {
-		c.Close()
+// FrameConns reports the live hijacked frame connections across every
+// registry shard.
+func (n *Node) FrameConns() int {
+	total := 0
+	for i := range n.frameReg {
+		reg := &n.frameReg[i]
+		reg.mu.Lock()
+		total += len(reg.conns)
+		reg.mu.Unlock()
 	}
-	n.frameMu.Unlock()
+	return total
+}
+
+// closeFrameConns kills every live frame connection and waits for their
+// loops to exit; subsequent upgrades are refused. The closed flag is
+// flipped first, so a track racing the per-shard walk either lands in
+// the map before the walk locks its shard (and is closed by it) or
+// observes the flag and refuses.
+func (n *Node) closeFrameConns() {
+	n.frameClosed.Store(true)
+	for i := range n.frameReg {
+		reg := &n.frameReg[i]
+		reg.mu.Lock()
+		for c := range reg.conns {
+			c.Close()
+		}
+		reg.mu.Unlock()
+	}
 	n.frameWG.Wait()
 }
 

@@ -1,0 +1,62 @@
+package httpcluster
+
+import (
+	"context"
+	"net"
+)
+
+// Listener sharding: a node can accept on several SO_REUSEPORT sockets
+// bound to one loopback port, each with its own accept loop, so the
+// kernel spreads incoming connections (and thus the read side of the
+// persistent frame transport) across accept queues instead of
+// serializing every handshake behind a single listener goroutine. On a
+// multi-core box this is what lets the data plane's socket layer scale
+// with GOMAXPROCS; with one shard (the default) the behavior is
+// byte-identical to the pre-sharding single listener.
+//
+// The option is best-effort portable: on platforms without
+// SO_REUSEPORT support (see listener_other.go) — or when the setsockopt
+// fails — multiListen falls back to one plain listener and reports the
+// effective shard count, so callers never have to care whether the
+// kernel cooperated.
+
+// multiListen opens shards TCP listeners sharing one loopback
+// address:port. The first listener picks the ephemeral port; the rest
+// bind the same port via SO_REUSEPORT. Returns the listeners actually
+// opened (length 1 on fallback).
+func multiListen(shards int) ([]net.Listener, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards == 1 || !reuseportSupported {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{l}, nil
+	}
+	lc := net.ListenConfig{Control: reuseportControl}
+	first, err := lc.Listen(context.Background(), "tcp", "127.0.0.1:0")
+	if err != nil {
+		// The reuseport control refused (hardened kernel, exotic
+		// platform): portable fallback to the single-listener layout.
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{l}, nil
+	}
+	lis := []net.Listener{first}
+	addr := first.Addr().String()
+	for i := 1; i < shards; i++ {
+		l, err := lc.Listen(context.Background(), "tcp", addr)
+		if err != nil {
+			for _, open := range lis {
+				open.Close()
+			}
+			return nil, err
+		}
+		lis = append(lis, l)
+	}
+	return lis, nil
+}

@@ -1,0 +1,26 @@
+//go:build linux
+
+package httpcluster
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT. The linux syscall package does not export
+// the constant and golang.org/x/sys is deliberately not a dependency, so
+// the kernel ABI value (15 on every Linux architecture Go supports) is
+// spelled here.
+const soReusePort = 0xf
+
+// reuseportSupported reports whether this platform can shard listeners.
+const reuseportSupported = true
+
+// reuseportControl marks the about-to-bind socket SO_REUSEPORT so
+// several listeners can share one port, each with its own accept queue.
+func reuseportControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

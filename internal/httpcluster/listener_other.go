@@ -1,0 +1,17 @@
+//go:build !linux
+
+package httpcluster
+
+import "syscall"
+
+// Non-Linux platforms fall back to a single listener: SO_REUSEPORT
+// load-balanced accept exists on the BSDs too but with different
+// semantics, and the portable contract here is "sharding is an
+// optimization, never a requirement".
+const reuseportSupported = false
+
+// reuseportControl is never invoked when reuseportSupported is false;
+// it exists so listener.go compiles on every platform.
+func reuseportControl(network, address string, c syscall.RawConn) error {
+	return nil
+}

@@ -112,6 +112,14 @@ type NodeOptions struct {
 	// MLFQ degenerates to RR) or DisciplineFCFS (run-to-completion:
 	// the quantum is stretched past any realistic service demand).
 	Discipline string
+	// ListenerShards is how many SO_REUSEPORT accept sockets the node
+	// binds to its one loopback port, each with its own accept loop, so
+	// connection setup and the persistent-frame read paths spread across
+	// cores instead of serializing on one listener goroutine (see
+	// listener.go). 0 or 1 keeps the single pre-sharding listener; on
+	// platforms without SO_REUSEPORT the option quietly degrades to 1
+	// (Node.ListenerShards reports the effective count).
+	ListenerShards int
 	// BinaryFraming lets a master upgrade its master→slave hop to the
 	// persistent length-prefixed binary protocol (see frame.go),
 	// negotiated per node-pair with transparent HTTP fallback. Nodes
@@ -179,6 +187,8 @@ func (o NodeOptions) Validate(master bool) error {
 		return fmt.Errorf("httpcluster: negative admission bounds %+v", o.Resilience)
 	case o.BatchWindow < 0 || o.BatchMax < 0:
 		return fmt.Errorf("httpcluster: negative batch options (window %v, max %d)", o.BatchWindow, o.BatchMax)
+	case o.ListenerShards < 0 || o.ListenerShards > 256:
+		return fmt.Errorf("httpcluster: listener shards %d outside [0, 256]", o.ListenerShards)
 	}
 	switch o.Discipline {
 	case "", core.DisciplineMLFQ, core.DisciplineRR, core.DisciplineFCFS:
@@ -241,7 +251,8 @@ func (o NodeOptions) withDefaults() NodeOptions {
 }
 
 // LaunchNode starts a slave node server on a loopback ephemeral port.
-// Only ID, Origin, TimeScale and Resilience.MaxQueue are consulted.
+// Only ID, Origin, TimeScale, ListenerShards, Uncalibrated, Discipline
+// and Resilience.MaxQueue are consulted.
 func LaunchNode(o NodeOptions) (*Node, error) {
 	if err := o.Validate(false); err != nil {
 		return nil, err

@@ -50,8 +50,12 @@ type Node struct {
 	origin    time.Time
 	maxQueue  int // shed /exec before queueing at this population; 0 = off
 	srv       *http.Server
-	lis       net.Listener
-	mux       *http.ServeMux
+	// lis holds the node's listener shards: SO_REUSEPORT sockets sharing
+	// one port, each served by its own accept loop (see listener.go).
+	// One entry — the pre-sharding layout — unless ListenerShards asked
+	// for more and the platform cooperated.
+	lis []net.Listener
+	mux *http.ServeMux
 
 	// Request counters are plain atomics: the hot path pays two
 	// uncontended atomic adds instead of a mutex round trip.
@@ -76,10 +80,13 @@ type Node struct {
 	serveClientFrames func(reqs []frameReq, statuses []int)
 
 	// Hijacked binary-frame connections, invisible to srv.Shutdown, are
-	// tracked here so Shutdown can close them (see frame.go).
-	frameMu     sync.Mutex
-	frameConns  map[net.Conn]struct{}
-	frameClosed bool
+	// tracked here so Shutdown can close them (see frame.go). The
+	// registry is sharded alongside the listeners: connection open/close
+	// on one shard never contends with the others, so a listener shard's
+	// accept path stays independent end to end.
+	frameReg    []frameConnShard
+	frameSeq    atomic.Uint64
+	frameClosed atomic.Bool
 	frameWG     sync.WaitGroup
 
 	// statsMu guards only the two windowed aggregates below; nothing on
@@ -93,29 +100,39 @@ type Node struct {
 // attached by serve() once the role-specific mux exists. The options
 // must already carry defaults (withDefaults).
 func newNode(o NodeOptions) (*Node, error) {
-	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	lis, err := multiListen(o.ListenerShards)
 	if err != nil {
 		return nil, err
 	}
 	return &Node{
 		ID:        o.ID,
-		URL:       "http://" + lis.Addr().String(),
+		URL:       "http://" + lis[0].Addr().String(),
 		res:       NewNodeResources(o.Origin, o.TimeScale, o.Uncalibrated, o.Discipline),
 		fork:      time.Duration(float64(3*time.Millisecond) * o.TimeScale),
 		timeScale: o.TimeScale,
 		origin:    o.Origin,
 		maxQueue:  o.Resilience.MaxQueue,
 		lis:       lis,
+		frameReg:  make([]frameConnShard, len(lis)),
 		svcHist:   obs.NewHistogram(),
 		reqRate:   obs.NewWindowedCounter(10, 10),
 	}, nil
 }
 
+// serve attaches the role-specific mux and starts one accept loop per
+// listener shard. A single http.Server serves every shard, so Shutdown
+// still closes the whole set in one call.
 func (n *Node) serve(mux *http.ServeMux) {
 	n.mux = mux
 	n.srv = &http.Server{Handler: mux}
-	go n.srv.Serve(n.lis) //nolint:errcheck // Serve returns on Shutdown
+	for _, l := range n.lis {
+		go n.srv.Serve(l) //nolint:errcheck // Serve returns on Shutdown
+	}
 }
+
+// ListenerShards reports how many accept loops the node actually runs —
+// the requested shard count, or 1 after a portability fallback.
+func (n *Node) ListenerShards() int { return len(n.lis) }
 
 // Handler returns the node's HTTP mux, so the serving path can be
 // exercised (benchmarked, embedded) without a TCP round trip.

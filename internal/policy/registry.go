@@ -95,6 +95,13 @@ var presets = []Preset{
 				PlacementImpact: core.NoPlacementImpact,
 			})
 		}},
+	{"msr", "Markovian service-rate routing: commit to the best queue-discounted rate, hold for a memoryless epoch", true,
+		func(wt core.WTable, seed int64) core.Policy {
+			return core.NewPipeline(core.PipelineConfig{
+				Name: "MSR", Admission: core.NewOpenAdmission(),
+				Routing: core.NewMSRRouting(seed, 0), WTable: wt,
+			})
+		}},
 	{"random", "uniform random dispatch over eligible nodes", true,
 		func(wt core.WTable, seed int64) core.Policy {
 			return core.NewPipeline(core.PipelineConfig{
@@ -163,7 +170,7 @@ func Admissions() []string {
 // Routings lists the registered routing-stage names (jsqD stands for any
 // small d, e.g. jsq2, jsq5).
 func Routings() []string {
-	return []string{core.RoutingRSRC, "jsqD", core.RoutingMaxWeight, core.RoutingCMu, core.RoutingBalanced, core.RoutingRandom, core.RoutingScorers}
+	return []string{core.RoutingRSRC, "jsqD", core.RoutingMaxWeight, core.RoutingCMu, core.RoutingBalanced, core.RoutingMSR, core.RoutingRandom, core.RoutingScorers}
 }
 
 // ScorerNames lists the registered scorer names.
@@ -195,6 +202,8 @@ func buildRouting(name, scorers string, seed int64) (core.RoutingPolicy, error) 
 		return core.NewCMuRouting(seed), nil
 	case name == core.RoutingBalanced:
 		return core.NewBalancedRouting(seed), nil
+	case name == core.RoutingMSR:
+		return core.NewMSRRouting(seed, 0), nil
 	case name == core.RoutingRandom:
 		return core.NewRandomRouting(seed), nil
 	case name == core.RoutingScorers:
