@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench benchdiff loadbench scalebench tournament experiments csv clean help
+.PHONY: all build vet lint test test-short race check bench benchdiff loadbench scalebench tournament autoscale experiments csv clean help
 
 all: build vet test
 
@@ -30,6 +30,11 @@ help:
 	@echo "  tournament  head-to-head policy comparison on both planes: the"
 	@echo "              simulator grid (msbench) and a live loadgen sweep,"
 	@echo "              folded into BENCH_results.json as a Tournament section"
+	@echo "  autoscale   online Theorem-1 autoscaler vs a fixed fleet under"
+	@echo "              diurnal and flash-crowd load (byte-deterministic"
+	@echo "              sharded simulator); node-hours saved and SLO"
+	@echo "              attainment fold into BENCH_results.json as an"
+	@echo "              Autoscale section"
 	@echo "  experiments regenerate every table and figure (minutes)"
 	@echo "  csv         experiments plus CSV output in results/csv"
 	@echo "  clean       go clean ./..."
@@ -142,6 +147,19 @@ tournament:
 		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
 			-tournament results/csv/policy-tournament.csv \
 			-live results/live_tournament.json > BENCH_results.json
+
+# Autoscaling study: the online Theorem-1 autoscaler against a fixed
+# peak-provisioned fleet on diurnal and flash-crowd workloads, run on
+# the byte-deterministic sharded simulator (epoch-versioned shard maps,
+# live promote/demote, slave power-off). The per-(workload, scenario)
+# CSV — stretch, SLO attainment, node-hours, saved % — folds into
+# BENCH_results.json as the Autoscale section, mirroring the tournament.
+autoscale:
+	@mkdir -p results/csv
+	$(GO) run ./cmd/msbench -experiment autoscale -csv results/csv
+	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -baseline bench/baseline.txt \
+			-autoscale results/csv/autoscale-vs-fixed-fleet.csv > BENCH_results.json
 
 # Regenerate every table and figure (minutes; table3 replays in real time).
 experiments:

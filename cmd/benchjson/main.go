@@ -29,6 +29,12 @@
 //	go run ./cmd/msbench -experiment tournament -quick -csv bench
 //	go test -bench=. -benchmem -run '^$' . | \
 //	    go run ./cmd/benchjson -tournament bench/policy-tournament.csv > BENCH_results.json
+//
+// With -autoscale FILE, the autoscaling-study CSV written by
+// `msbench -experiment autoscale -csv DIR` is folded in as an Autoscale
+// section, one record per (workload, scenario) row, carrying the
+// node-hours saved and SLO attainment of the autoscaled fleet against
+// the fixed one.
 package main
 
 import (
@@ -69,6 +75,7 @@ type Report struct {
 	Live        []Result           `json:"live,omitempty"`
 	Scaling     *ScalingReport     `json:"scaling,omitempty"`
 	Tournament  []TournamentResult `json:"tournament,omitempty"`
+	Autoscale   []AutoscaleResult  `json:"autoscale,omitempty"`
 	Baseline    []Result           `json:"baseline,omitempty"`
 	Deltas      []Delta            `json:"deltas,omitempty"`
 }
@@ -155,6 +162,63 @@ func tournamentResults(path string) ([]TournamentResult, error) {
 	return out, nil
 }
 
+// AutoscaleResult is one (workload, scenario) row of the autoscaling
+// study, mirroring the CSV msbench emits.
+type AutoscaleResult struct {
+	Workload  string  `json:"workload"`
+	Scenario  string  `json:"scenario"`
+	Stretch   float64 `json:"stretch"`
+	SLO       float64 `json:"slo_attainment"`
+	NodeHours float64 `json:"node_hours"`
+	SavedPct  float64 `json:"saved_pct"`
+	SlaveOffs int64   `json:"slave_offs"`
+	Epochs    int64   `json:"epochs"`
+}
+
+// autoscaleResults parses the autoscale-study CSV (header-addressed,
+// like tournamentResults).
+func autoscaleResults(path string) ([]AutoscaleResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("%s: no autoscale rows", path)
+	}
+	col := map[string]int{}
+	for i, name := range records[0] {
+		col[name] = i
+	}
+	for _, name := range []string{"workload", "scenario", "stretch", "slo_attainment", "node_hours", "saved_pct", "slave_offs", "epochs"} {
+		if _, ok := col[name]; !ok {
+			return nil, fmt.Errorf("%s: not an autoscale CSV (missing %q column)", path, name)
+		}
+	}
+	num := func(rec []string, name string) float64 {
+		v, _ := strconv.ParseFloat(rec[col[name]], 64)
+		return v
+	}
+	out := make([]AutoscaleResult, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		out = append(out, AutoscaleResult{
+			Workload:  rec[col["workload"]],
+			Scenario:  rec[col["scenario"]],
+			Stretch:   num(rec, "stretch"),
+			SLO:       num(rec, "slo_attainment"),
+			NodeHours: num(rec, "node_hours"),
+			SavedPct:  num(rec, "saved_pct"),
+			SlaveOffs: int64(num(rec, "slave_offs")),
+			Epochs:    int64(num(rec, "epochs")),
+		})
+	}
+	return out, nil
+}
+
 // liveSummary mirrors the fields of cmd/loadgen's Summary that the
 // report folds in (decoding stays tolerant of extra fields).
 type liveSummary struct {
@@ -180,7 +244,7 @@ type liveSummary struct {
 		ReqSPerCore float64 `json:"req_s_per_core"`
 		P99S        float64 `json:"p99_s"`
 	} `json:"scaling"`
-	Latency       struct {
+	Latency struct {
 		P50  float64 `json:"p50"`
 		P95  float64 `json:"p95"`
 		P99  float64 `json:"p99"`
@@ -349,6 +413,7 @@ func main() {
 	baseline := flag.String("baseline", "", "bench output file to diff the stdin run against")
 	live := flag.String("live", "", "comma-separated loadgen JSON summaries to fold in")
 	tournament := flag.String("tournament", "", "policy-tournament CSV (msbench -experiment tournament -csv DIR) to fold in")
+	autoscale := flag.String("autoscale", "", "autoscale-study CSV (msbench -experiment autoscale -csv DIR) to fold in")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
@@ -362,6 +427,14 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Tournament = tr
+	}
+	if *autoscale != "" {
+		ar, err := autoscaleResults(*autoscale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Autoscale = ar
 	}
 	if *live != "" {
 		lr, hl, err := liveResults(strings.Split(*live, ","))

@@ -237,3 +237,33 @@ func TestTournamentResults(t *testing.T) {
 		t.Fatal("accepted a missing file")
 	}
 }
+
+func TestAutoscaleResults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "autoscale-vs-fixed-fleet.csv")
+	os.WriteFile(path, []byte(
+		"workload,scenario,stretch,slo_attainment,node_hours,saved_pct,slave_offs,epochs\n"+
+			"diurnal,fixed fleet,11.5,0.986,0.0646,0,0,0\n"+
+			"diurnal,autoscaled,9.5,0.999,0.0514,20.5,29,33\n"), 0o644) //nolint:errcheck
+	rows, err := autoscaleResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	r := rows[1]
+	if r.Workload != "diurnal" || r.Scenario != "autoscaled" ||
+		r.SavedPct != 20.5 || r.SLO != 0.999 || r.SlaveOffs != 29 || r.Epochs != 33 {
+		t.Fatalf("autoscaled row mis-parsed: %+v", r)
+	}
+
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("a,b\n1,2\n"), 0o644) //nolint:errcheck
+	if _, err := autoscaleResults(bad); err == nil {
+		t.Fatal("accepted a CSV without autoscale columns")
+	}
+	if _, err := autoscaleResults(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}

@@ -10,19 +10,44 @@ import (
 	"msweb/internal/trace"
 )
 
+// frameFailThreshold is how many consecutive transport failures against
+// one target mark it dead: its pooled connections are evicted and
+// traffic reroutes to the next live target. Two, not one — a single
+// poisoned connection (idle timeout, one lost race with a restart)
+// should not divert a whole target's share of the load.
+const frameFailThreshold = 2
+
+// frameProbeEvery rations recovery probes at a dead target: one request
+// in this many routed to it gets through, so a restarted or re-promoted
+// master is picked back up without hammering a corpse.
+const frameProbeEvery = 64
+
 // framePool hands out persistent 'Q'-frame connections to the target
 // masters — the binary transport's analogue of http.Transport's
 // keep-alive pool. Connections are pooled per target: a worker pops one
 // (dialing fresh when the free list is empty), issues a request, and
 // returns it; transport errors close the connection so the next request
-// redials. Under C concurrent workers the pool converges on at most C
-// connections per target, each with its own reused scratch buffers.
+// redials.
+//
+// Unlike the HTTP path, pooled frame connections pin their master: when
+// that master is killed or demoted (live membership changes mid-run),
+// every pooled connection to it is a pre-dialed dead end. The pool
+// tracks consecutive failures per target; at frameFailThreshold it
+// evicts the target's free list and routes around it, probing
+// occasionally so recovery is automatic. Under C concurrent workers the
+// pool converges on at most C connections per live target.
 type framePool struct {
 	targets []string
 	timeout time.Duration
 	mu      sync.Mutex
 	free    [][]*httpcluster.FrameClient
-	dials   atomic.Int64
+	// fails counts consecutive transport failures per target (guarded by
+	// mu); at frameFailThreshold the target is considered dead.
+	fails     []int
+	dials     atomic.Int64
+	evictions atomic.Int64
+	rerouted  atomic.Int64
+	probes    atomic.Int64
 }
 
 func newFramePool(targets []string, timeout time.Duration) *framePool {
@@ -30,7 +55,55 @@ func newFramePool(targets []string, timeout time.Duration) *framePool {
 		targets: targets,
 		timeout: timeout,
 		free:    make([][]*httpcluster.FrameClient, len(targets)),
+		fails:   make([]int, len(targets)),
 	}
+}
+
+// route resolves a request's preferred target to one currently believed
+// live, walking forward from the preference so reroutes spread instead
+// of piling onto one survivor. With every target dead (or the probe
+// ration due) the preferred target stands — failing loudly beats
+// failing silently somewhere else.
+func (p *framePool) route(t int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fails[t] < frameFailThreshold {
+		return t
+	}
+	if p.probes.Add(1)%frameProbeEvery == 0 {
+		return t
+	}
+	for i := 1; i < len(p.targets); i++ {
+		n := (t + i) % len(p.targets)
+		if p.fails[n] < frameFailThreshold {
+			p.rerouted.Add(1)
+			return n
+		}
+	}
+	return t
+}
+
+// markFail records one transport failure; crossing the threshold evicts
+// the target's pooled connections (they all pin the same dead master).
+func (p *framePool) markFail(t int) {
+	p.mu.Lock()
+	p.fails[t]++
+	if p.fails[t] == frameFailThreshold {
+		for _, fc := range p.free[t] {
+			fc.Close() //nolint:errcheck
+			p.evictions.Add(1)
+		}
+		p.free[t] = nil
+	}
+	p.mu.Unlock()
+}
+
+// markOK clears the target's failure streak (a probe that succeeds
+// brings a recovered target straight back into rotation).
+func (p *framePool) markOK(t int) {
+	p.mu.Lock()
+	p.fails[t] = 0
+	p.mu.Unlock()
 }
 
 func (p *framePool) get(t int) (*httpcluster.FrameClient, error) {
@@ -97,8 +170,10 @@ func buildFrameWork(targets []string, tr *trace.Trace) []frameWork {
 func newFrameDo(pool *framePool, works []frameWork, ok, errs, shed, exhausted *atomic.Int64) func(int) bool {
 	return func(i int) bool {
 		w := &works[i]
-		fc, err := pool.get(w.target)
+		t := pool.route(w.target)
+		fc, err := pool.get(t)
 		if err != nil {
+			pool.markFail(t)
 			errs.Add(1)
 			return false
 		}
@@ -106,10 +181,12 @@ func newFrameDo(pool *framePool, works []frameWork, ok, errs, shed, exhausted *a
 		if err != nil {
 			// Poisoned connection: drop it so the next get redials.
 			fc.Close() //nolint:errcheck
+			pool.markFail(t)
 			errs.Add(1)
 			return false
 		}
-		pool.put(w.target, fc)
+		pool.markOK(t)
+		pool.put(t, fc)
 		switch sts[0] {
 		case http.StatusOK:
 			ok.Add(1)

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"msweb/internal/httpcluster"
+)
+
+// A target whose master died (or was demoted away) must stop costing
+// the driver requests: after frameFailThreshold consecutive failures
+// the pool evicts its pre-dialed connections and routes its share of
+// the load to the next live target, and a markOK (a successful probe)
+// brings it straight back.
+func TestFramePoolRoutesAroundDeadTarget(t *testing.T) {
+	n, err := httpcluster.LaunchNode(httpcluster.NodeOptions{ID: 0, TimeScale: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Shutdown()
+
+	pool := newFramePool([]string{"http://127.0.0.1:1", n.URL}, time.Second)
+	defer pool.Close()
+
+	for i := 0; i < frameFailThreshold; i++ {
+		if pool.route(0) != 0 {
+			t.Fatal("routed away before the failure threshold")
+		}
+		if _, err := pool.get(0); err == nil {
+			t.Fatal("dial against the dead target succeeded")
+		}
+		pool.markFail(0)
+	}
+	rerouted := 0
+	for i := 0; i < 10; i++ {
+		if pool.route(0) == 1 {
+			rerouted++
+		}
+	}
+	if rerouted < 9 { // the probe ration may keep at most the odd one
+		t.Fatalf("only %d/10 requests rerouted off the dead target", rerouted)
+	}
+	pool.markOK(0)
+	if pool.route(0) != 0 {
+		t.Fatal("recovered target not routed to after markOK")
+	}
+}
+
+// Marking a target dead evicts its pooled (stale) connections, so no
+// worker can pop a pre-dialed dead end afterwards.
+func TestFramePoolEvictsStaleConnsOnDeath(t *testing.T) {
+	n, err := httpcluster.LaunchNode(httpcluster.NodeOptions{ID: 0, TimeScale: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Shutdown()
+
+	pool := newFramePool([]string{n.URL}, time.Second)
+	defer pool.Close()
+	fc, err := pool.get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.put(0, fc)
+
+	for i := 0; i < frameFailThreshold; i++ {
+		pool.markFail(0)
+	}
+	if got := pool.evictions.Load(); got != 1 {
+		t.Fatalf("evictions %d after the target died with one pooled conn, want 1", got)
+	}
+	pool.mu.Lock()
+	left := len(pool.free[0])
+	pool.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d stale conns still pooled after eviction", left)
+	}
+}

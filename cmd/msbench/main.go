@@ -8,8 +8,8 @@
 //
 // Experiments: table1, table2, table3, fig3a, fig3b, fig4a, fig4b,
 // fig5 (the paper's artifacts); cachesweep, failover, flashcrowd,
-// hetero (extension studies); wsense, staleness (ablations). "all" runs
-// everything.
+// autoscale, hetero (extension studies); wsense, staleness (ablations).
+// "all" runs everything.
 //
 // Simulation grids run on a bounded worker pool (-parallel, default
 // GOMAXPROCS; -parallel 1 forces the sequential order — output is
@@ -45,7 +45,7 @@ func main() {
 // piped table output stays clean.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("msbench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "which artifact to regenerate (table1|table2|table3|fig3a|fig3b|fig4a|fig4b|fig5|cachesweep|failover|flashcrowd|hetero|tournament|sharded|all)")
+	exp := fs.String("experiment", "all", "which artifact to regenerate (table1|table2|table3|fig3a|fig3b|fig4a|fig4b|fig5|cachesweep|failover|flashcrowd|autoscale|hetero|tournament|sharded|all)")
 	var pf policy.Flags
 	pf.Register(fs)
 	quick := fs.Bool("quick", false, "reduced fidelity: fewer seeds, shorter replays")
@@ -240,6 +240,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintln(stdout, experiments.FormatFlashCrowd(16, rows))
 			return emit(experiments.FlashCrowdTable(rows))
 		},
+		"autoscale": func() error {
+			rows, err := experiments.RunAutoscale(16, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.FormatAutoscale(16, rows))
+			return emit(experiments.AutoscaleTable(rows))
+		},
 		"hetero": func() error {
 			rows, err := experiments.RunHeteroStudy(16, opts)
 			if err != nil {
@@ -314,7 +322,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 	}
 
-	order := []string{"table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "cachesweep", "failover", "flashcrowd", "hetero", "discipline", "openclosed", "wsense", "staleness", "tournament", "sharded", "table3"}
+	order := []string{"table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "cachesweep", "failover", "flashcrowd", "autoscale", "hetero", "discipline", "openclosed", "wsense", "staleness", "tournament", "sharded", "table3"}
 	// Experiments that never read the shared Options: table1 sizes
 	// itself, fig3 is closed-form, table3 has its own Table3Options.
 	ignoresOptions := map[string]bool{"table1": true, "fig3a": true, "fig3b": true, "table3": true}

@@ -115,6 +115,7 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	shards := fs.Int("shards", 0, "partition the slave tier across the masters (must equal -masters; 0/1 = global view)")
 	shardMap := fs.String("shard-map", "", "shard partitioning function: hash (default) or static")
 	gossip := fs.Duration("gossip", 0, "master↔master shard-summary pull period (0 = 4×refresh)")
+	autoscale := fs.Duration("autoscale-masters", 0, "live master-tier autoscaler period (0: off; needs -shards)")
 	fs.StringVar(&profileFlags.mutex, "mutexprofile", "", "write a mutex-contention profile to this file at shutdown")
 	fs.StringVar(&profileFlags.block, "blockprofile", "", "write a goroutine-blocking profile to this file at shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -142,6 +143,7 @@ func buildConfig(args []string) (httpcluster.Config, error) {
 	cfg.Shards = *shards
 	cfg.ShardMapMode = *shardMap
 	cfg.GossipEvery = *gossip
+	cfg.AutoscaleMasters = *autoscale
 	return cfg, cfg.Validate()
 }
 

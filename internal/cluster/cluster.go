@@ -101,6 +101,16 @@ type Config struct {
 	Cache *CacheConfig
 	// Adaptive enables on-line master-count adaptation.
 	Adaptive *AdaptiveMasters
+	// Autoscale enables the full online autoscaler: Theorem 1 re-planning
+	// of m plus powering slaves on and off against the measured load,
+	// with c/μ-rule scale-down ordering and exponential hold-epoch
+	// hysteresis (see Autoscale). Mutually exclusive with Adaptive (the
+	// autoscaler subsumes it) and AutoRecruit.
+	Autoscale *Autoscale
+	// SLOResponse, when positive, counts every sampled request against a
+	// response-time SLO: Result.SLOAttainment reports the fraction of
+	// counted samples at or under this many (virtual) seconds.
+	SLOResponse float64
 	// AutoRecruit enables reactive recruitment of non-dedicated nodes
 	// at peak load (see AutoRecruit).
 	AutoRecruit *AutoRecruit
@@ -125,11 +135,14 @@ type Config struct {
 	// Seed drives the front end's random master selection.
 	Seed int64
 	// Shards > 1 partitions the slave tier across the master tier
-	// (master i owns shard i; must equal Masters): each master's policy
-	// sees and books against only its own shard, refreshed at O(shard)
-	// per tick, with shed requests spilling cross-shard via gossiped
-	// summaries. Requires a static topology (no availability events,
-	// adaptation or recruitment). 0 or 1 keeps the global shared view.
+	// (master i owns shard i; must equal the initial Masters): each
+	// master's policy sees and books against only its own shard,
+	// refreshed at O(shard) per tick, with shed requests spilling
+	// cross-shard via gossiped summaries. The shard map is
+	// epoch-versioned: availability events, adaptation, recruitment and
+	// the autoscaler rebalance it live (consistent-hash ring, so only
+	// ~1/m of the slaves move per master change). 0 or 1 keeps the
+	// global shared view.
 	Shards int
 	// ShardMapMode selects the partitioning function: "hash"
 	// (consistent ring, the default) or "static" (position modulo).
@@ -179,11 +192,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: negative retry delay")
 	case c.Shards > 1 && c.Shards != c.Masters:
 		return fmt.Errorf("cluster: shards %d must equal masters %d", c.Shards, c.Masters)
-	case c.Shards > 1 && (c.Adaptive != nil || c.AutoRecruit != nil ||
-		len(c.Events) > 0 || len(c.InitiallyDown) > 0):
-		return fmt.Errorf("cluster: sharding requires a static topology")
 	case c.GossipEvery < 0:
 		return fmt.Errorf("cluster: negative gossip period")
+	case c.SLOResponse < 0:
+		return fmt.Errorf("cluster: negative SLO response bound")
+	case c.Autoscale != nil && c.Autoscale.Period <= 0:
+		return fmt.Errorf("cluster: autoscale period must be positive")
+	case c.Autoscale != nil && (c.Adaptive != nil || c.AutoRecruit != nil):
+		return fmt.Errorf("cluster: autoscale subsumes Adaptive and AutoRecruit; configure only one")
 	}
 	if _, err := disciplinedOS(c.OS, c.Discipline); err != nil {
 		return err
@@ -247,6 +263,18 @@ type Result struct {
 	CacheStats dyncache.Stats
 	// Recruitments and Releases count auto-recruit transitions.
 	Recruitments, Releases int64
+	// SLOAttainment is the fraction of counted samples whose response
+	// met Config.SLOResponse (0 when the SLO is unset); SLOCount is the
+	// sample population behind it.
+	SLOAttainment float64
+	SLOCount      int64
+	// NodeHours integrates the powered node population over the run's
+	// virtual time — the operating-cost metric the autoscaler trades
+	// against the SLO. Every node counts as powered except while the
+	// autoscaler has switched it off.
+	NodeHours float64
+	// Autoscale reports online-autoscaler activity (nil when disabled).
+	Autoscale *AutoscaleStats
 	// Shards reports sharded control-plane accounting (nil when the run
 	// used the global shared view).
 	Shards *ShardStats
@@ -287,10 +315,26 @@ type Cluster struct {
 
 	roleMasters int
 	available   []bool
-	inflight    map[int64]*pendingRequest
-	nextReqID   int64
-	failovers   int64
-	shed        int64
+	// powered is the autoscaler's graceful on/off state, distinct from
+	// available (crash semantics): a powered-off node leaves the view but
+	// finishes its queued work and is never drained.
+	powered   []bool
+	inflight  map[int64]*pendingRequest
+	nextReqID int64
+	failovers int64
+	shed      int64
+
+	// SLO accounting (Config.SLOResponse > 0).
+	sloOK, sloN int64
+	// Node-hours integration: poweredCount nodes since lastPowerAt.
+	poweredCount int
+	lastPowerAt  float64
+	nodeSeconds  float64
+
+	// Online autoscaler state (Config.Autoscale != nil); see autoscale.go.
+	asHold      float64 // current hold-epoch length (s)
+	asHoldUntil float64 // no scaling action before this virtual time
+	asStats     *AutoscaleStats
 
 	// trace and warmupUntil back the typed arrival events: each arrival
 	// is scheduled as an index into trace.Requests instead of a closure.
@@ -327,18 +371,24 @@ type Cluster struct {
 	tickers                []*sim.Ticker
 
 	// sharded control plane (nil/zero when Config.Shards ≤ 1); see
-	// shard.go for the per-master views, summaries and accounting.
-	shardMap   *core.ShardMap
-	shardViews []core.View
-	shardSums  []core.ShardSummary
-	remoteSums [][]core.ShardSummary
-	remoteAt   [][]float64
-	pollWork   int64
-	pollRounds int64
-	ageSum     float64
-	ageN       int64
-	spilled    int64
-	spillShed  int64
+	// shard.go for the per-master views, summaries and accounting. The
+	// map is epoch-versioned and rebuilt by reshard() on every topology
+	// change; shardOf maps a master's node id to its shard index (the
+	// two coincide only in the initial static layout).
+	shardMap     *core.ShardMap
+	shardOf      map[int]int
+	shardViews   []core.View
+	shardSums    []core.ShardSummary
+	remoteSums   [][]core.ShardSummary
+	remoteAt     [][]float64
+	pollWork     int64
+	pollSamples  int64
+	ageSum       float64
+	ageN         int64
+	spilled      int64
+	spillShed    int64
+	epochChanges int64
+	shardMoved   int64
 }
 
 // New builds a cluster around an existing engine.
@@ -361,11 +411,18 @@ func New(eng *sim.Engine, cfg Config, policy core.Policy) (*Cluster, error) {
 	c.submitC = c.submitCall
 	c.completeC = c.complete
 	c.available = make([]bool, cfg.Nodes)
+	c.powered = make([]bool, cfg.Nodes)
 	for i := range c.available {
 		c.available[i] = true
+		c.powered[i] = true
 	}
 	for _, id := range cfg.InitiallyDown {
 		c.available[id] = false
+	}
+	c.poweredCount = cfg.Nodes
+	if cfg.Autoscale != nil {
+		c.asStats = &AutoscaleStats{}
+		c.asHold = cfg.Autoscale.holdInitial()
 	}
 	if cfg.Cache != nil {
 		hit := cfg.Cache.HitDemand
@@ -514,10 +571,15 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 	c.winArrivals++
 	master := c.view.Masters[c.front.Intn(len(c.view.Masters))]
 	view := &c.view
+	shard := -1
 	if c.shardMap != nil {
-		// Sharded: this master places within its own shard only (the
-		// topology is static, so master ids index the shard views).
-		view = &c.shardViews[master]
+		// Sharded: this master places within its own shard only. The
+		// shard index comes from the current epoch's map — master node
+		// ids and shard indices coincide only in the initial layout.
+		if s, ok := c.shardOf[master]; ok {
+			shard = s
+			view = &c.shardViews[s]
+		}
 	}
 
 	// Optional live-parity shedding: with no slaves in view and the
@@ -528,8 +590,8 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 	spillTarget := -1
 	if c.cfg.EnableShedding && c.gate != nil && len(view.Slaves) == 0 &&
 		c.gate.DeniesMasterAbsorption(master, view) {
-		if c.shardMap != nil {
-			spillTarget = c.pickSimSpill(master)
+		if shard >= 0 {
+			spillTarget = c.pickSimSpill(shard)
 		}
 		if spillTarget < 0 {
 			if c.shardMap != nil {
@@ -537,6 +599,9 @@ func (c *Cluster) dispatchFull(req trace.Request, countSample bool, arrival floa
 			}
 			c.shed++
 			c.completed++
+			if countSample && c.cfg.SLOResponse > 0 {
+				c.sloN++ // a shed counted request is an SLO miss
+			}
 			if onDone != nil {
 				onDone(c.eng.Now())
 			}
@@ -724,6 +789,7 @@ func (c *Cluster) complete(arg any, now float64) {
 		c.winDemandH += req.Demand
 	}
 	if pr.count {
+		c.observeSLO(response)
 		sample := metrics.Sample{
 			Demand:   req.Demand,
 			Response: response,
@@ -767,6 +833,7 @@ func (c *Cluster) runCacheHit(req trace.Request, reqID int64, countSample bool, 
 				})
 			}
 			if countSample {
+				c.observeSLO(now - arrival)
 				sample := metrics.Sample{
 					Demand:   req.Demand,
 					Response: now - arrival,
@@ -891,6 +958,9 @@ func (c *Cluster) startTickers() {
 	if c.cfg.Adaptive != nil {
 		c.tickers = append(c.tickers, c.eng.Every(c.cfg.Adaptive.Period, c.adapt))
 	}
+	if c.cfg.Autoscale != nil {
+		c.tickers = append(c.tickers, c.eng.Every(c.cfg.Autoscale.Period, c.autoscaleTick))
+	}
 	if c.cfg.AutoRecruit != nil {
 		c.tickers = append(c.tickers, c.eng.Every(c.cfg.AutoRecruit.Period, c.autoRecruit))
 	}
@@ -925,6 +995,17 @@ func (c *Cluster) buildResult() *Result {
 	res.Recruitments = c.recruitments
 	res.Releases = c.releases
 	res.Shards = c.shardStats()
+	if c.sloN > 0 {
+		res.SLOAttainment = float64(c.sloOK) / float64(c.sloN)
+		res.SLOCount = c.sloN
+	}
+	c.accrueNodeSeconds(c.eng.Now())
+	res.NodeHours = c.nodeSeconds / 3600
+	if c.asStats != nil {
+		st := *c.asStats
+		st.FinalPowered = c.poweredCount
+		res.Autoscale = &st
+	}
 	res.StretchFactor = res.Summary.StretchFactor
 	res.NodeStats = make([]simos.Stats, len(c.nodes))
 	res.NodeUtilization = make([]ResourceUtilization, len(c.nodes))

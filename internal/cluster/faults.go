@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"msweb/internal/trace"
 )
@@ -78,6 +79,10 @@ func (c *Cluster) applyAvailability(e AvailabilityEvent) {
 			delete(c.inflight, id)
 		}
 	}
+	// The inflight map iterates in random order; the restarts it yields
+	// must not (their After events tie on time and fall back to insertion
+	// order, which would leak the map order into the replay).
+	sort.Slice(lost, func(i, j int) bool { return lost[i].id < lost[j].id })
 	delay := c.cfg.RetryDelay
 	for _, p := range lost {
 		c.failovers++
@@ -94,16 +99,18 @@ func (c *Cluster) applyAvailability(e AvailabilityEvent) {
 	}
 }
 
-// recomputeView rebuilds the master/slave lists from roles and
-// availability. Nodes with id < roleMasters are master-role. If every
-// master-role node is down, the lowest available node is promoted so the
-// cluster keeps accepting requests (the hot-standby takeover the paper
-// describes).
+// recomputeView rebuilds the master/slave lists from roles,
+// availability and the autoscaler's power state. Nodes with id <
+// roleMasters are master-role. If every master-role node is down, the
+// lowest available node is promoted so the cluster keeps accepting
+// requests (the hot-standby takeover the paper describes). Under
+// sharding, every topology change also rebalances the shard map onto a
+// new epoch (see reshard).
 func (c *Cluster) recomputeView() {
 	masters := c.view.Masters[:0]
 	slaves := c.view.Slaves[:0]
 	for i := 0; i < c.cfg.Nodes; i++ {
-		if !c.available[i] {
+		if !c.available[i] || !c.powered[i] {
 			continue
 		}
 		if i < c.roleMasters {
@@ -118,6 +125,7 @@ func (c *Cluster) recomputeView() {
 	}
 	c.view.Masters = masters
 	c.view.Slaves = slaves
+	c.reshard()
 }
 
 // Available reports a node's current availability.

@@ -2,18 +2,28 @@ package cluster
 
 // Sharded control plane, simulation side. With Config.Shards > 1 the
 // slave tier is partitioned across the master tier by the same
-// deterministic core.ShardMap the live cluster uses (master i owns
-// shard i): each master's placement view holds only its own shard, its
-// per-tick refresh work is the shard size rather than the fleet size,
-// and cross-shard state travels as core.ShardSummary values exchanged
-// on a slow gossip tick. When a sharded master would shed (absorption
-// gate denies and its shard offers no slave), it first tries to spill
-// onto the least-loaded digest of a fresh remote summary, paying a
-// second dispatch hop.
+// deterministic core.ShardMap the live cluster uses (shard i is owned
+// by the i-th master of the current view): each master's placement view
+// holds only its own shard, its per-tick refresh work is the shard size
+// rather than the fleet size, and cross-shard state travels as
+// core.ShardSummary values exchanged on a slow gossip tick. When a
+// sharded master would shed (absorption gate denies and its shard
+// offers no slave), it first tries to spill onto the least-loaded
+// digest of a fresh remote summary, paying a second dispatch hop.
+//
+// The map is epoch-versioned: every topology change — a node crash or
+// recovery, recruitment, an adaptive or autoscaler master-count change,
+// a graceful power-off — derives the successor map via Rebalanced
+// (consistent-hash ring, so only ~1/m of the slaves change owner per
+// master change) and bumps the epoch. Summaries carry the epoch of the
+// map they were built under; spill decisions accept the current and the
+// immediately preceding epoch (the bounded dual-epoch handoff window)
+// and discard anything older.
 //
 // The simulation is the byte-deterministic side of the design: the same
-// trace and seed always produce the same placements, so experiments can
-// compare sharded and global control planes at 1k–10k nodes exactly.
+// trace and seed always produce the same placements, reshards and
+// scaling decisions, so experiments can compare sharded and global
+// control planes — and autoscaled against fixed fleets — exactly.
 
 import (
 	"msweb/internal/core"
@@ -24,7 +34,7 @@ const simShardTopK = 8
 
 // ShardStats reports sharded control-plane accounting for one run.
 type ShardStats struct {
-	// Shards is the shard (= master) count.
+	// Shards is the final shard (= master) count.
 	Shards int
 	// MaxShardSize is the largest shard's slave population.
 	MaxShardSize int
@@ -40,41 +50,103 @@ type ShardStats struct {
 	// candidate left.
 	Spilled   int64
 	SpillShed int64
+	// Epoch is the shard map's final version; EpochChanges counts the
+	// rebalances that got it there (0 for a static run).
+	Epoch        uint64
+	EpochChanges int64
+	// MovedNodes accumulates, over all rebalances, how many surviving
+	// slaves changed owner — the consistent-hash ~1/m-per-change claim.
+	MovedNodes int64
 }
 
-// setupShards builds the shard map and the per-master views. The views
-// alias the cluster-sized load array — a master's reads are bounded by
-// its Masters/Slaves lists, so aliasing is safe and keeps refresh
-// writes in one place.
+// setupShards builds the initial epoch-0 shard map and the per-master
+// views from the configured topology. The views alias the cluster-sized
+// load array — a master's reads are bounded by its Masters/Slaves
+// lists, so aliasing is safe and keeps refresh writes in one place.
 func (c *Cluster) setupShards() error {
-	m := c.cfg.Masters
-	slaves := make([]int, 0, c.cfg.Nodes-m)
-	for i := m; i < c.cfg.Nodes; i++ {
-		slaves = append(slaves, i)
-	}
-	sm, err := core.NewShardMap(c.cfg.ShardMapMode, c.cfg.Shards, slaves)
+	sm, err := core.NewShardMap(c.cfg.ShardMapMode, len(c.view.Masters), c.view.Slaves)
 	if err != nil {
 		return err
 	}
 	c.shardMap = sm
-	c.shardViews = make([]core.View, m)
-	c.shardSums = make([]core.ShardSummary, m)
-	c.remoteSums = make([][]core.ShardSummary, m)
-	c.remoteAt = make([][]float64, m)
+	c.rebuildShardStructs(true)
+	return nil
+}
+
+// reshard rebalances the shard map after a topology change: the next
+// epoch's map is derived from the current one over the new master count
+// and slave list, and the per-shard views are rebuilt. Remote summaries
+// survive a rebalance that keeps the shard count (they are one epoch
+// old — inside the handoff window); a master-count change resizes the
+// gossip state and starts the new shards cold.
+func (c *Cluster) reshard() {
+	if c.shardMap == nil {
+		return
+	}
+	m := len(c.view.Masters)
+	if m < 1 {
+		// Whole cluster down: keep the last map; dispatch is already
+		// parked on the retry path until capacity returns.
+		return
+	}
+	next, err := c.shardMap.Rebalanced(m, c.view.Slaves)
+	if err != nil {
+		return // unreachable: the mode was validated at construction
+	}
+	c.shardMoved += int64(next.MovedFrom(c.shardMap))
+	sameShape := next.NumShards() == c.shardMap.NumShards()
+	c.shardMap = next
+	c.epochChanges++
+	c.rebuildShardStructs(sameShape)
+}
+
+// rebuildShardStructs sizes the per-shard views, summaries and gossip
+// mailboxes to the current map. keepRemote preserves the held remote
+// summaries (same shard count: their shard indices still mean the same
+// owners, and their one-epoch-old stamps stay inside the spill window).
+func (c *Cluster) rebuildShardStructs(keepRemote bool) {
+	m := c.shardMap.NumShards()
+	if c.shardOf == nil {
+		c.shardOf = make(map[int]int, m)
+	}
+	for id := range c.shardOf {
+		delete(c.shardOf, id)
+	}
+	for i, id := range c.view.Masters {
+		c.shardOf[id] = i
+	}
+
+	if cap(c.shardViews) < m {
+		c.shardViews = make([]core.View, m)
+	}
+	c.shardViews = c.shardViews[:m]
 	for s := 0; s < m; s++ {
+		owner := []int{s}
+		if s < len(c.view.Masters) {
+			owner = []int{c.view.Masters[s]}
+		}
 		c.shardViews[s] = core.View{
-			Masters:  []int{s},
-			Slaves:   append([]int(nil), sm.Members(s)...),
+			Masters:  owner,
+			Slaves:   append(c.shardViews[s].Slaves[:0], c.shardMap.Members(s)...),
 			Load:     c.view.Load,
 			Affinity: c.cfg.Affinity,
-		}
-		c.remoteSums[s] = make([]core.ShardSummary, m)
-		c.remoteAt[s] = make([]float64, m)
-		for t := range c.remoteAt[s] {
-			c.remoteAt[s][t] = -1
+			Now:      c.view.Now,
 		}
 	}
-	return nil
+
+	keepRemote = keepRemote && len(c.shardSums) == m
+	if !keepRemote {
+		c.shardSums = make([]core.ShardSummary, m)
+		c.remoteSums = make([][]core.ShardSummary, m)
+		c.remoteAt = make([][]float64, m)
+		for s := 0; s < m; s++ {
+			c.remoteSums[s] = make([]core.ShardSummary, m)
+			c.remoteAt[s] = make([]float64, m)
+			for t := range c.remoteAt[s] {
+				c.remoteAt[s][t] = -1
+			}
+		}
+	}
 }
 
 // gossipPeriod is the summary exchange period (default 4× the load
@@ -88,15 +160,17 @@ func (c *Cluster) gossipPeriod() float64 {
 
 // refreshShardSummaries rebuilds each shard's own summary after a load
 // refresh and accounts the per-master poll work (one self-sample plus
-// the shard members).
+// the shard members). Summaries are stamped with the current map epoch.
 func (c *Cluster) refreshShardSummaries() {
 	atNs := int64(c.eng.Now() * 1e9)
+	epoch := c.shardMap.Epoch()
 	for s := range c.shardSums {
 		members := c.shardMap.Members(s)
 		core.BuildShardSummary(&c.shardSums[s], s, atNs, members, c.view.Load, simShardTopK)
+		c.shardSums[s].Epoch = epoch
 		c.pollWork += int64(len(members)) + 1
+		c.pollSamples++
 	}
-	c.pollRounds++
 }
 
 // gossipShards delivers every shard's current summary to every other
@@ -134,20 +208,29 @@ func (c *Cluster) sampleSummaryAge() {
 	}
 }
 
-// pickSimSpill returns the best available node among fresh remote
+// pickSimSpill returns the best usable node among fresh remote
 // summaries' digests (lowest RSRC, ties to the first found — summary
 // and digest order are deterministic), or -1 when no shard has a fresh
-// summary with a usable digest.
-func (c *Cluster) pickSimSpill(master int) int {
+// summary with a usable digest. Usable means: the summary is fresh and
+// from the current or the immediately preceding map epoch (the bounded
+// dual-epoch handoff window), and the node is available, powered, and a
+// slave of the current map — a digest naming a node that a newer epoch
+// demoted or removed is dead information, not a spill target.
+func (c *Cluster) pickSimSpill(shard int) int {
 	now := c.eng.Now()
 	ttl := 3 * c.gossipPeriod()
+	epoch := c.shardMap.Epoch()
 	best, bestCost := -1, 0.0
-	for s := range c.remoteSums[master] {
-		if s == master || c.remoteAt[master][s] < 0 || now-c.remoteAt[master][s] > ttl {
+	for s := range c.remoteSums[shard] {
+		if s == shard || c.remoteAt[shard][s] < 0 || now-c.remoteAt[shard][s] > ttl {
 			continue
 		}
-		for _, d := range c.remoteSums[master][s].Top {
-			if !c.available[d.Node] {
+		sum := &c.remoteSums[shard][s]
+		if sum.Epoch+1 < epoch {
+			continue // outside the dual-epoch window
+		}
+		for _, d := range sum.Top {
+			if !c.available[d.Node] || !c.powered[d.Node] || c.shardMap.ShardOf(d.Node) < 0 {
 				continue
 			}
 			cost := core.NodeRSRC(core.DefaultW, d.Load)
@@ -165,14 +248,21 @@ func (c *Cluster) shardStats() *ShardStats {
 	if c.shardMap == nil {
 		return nil
 	}
-	st := &ShardStats{Shards: c.cfg.Shards, Spilled: c.spilled, SpillShed: c.spillShed}
-	for s := 0; s < c.cfg.Shards; s++ {
+	st := &ShardStats{
+		Shards:       c.shardMap.NumShards(),
+		Spilled:      c.spilled,
+		SpillShed:    c.spillShed,
+		Epoch:        c.shardMap.Epoch(),
+		EpochChanges: c.epochChanges,
+		MovedNodes:   c.shardMoved,
+	}
+	for s := 0; s < st.Shards; s++ {
 		if n := len(c.shardMap.Members(s)); n > st.MaxShardSize {
 			st.MaxShardSize = n
 		}
 	}
-	if c.pollRounds > 0 {
-		st.NodesPolledPerTick = float64(c.pollWork) / float64(c.pollRounds*int64(c.cfg.Masters))
+	if c.pollSamples > 0 {
+		st.NodesPolledPerTick = float64(c.pollWork) / float64(c.pollSamples)
 	}
 	if c.ageN > 0 {
 		st.MeanSummaryAge = c.ageSum / float64(c.ageN)

@@ -10,9 +10,12 @@ import (
 func TestShardedConfigValidation(t *testing.T) {
 	cases := []func(*Config){
 		func(c *Config) { c.Shards = 3 }, // != masters
-		func(c *Config) { c.Shards = 2; c.Adaptive = &AdaptiveMasters{Period: 1} },
-		func(c *Config) { c.Shards = 2; c.Events = []AvailabilityEvent{{Node: 3, At: 1}} },
-		func(c *Config) { c.Shards = 2; c.InitiallyDown = []int{3} },
+		func(c *Config) { c.SLOResponse = -1 },
+		func(c *Config) { c.Autoscale = &Autoscale{} }, // period unset
+		func(c *Config) {
+			c.Autoscale = &Autoscale{Period: 1}
+			c.Adaptive = &AdaptiveMasters{Period: 1}
+		},
 		func(c *Config) { c.Shards = 2; c.GossipEvery = -1 },
 		func(c *Config) { c.Shards = 2; c.ShardMapMode = "bogus" },
 	}

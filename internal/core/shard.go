@@ -36,19 +36,31 @@ const (
 const ringPointsPerShard = 64
 
 // ShardMap is an immutable node→shard partition. The zero value is not
-// usable; construct with NewShardMap.
+// usable; construct with NewShardMap. Maps are versioned by a
+// monotonically increasing epoch: the initial map of a run is epoch 0,
+// and every membership change (node join/leave/fail, master-count
+// change) derives a successor via Rebalanced, which bumps the epoch.
+// Gossip carries the epoch so masters converge newest-wins on the same
+// partition without a coordination step.
 type ShardMap struct {
 	mode    string
 	shards  int
+	epoch   uint64
 	owner   map[int]int // slave node ID → shard
 	members [][]int     // shard → slave node IDs, ascending
 }
 
-// NewShardMap partitions the given slave IDs into shards. mode "" means
-// ShardHash. shards < 1 or a single shard yields the trivial one-shard
-// map (every slave in shard 0) — the unsharded degenerate case callers
-// can still index uniformly.
+// NewShardMap partitions the given slave IDs into shards at epoch 0.
+// mode "" means ShardHash. shards < 1 or a single shard yields the
+// trivial one-shard map (every slave in shard 0) — the unsharded
+// degenerate case callers can still index uniformly.
 func NewShardMap(mode string, shards int, slaves []int) (*ShardMap, error) {
+	return NewShardMapAt(mode, shards, slaves, 0)
+}
+
+// NewShardMapAt is NewShardMap at an explicit epoch — for peers adopting
+// a map version learned from gossip rather than deriving it locally.
+func NewShardMapAt(mode string, shards int, slaves []int, epoch uint64) (*ShardMap, error) {
 	if mode == "" {
 		mode = ShardHash
 	}
@@ -61,6 +73,7 @@ func NewShardMap(mode string, shards int, slaves []int) (*ShardMap, error) {
 	m := &ShardMap{
 		mode:    mode,
 		shards:  shards,
+		epoch:   epoch,
 		owner:   make(map[int]int, len(slaves)),
 		members: make([][]int, shards),
 	}
@@ -94,6 +107,36 @@ func (m *ShardMap) Mode() string { return m.mode }
 
 // NumShards reports the shard count.
 func (m *ShardMap) NumShards() int { return m.shards }
+
+// Epoch reports the map's membership version.
+func (m *ShardMap) Epoch() uint64 { return m.epoch }
+
+// Rebalanced derives the successor map at epoch+1 from a changed
+// membership: a new shard count (masters promoted/demoted) and/or a new
+// slave list (nodes joined, left or failed). The partition function is
+// unchanged, so under ShardHash only the slaves whose clockwise-first
+// ring point belongs to an added or removed shard move — about 1/m of
+// the fleet per master change — while ShardStatic reassigns by position
+// as always.
+func (m *ShardMap) Rebalanced(shards int, slaves []int) (*ShardMap, error) {
+	return NewShardMapAt(m.mode, shards, slaves, m.epoch+1)
+}
+
+// MovedFrom reports how many slaves present in both maps are owned by a
+// different shard in m than in old — the churn a rebalance imposes on
+// pollers and breakers.
+func (m *ShardMap) MovedFrom(old *ShardMap) int {
+	moved := 0
+	for id, s := range m.owner {
+		if os, ok := old.owner[id]; ok && os != s {
+			moved++
+		}
+	}
+	return moved
+}
+
+// Size reports the mapped slave population.
+func (m *ShardMap) Size() int { return len(m.owner) }
 
 // ShardOf reports the shard owning the given slave, or -1 when the node
 // is not in the map (masters, unknown IDs).

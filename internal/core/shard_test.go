@@ -180,13 +180,13 @@ func TestParseShardSummaryRejects(t *testing.T) {
 		[]byte("junk"),
 		[]byte(""),
 		[]byte("s1 "),
-		[]byte("s1 1 2 3 0 0 0 0 0 1\n"),             // claims 1 digest, carries none
-		[]byte("s1 1 2 3 0 0 0 0 0 9999\n"),          // digest count over cap
-		[]byte("s1 1 2 3 0 0 0 0 0 -1\n"),            // negative digest count
-		append(good[:len(good)-1], " extra\n"...),    // trailing garbage
-		[]byte("s1 x 2 3 0 0 0 0 0 0\n"),             // non-numeric field
-		[]byte("s1 1 2 3 0 0 0 0 0 1 5 0 0 0 0\n"),   // truncated digest
-		[]byte("s1 1  2 3 0 0 0 0 0 0\n"),            // double space = empty field
+		[]byte("s1 1 2 3 0 0 0 0 0 1\n"),           // claims 1 digest, carries none
+		[]byte("s1 1 2 3 0 0 0 0 0 9999\n"),        // digest count over cap
+		[]byte("s1 1 2 3 0 0 0 0 0 -1\n"),          // negative digest count
+		append(good[:len(good)-1], " extra\n"...),  // trailing garbage
+		[]byte("s1 x 2 3 0 0 0 0 0 0\n"),           // non-numeric field
+		[]byte("s1 1 2 3 0 0 0 0 0 1 5 0 0 0 0\n"), // truncated digest
+		[]byte("s1 1  2 3 0 0 0 0 0 0\n"),          // double space = empty field
 	}
 	var dst ShardSummary
 	for _, b := range cases {

@@ -23,11 +23,25 @@ import (
 // over the shard; queues are totals; <idle> counts nodes with both
 // queues empty.
 
+// The v2 encoding (prefix "s2") carries the sender's shard-map epoch as
+// an extra field between <shard> and <at_ns>, so gossip transports map
+// versions and receivers can converge newest-wins across membership
+// changes:
+//
+//	s2 <shard> <epoch> <at_ns> ... (rest identical to s1)
+//
+// Encoders emit s1 while the epoch is 0 (a static run never rebalances,
+// keeping its wire bytes identical to pre-epoch builds) and s2 once the
+// map has moved; decoders accept both.
+
 // ShardWireContentType is the MIME type of the compact summary encoding.
 const ShardWireContentType = "text/x-msweb-shard"
 
 // shardWirePrefix introduces (and versions) a compact summary line.
 const shardWirePrefix = "s1 "
+
+// shardWirePrefixV2 introduces an epoch-carrying summary line.
+const shardWirePrefixV2 = "s2 "
 
 // MaxShardDigests caps the digest count a summary may carry (and a
 // parser will accept) so a hostile or corrupt line cannot force an
@@ -44,14 +58,27 @@ type ShardDigest struct {
 // publishes about its own shard.
 type ShardSummary struct {
 	Shard     int
-	AtNs      int64 // owner's sample time, UnixNano
-	Nodes     int   // shard population behind the aggregates
+	Epoch     uint64 // sender's shard-map epoch (0 on s1 lines)
+	AtNs      int64  // owner's sample time, UnixNano
+	Nodes     int    // shard population behind the aggregates
 	CPUIdle   float64
 	DiskAvail float64
 	CPUQueue  int
 	DiskQueue int
 	Idle      int // nodes with both queues empty
 	Top       []ShardDigest
+}
+
+// SummaryWins reports whether a summary stamped (newEpoch, newAt)
+// replaces one stamped (oldEpoch, oldAt) under the newest-wins order
+// gossip converges by: map epochs dominate, the owner's sample
+// timestamp breaks ties within an epoch (equal stamps replace, so a
+// re-delivered copy of the same generation is harmless).
+func SummaryWins(newEpoch uint64, newAt int64, oldEpoch uint64, oldAt int64) bool {
+	if newEpoch != oldEpoch {
+		return newEpoch > oldEpoch
+	}
+	return newAt >= oldAt
 }
 
 // RSRCCost reports the aggregate RSRC of the shard at the given CPU
@@ -111,12 +138,22 @@ func BuildShardSummary(dst *ShardSummary, shard int, atNs int64, ids []int, load
 	}
 }
 
-// AppendWire appends the compact v1 encoding of s to b and returns the
-// extended slice. It never allocates when b has capacity.
+// AppendWire appends the compact encoding of s to b and returns the
+// extended slice: v1 while Epoch is 0 (bytes identical to pre-epoch
+// builds), v2 with the epoch field once the map has moved. It never
+// allocates when b has capacity.
 func (s *ShardSummary) AppendWire(b []byte) []byte {
-	b = append(b, shardWirePrefix...)
+	if s.Epoch == 0 {
+		b = append(b, shardWirePrefix...)
+	} else {
+		b = append(b, shardWirePrefixV2...)
+	}
 	b = strconv.AppendInt(b, int64(s.Shard), 10)
 	b = append(b, ' ')
+	if s.Epoch != 0 {
+		b = strconv.AppendUint(b, s.Epoch, 10)
+		b = append(b, ' ')
+	}
 	b = strconv.AppendInt(b, s.AtNs, 10)
 	b = append(b, ' ')
 	b = strconv.AppendInt(b, int64(s.Nodes), 10)
@@ -150,9 +187,14 @@ func (s *ShardSummary) AppendWire(b []byte) []byte {
 	return b
 }
 
-// IsShardWire reports whether b starts a compact summary line.
+// IsShardWire reports whether b starts a compact summary line (either
+// version).
 func IsShardWire(b []byte) bool {
-	return len(b) >= len(shardWirePrefix) && string(b[:len(shardWirePrefix)]) == shardWirePrefix
+	if len(b) < len(shardWirePrefix) {
+		return false
+	}
+	p := string(b[:len(shardWirePrefix)])
+	return p == shardWirePrefix || p == shardWirePrefixV2
 }
 
 // shardFields walks the space-delimited fields of a summary line.
@@ -202,6 +244,18 @@ func (f *shardFields) int64() (int64, error) {
 	return v, nil
 }
 
+func (f *shardFields) uint64() (uint64, error) {
+	field, err := f.next()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(string(field), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: shard wire: field %d: %v", f.n-1, err)
+	}
+	return v, nil
+}
+
 func (f *shardFields) float() (float64, error) {
 	field, err := f.next()
 	if err != nil {
@@ -214,14 +268,16 @@ func (f *shardFields) float() (float64, error) {
 	return v, nil
 }
 
-// ParseShardSummary decodes a compact v1 summary line (with or without
-// the trailing newline) into dst, reusing dst.Top. dst is untouched on
-// error paths before the header parses; on a digest error it may hold a
-// partially filled Top — callers treat any error as "discard".
+// ParseShardSummary decodes a compact summary line (v1 or v2, with or
+// without the trailing newline) into dst, reusing dst.Top. dst is
+// untouched on error paths before the header parses; on a digest error
+// it may hold a partially filled Top — callers treat any error as
+// "discard". v1 lines decode with Epoch 0.
 func ParseShardSummary(b []byte, dst *ShardSummary) error {
 	if !IsShardWire(b) {
-		return fmt.Errorf("core: shard wire: missing %q prefix", shardWirePrefix)
+		return fmt.Errorf("core: shard wire: missing %q or %q prefix", shardWirePrefix, shardWirePrefixV2)
 	}
+	v2 := b[1] == '2'
 	rest := b[len(shardWirePrefix):]
 	if n := len(rest); n > 0 && rest[n-1] == '\n' {
 		rest = rest[:n-1]
@@ -230,6 +286,15 @@ func ParseShardSummary(b []byte, dst *ShardSummary) error {
 	var err error
 	if dst.Shard, err = f.int(); err != nil {
 		return err
+	}
+	dst.Epoch = 0
+	if v2 {
+		if dst.Epoch, err = f.uint64(); err != nil {
+			return err
+		}
+		if dst.Epoch == 0 {
+			return fmt.Errorf("core: shard wire: v2 line with zero epoch")
+		}
 	}
 	if dst.AtNs, err = f.int64(); err != nil {
 		return err

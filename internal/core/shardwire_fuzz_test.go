@@ -5,10 +5,11 @@ import (
 	"testing"
 )
 
-// FuzzParseShardSummary pins the s1 decoder's safety contract: arbitrary
-// input never panics, over-reads, or allocates unboundedly (the digest
-// cap), and any accepted input re-encodes to a line that parses back to
-// the same summary.
+// FuzzParseShardSummary pins the s1/s2 decoder's safety contract:
+// arbitrary input never panics, over-reads, or allocates unboundedly
+// (the digest cap), and any accepted input re-encodes to a line that
+// parses back to the same summary (including the epoch, which selects
+// the s2 framing).
 func FuzzParseShardSummary(f *testing.F) {
 	seeds := []ShardSummary{
 		{Shard: 0, AtNs: 0, Nodes: 0},
@@ -20,6 +21,10 @@ func FuzzParseShardSummary(f *testing.F) {
 			}},
 		{Shard: -1, AtNs: -5, Nodes: 1, CPUIdle: math.Inf(1), DiskAvail: math.Inf(-1),
 			Top: []ShardDigest{{Node: 0, Load: Load{Speed: math.NaN()}}}},
+		// s2 framing: epoch-stamped summaries from rebalanced maps.
+		{Shard: 2, Epoch: 1, AtNs: 99, Nodes: 8},
+		{Shard: 0, Epoch: 18446744073709551615, AtNs: 7, Nodes: 3,
+			Top: []ShardDigest{{Node: 9, Load: Load{CPUIdle: 0.4, DiskAvail: 0.3, Speed: 1}}}},
 	}
 	for _, s := range seeds {
 		f.Add(s.AppendWire(nil))
@@ -28,6 +33,11 @@ func FuzzParseShardSummary(f *testing.F) {
 		[]byte("s1 "),
 		[]byte("s1 1 2 3 0 0 0 0 0 1\n"),
 		[]byte("s1 1 2 3 0 0 0 0 0 9999\n"),
+		[]byte("s2 "),
+		[]byte("s2 1 5 2 3 0 0 0 0 0 0\n"),
+		[]byte("s2 1 0 2 3 0 0 0 0 0 0\n"), // v2 with zero epoch: rejected
+		[]byte("s2 1 x 2 3 0 0 0 0 0 0\n"),
+		[]byte("s3 1 2 3 0 0 0 0 0 0\n"),
 		[]byte("junk"),
 		[]byte(""),
 	} {
@@ -46,7 +56,7 @@ func FuzzParseShardSummary(f *testing.F) {
 		if err := ParseShardSummary(re, &s2); err != nil {
 			t.Fatalf("re-encoded %q does not parse: %v", re, err)
 		}
-		if s.Shard != s2.Shard || s.AtNs != s2.AtNs || s.Nodes != s2.Nodes ||
+		if s.Shard != s2.Shard || s.Epoch != s2.Epoch || s.AtNs != s2.AtNs || s.Nodes != s2.Nodes ||
 			!sameF64(s.CPUIdle, s2.CPUIdle) || !sameF64(s.DiskAvail, s2.DiskAvail) ||
 			s.CPUQueue != s2.CPUQueue || s.DiskQueue != s2.DiskQueue || s.Idle != s2.Idle ||
 			len(s.Top) != len(s2.Top) {

@@ -64,6 +64,14 @@ type Config struct {
 	// GossipEvery is the master↔master /shard pull period (default
 	// 4×LoadRefresh).
 	GossipEvery time.Duration
+	// AutoscaleMasters > 0 enables the live master-tier autoscaler on a
+	// sharded cluster: every period the lowest-id master re-plans the
+	// tier size from measured load and announces promote/demote
+	// membership epochs (see NodeOptions.AutoscaleMasters).
+	AutoscaleMasters time.Duration
+	// MasterCapable lists node ids the autoscaler may promote (defaults
+	// to the initial master set).
+	MasterCapable []int
 }
 
 // DefaultConfig mirrors the Table 3 setup: 6 nodes, the given master
@@ -92,6 +100,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("httpcluster: MakePolicy is required")
 	case c.Shards > 1 && c.Shards != c.Masters:
 		return fmt.Errorf("httpcluster: shards %d must equal masters %d", c.Shards, c.Masters)
+	case c.AutoscaleMasters < 0:
+		return fmt.Errorf("httpcluster: autoscale period must be non-negative")
+	case c.AutoscaleMasters > 0 && c.Shards <= 1:
+		return fmt.Errorf("httpcluster: the master-tier autoscaler needs a sharded cluster (shards > 1)")
 	}
 	return nil
 }
@@ -176,6 +188,8 @@ func Start(cfg Config) (*Cluster, error) {
 			Shards:            cfg.Shards,
 			ShardMapMode:      cfg.ShardMapMode,
 			GossipEvery:       cfg.GossipEvery,
+			AutoscaleMasters:  cfg.AutoscaleMasters,
+			MasterCapable:     cfg.MasterCapable,
 		})
 		if err != nil {
 			c.Shutdown()

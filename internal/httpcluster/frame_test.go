@@ -23,15 +23,15 @@ func launchFrameMaster(t *testing.T, rs Resilience, batch time.Duration, slaveUR
 		slaves[i] = i + 1
 	}
 	m, err := LaunchMaster(NodeOptions{
-		ID:          0,
-		TimeScale:   1e-6,
-		Masters:     []int{0},
-		Slaves:      slaves,
-		NodeURLs:    urls,
-		Policy:      firstSlave{},
-		LoadRefresh: time.Hour,
-		PolicyTick:  time.Hour,
-		Resilience:  rs,
+		ID:            0,
+		TimeScale:     1e-6,
+		Masters:       []int{0},
+		Slaves:        slaves,
+		NodeURLs:      urls,
+		Policy:        firstSlave{},
+		LoadRefresh:   time.Hour,
+		PolicyTick:    time.Hour,
+		Resilience:    rs,
 		BinaryFraming: true,
 		BatchWindow:   batch,
 	})

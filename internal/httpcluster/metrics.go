@@ -111,7 +111,17 @@ func (m *Master) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
 	p.Header("msweb_master_accepted_total", "Requests admitted past parameter validation at this master.", "counter")
 	p.Value("msweb_master_accepted_total", label, float64(m.accepted.Load()))
 	p.Header("msweb_master_shed_total", "Requests refused with 503 + Retry-After by overload protection.", "counter")
-	p.Value("msweb_master_shed_total", label, float64(m.shedCount.Load()))
+	if m.sharded {
+		// Sharded masters split sheds by cause: steady-state overload vs
+		// a shard-handoff window after an epoch move. Unsharded masters
+		// keep the single unlabeled series (there is no rebalancing to
+		// attribute to, and the exposition stays byte-identical).
+		shedReb := m.shedRebalance.Load()
+		p.Value("msweb_master_shed_total", label+`,reason="overload"`, float64(m.shedCount.Load()-shedReb))
+		p.Value("msweb_master_shed_total", label+`,reason="rebalancing"`, float64(shedReb))
+	} else {
+		p.Value("msweb_master_shed_total", label, float64(m.shedCount.Load()))
+	}
 	p.Header("msweb_master_exhausted_total", "Dynamics dropped with 502 after the retry budget or deadline ran out.", "counter")
 	p.Value("msweb_master_exhausted_total", label, float64(m.exhausted.Load()))
 	p.Header("msweb_master_retries_total", "Placement attempts beyond each request's first.", "counter")
@@ -144,7 +154,8 @@ func (m *Master) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
 	p.Histogram("msweb_master_retry_backoff_seconds", "Retry backoff sleeps actually taken before re-placement.", label, &backoffs)
 	p.Histogram("msweb_master_response_seconds", "Client-visible /req response time at this master (unscaled seconds).", label, &hist)
 
-	if m.shardMap != nil {
+	if m.sharded {
+		ms := m.mem.Load()
 		p.Header("msweb_master_placement_local_total", "Requests served on this master's own shard.", "counter")
 		p.Value("msweb_master_placement_local_total", label, float64(m.quality.Local.Load()))
 		p.Header("msweb_master_placement_spilled_total", "Shed dynamics successfully spilled to a remote shard.", "counter")
@@ -154,11 +165,15 @@ func (m *Master) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
 		p.Header("msweb_master_shard_summaries_total", "Remote shard summaries folded in (gossip pulls + piggybacked).", "counter")
 		p.Value("msweb_master_shard_summaries_total", label, float64(m.gossipRx.Load()))
 		p.Header("msweb_master_shard_summary_age_seconds", "Age of the freshest summary held per remote shard (-1 = never heard).", "gauge")
-		for s := range m.shardSums {
-			if s == m.shard {
+		for s := 0; s < ms.sm.NumShards(); s++ {
+			if s == ms.shard {
 				continue
 			}
 			p.Value("msweb_master_shard_summary_age_seconds", `shard="`+strconv.Itoa(s)+`"`, m.shardFresh.AgeSeconds(s, nowNs))
 		}
+		p.Header("msweb_master_epoch", "Shard-map epoch this master currently operates under.", "gauge")
+		p.Value("msweb_master_epoch", label, float64(ms.sm.Epoch()))
+		p.Header("msweb_master_membership_applies_total", "Membership generations adopted by this master (newest-wins).", "counter")
+		p.Value("msweb_master_membership_applies_total", label, float64(m.memberApplies.Load()))
 	}
 }

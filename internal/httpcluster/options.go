@@ -173,6 +173,18 @@ type NodeOptions struct {
 	// 4×LoadRefresh — deliberately slow; piggybacked summaries are the
 	// fast path).
 	GossipEvery time.Duration
+	// AutoscaleMasters > 0 enables the live master-tier autoscaler on
+	// sharded masters: every period, the lowest-id master re-runs the
+	// Theorem 1 optimal-m computation against its measured per-class
+	// load and announces promote/demote membership changes (see
+	// membership.go). 0 keeps the tier fixed.
+	AutoscaleMasters time.Duration
+	// MasterCapable lists the node ids the autoscaler may promote into
+	// the master tier; they must have been launched via LaunchMaster
+	// (a plain LaunchNode slave has no /req pipeline to promote).
+	// Defaults to the initial Masters — i.e. no promotions beyond
+	// re-admitting previously demoted masters.
+	MasterCapable []int
 }
 
 // Validate reports option errors. Master-only fields are checked only
@@ -225,6 +237,17 @@ func (o NodeOptions) Validate(master bool) error {
 	}
 	if o.GossipEvery < 0 {
 		return fmt.Errorf("httpcluster: negative gossip period %v", o.GossipEvery)
+	}
+	if o.AutoscaleMasters < 0 {
+		return fmt.Errorf("httpcluster: negative autoscale period %v", o.AutoscaleMasters)
+	}
+	if o.AutoscaleMasters > 0 && o.Shards <= 1 {
+		return fmt.Errorf("httpcluster: master autoscaling requires a sharded master tier (Shards > 1)")
+	}
+	for _, id := range o.MasterCapable {
+		if id < 0 || id >= len(o.NodeURLs) {
+			return fmt.Errorf("httpcluster: master-capable node %d outside NodeURLs (len %d)", id, len(o.NodeURLs))
+		}
 	}
 	return nil
 }
@@ -329,44 +352,53 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 	// master's own shard (itself plus its shard's slaves) when sharded —
 	// the tier lists are shared by every snapshot generation, so they
 	// bound the placement, breaker-filter and shed scans to O(shard).
-	viewMasters := append([]int(nil), o.Masters...)
-	viewSlaves := append([]int(nil), o.Slaves...)
+	// Both shapes live in a memState: the unsharded one is immutable,
+	// the sharded one is the epoch-0 generation of the membership the
+	// tier gossips and rebalances from (see membership.go).
+	var ms *memState
 	if o.Shards > 1 {
-		mode := o.ShardMapMode
-		sm, err := core.NewShardMap(mode, o.Shards, o.Slaves)
+		m.sharded = true
+		mb := core.Membership{
+			Mode:    o.ShardMapMode,
+			Masters: append([]int(nil), o.Masters...),
+			Slaves:  append([]int(nil), o.Slaves...),
+		}
+		mb.Normalize()
+		sm, err := mb.ShardMap()
 		if err != nil {
 			return nil, err
 		}
-		myShard := -1
-		for i, id := range o.Masters {
-			if id == o.ID {
-				myShard = i
-				break
-			}
-		}
-		if myShard < 0 {
-			return nil, fmt.Errorf("httpcluster: sharded master %d not in Masters %v", o.ID, o.Masters)
-		}
-		m.shardMap = sm
-		m.shard = myShard
-		m.shardOwners = append([]int(nil), o.Masters...)
+		ms = newMemState(o.ID, mb, sm)
 		m.gossipEvery = o.GossipEvery
 		if m.gossipEvery <= 0 {
 			m.gossipEvery = 4 * o.LoadRefresh
 		}
 		m.summaryTTL = 3 * m.gossipEvery
-		m.shardSums = make([]shardSumSlot, o.Shards)
-		m.shardFresh = obs.NewFreshness(o.Shards)
-		viewMasters = []int{o.ID}
-		viewSlaves = append([]int(nil), sm.Members(myShard)...)
+		// Per-shard state is sized to the cluster, not the initial shard
+		// count: promotions can grow the tier up to one shard per node.
+		m.shardSums = make([]shardSumSlot, len(o.NodeURLs))
+		m.shardFresh = obs.NewFreshness(len(o.NodeURLs))
+		m.gossipMiss = make([]int, len(o.NodeURLs))
+		m.asEvery = o.AutoscaleMasters
+		m.masterCapable = make([]bool, len(o.NodeURLs))
+		capable := o.MasterCapable
+		if capable == nil {
+			capable = o.Masters
+		}
+		for _, id := range capable {
+			m.masterCapable[id] = true
+		}
+	} else {
+		viewMasters := append([]int(nil), o.Masters...)
+		viewSlaves := append([]int(nil), o.Slaves...)
+		ms = &memState{shard: -1, masters: viewMasters, slaves: viewSlaves}
+		ms.pollSet = append(append([]int(nil), viewMasters...), viewSlaves...)
 	}
-	// pollSet: the nodes this master samples each round — its view plus
-	// itself (the view already contains it as a master).
-	m.pollSet = append(append([]int(nil), viewMasters...), viewSlaves...)
+	m.mem.Store(ms)
 
 	initial := core.View{
-		Masters: viewMasters,
-		Slaves:  viewSlaves,
+		Masters: ms.masters,
+		Slaves:  ms.slaves,
 		Load:    make([]core.Load, len(o.NodeURLs)),
 	}
 	for i := range initial.Load {
@@ -386,10 +418,10 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 		atNode: make([]int64, len(o.NodeURLs)),
 		view:   initial,
 	})
-	if m.shardMap != nil {
+	if m.sharded {
 		// Publish the first own-shard stamp immediately so /shard and the
 		// response piggyback are live before the first poll round.
-		m.rebuildShardStamp(m.snap.Load())
+		m.rebuildShardStamp(ms, m.snap.Load())
 	}
 	m.serveClientFrames = m.runFrameReqs
 
@@ -399,6 +431,7 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 	mux.HandleFunc("/frame", m.handleFrame)
 	mux.HandleFunc("/load", m.handleLoad)
 	mux.HandleFunc("/shard", m.handleShard)
+	mux.HandleFunc(MembershipPath, m.handleMembership)
 	mux.HandleFunc("/stats", m.handleStats)
 	mux.HandleFunc("/metrics", m.handleMetrics)
 	m.serve(mux)
@@ -406,9 +439,13 @@ func LaunchMaster(o NodeOptions) (*Master, error) {
 	m.wg.Add(2)
 	go m.pollLoop(o.LoadRefresh)
 	go m.tickLoop(o.PolicyTick)
-	if m.shardMap != nil {
+	if m.sharded {
 		m.wg.Add(1)
 		go m.gossipLoop(m.gossipEvery)
+		if m.asEvery > 0 {
+			m.wg.Add(1)
+			go m.autoscaleLoop(m.asEvery)
+		}
 	}
 	return m, nil
 }

@@ -18,12 +18,12 @@ func TestParseReqQueryMatchesURLValues(t *testing.T) {
 		"class=d&demand=0.02&w=0.9&script=7&size=4096",
 		"class=s&demand=0&w=1",
 		"demand=1e-3&w=0.5&fork=1",
-		"demand=0.5",                   // missing w
-		"w=0.5",                        // missing demand
-		"demand=abc&w=0.5",             // malformed demand
-		"demand=0.5&w=zz",              // malformed w
-		"demand=&w=",                   // empty values
-		"demand&w",                     // pairs without '='
+		"demand=0.5",                        // missing w
+		"w=0.5",                             // missing demand
+		"demand=abc&w=0.5",                  // malformed demand
+		"demand=0.5&w=zz",                   // malformed w
+		"demand=&w=",                        // empty values
+		"demand&w",                          // pairs without '='
 		"demand=0.5&demand=0.9&w=0.1&w=0.2", // duplicates: first wins
 		"class=d&class=s&demand=1&w=0",      // duplicate class
 		"script=12&script=99&demand=1&w=0",

@@ -343,6 +343,7 @@ type Master struct {
 	policy    core.Policy
 	client    *http.Client
 	stop      chan struct{}
+	stopOnce  sync.Once
 	wg        sync.WaitGroup
 	rs        Resilience
 	pollFloor time.Duration
@@ -370,24 +371,56 @@ type Master struct {
 	piggyApplied   uint64
 	piggyAppliedAt []int64
 
-	// Sharded control plane (see shard.go; nil shardMap = unsharded).
-	// pollSet is the node set this master polls each round: every node
-	// when unsharded, its own shard's slaves plus itself when sharded —
-	// the O(shard) bound on per-tick fan-out work.
-	shardMap    *core.ShardMap
-	shard       int   // own shard index (== position in the master list)
-	shardOwners []int // shard index → owning master's node id
-	pollSet     []int
+	// Sharded control plane (see shard.go and membership.go). mem holds
+	// the current epoch-versioned memState — shard map, own shard, poll
+	// set and view tier lists — swapped whole on every membership apply,
+	// so the poll, gossip and request paths each pin one consistent
+	// generation. Every master has a memState; unsharded masters hold an
+	// immutable one (sm == nil) that never changes.
+	sharded bool
+	mem     atomic.Pointer[memState]
+	// memMu serializes membership applies (gossip pull vs POST vs
+	// failure detector); readers never take it.
+	memMu       sync.Mutex
 	gossipEvery time.Duration
 	summaryTTL  time.Duration // spill candidates ignore older summaries
-	// shardSums holds the freshest summary per remote shard; shardFresh
-	// stamps receipt times behind the per-shard staleness gauge. ownSum
-	// is the poll loop's build scratch for this master's own summary.
+	// shardSums holds the freshest summary per remote shard (slots sized
+	// to the cluster — the shard count can grow as masters are
+	// promoted); shardFresh stamps receipt times behind the per-shard
+	// staleness gauge. ownSum is the own-summary build scratch, guarded
+	// by ownMu (the poll loop and membership applies both rebuild it).
 	shardSums  []shardSumSlot
 	shardFresh *obs.Freshness
+	ownMu      sync.Mutex
 	ownSum     core.ShardSummary
 	quality    obs.PlacementQuality
 	gossipRx   atomic.Int64
+	// gossipMiss counts consecutive failed /shard pulls per peer master
+	// (indexed by node id; single writer: the gossip goroutine) — the
+	// failure-detection input behind detectDeadMasters. gossipEpochSeen
+	// is the same goroutine's last-seen membership epoch, used to grant
+	// every new membership a fresh detection window.
+	gossipMiss      []int
+	gossipEpochSeen uint64
+	// rebalanceUntil marks the end of the current shard-handoff window
+	// (unixnano; 0 = no epoch move yet). Sheds inside the window are
+	// counted in shedRebalance and hint Retry-After from the window's
+	// remainder instead of the breaker hold-down.
+	rebalanceUntil atomic.Int64
+	shedRebalance  atomic.Int64
+	memberApplies  atomic.Int64
+	// Live master-tier autoscaler (see membership.go): asEvery is the
+	// control period (0 = disabled), masterCapable the promotion
+	// candidate set, asHold/asHoldUntil the exponential hold epoch that
+	// gates demotions. The win* measurement window is guarded by placeMu.
+	asEvery       time.Duration
+	masterCapable []bool
+	asHold        atomic.Int64
+	asHoldUntil   atomic.Int64
+	winStatics    int64
+	winDynamics   int64
+	winDemandH    float64
+	winDemandC    float64
 	// spillView is the synthesized remote view handed to PlaceRemote:
 	// cluster-sized load array, candidate list rebuilt per spill from
 	// fresh summary digests. Guarded by placeMu.
@@ -618,11 +651,12 @@ func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []b
 		deadline = m.pollFloor
 	}
 	prev := m.snap.Load()
+	ms := m.mem.Load()
 	now := time.Now().UnixNano()
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	var wg sync.WaitGroup
-	for _, id := range m.pollSet {
+	for _, id := range ms.pollSet {
 		fetched[id] = false
 		base := m.nodeURL(id)
 		if base == "" {
@@ -656,14 +690,17 @@ func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []b
 	// One rate-window generation per poll round (single writer).
 	m.brk.rotate()
 
+	// Re-load the memState: a membership applied mid-round must not have
+	// its tier lists overwritten by a snapshot built from the old one.
+	ms = m.mem.Load()
 	next := &loadSnapshot{
 		epoch:  prev.epoch + 1,
 		at:     time.Now().UnixNano(),
 		atNode: make([]int64, len(reports)),
 		view: core.View{
-			// Role lists are immutable across snapshots and shared.
-			Masters:  prev.view.Masters,
-			Slaves:   prev.view.Slaves,
+			// Role lists are immutable per memState generation and shared.
+			Masters:  ms.masters,
+			Slaves:   ms.slaves,
 			Affinity: prev.view.Affinity,
 			Load:     append([]core.Load(nil), prev.view.Load...),
 		},
@@ -685,10 +722,10 @@ func (m *Master) pollOnce(period time.Duration, reports []core.Load, fetched []b
 		m.brk.PollSuccess(id) // node answers again
 	}
 	m.snap.Store(next)
-	if m.shardMap != nil {
+	if m.sharded {
 		// Slow path (once per poll round): refresh the own-shard summary
 		// stamp that responses piggyback and /shard serves.
-		m.rebuildShardStamp(next)
+		m.rebuildShardStamp(ms, next)
 	}
 }
 
@@ -825,8 +862,9 @@ func (m *Master) serveReq(p reqParams, start time.Time, deadline time.Time) (sta
 		if m.inflight.Add(1) > int64(limit) {
 			m.inflight.Add(-1)
 			m.shedCount.Add(1)
-			m.emit(obs.KindShed, reqID, m.ID, 1)
-			return http.StatusServiceUnavailable, 1
+			ra := m.shedRetryAfter(1)
+			m.emit(obs.KindShed, reqID, m.ID, float64(ra))
+			return http.StatusServiceUnavailable, ra
 		}
 		defer m.inflight.Add(-1)
 	}
@@ -844,6 +882,7 @@ func (m *Master) serveReq(p reqParams, start time.Time, deadline time.Time) (sta
 		st, attempted := m.spillRemote(p, reqID, deadline)
 		if !attempted {
 			m.shedCount.Add(1)
+			ra = m.shedRetryAfter(ra)
 			m.emit(obs.KindShed, reqID, m.ID, float64(ra))
 			return http.StatusServiceUnavailable, ra
 		}
@@ -866,6 +905,9 @@ func (m *Master) serveReq(p reqParams, start time.Time, deadline time.Time) (sta
 	m.placeMu.Lock()
 	m.policy.ObserveCompletion(p.class, resp, p.demand)
 	m.respHist.Observe(resp)
+	if m.asEvery > 0 {
+		m.observeClass(p.class, p.demand)
+	}
 	m.placeMu.Unlock()
 	m.served.Add(1)
 	m.emit(obs.KindComplete, reqID, m.ID, resp)
@@ -884,7 +926,7 @@ func (m *Master) shouldShed() (retryAfter int, shed bool) {
 		return 0, false
 	}
 	s := m.snap.Load()
-	if len(s.view.Slaves) == 0 && m.shardMap == nil {
+	if len(s.view.Slaves) == 0 && !m.sharded {
 		// Single-tier (M/S-1-style) deployments have no degraded regime
 		// to protect; locals are the design, not a fallback. A sharded
 		// master that drew an empty shard is different: its peers have
@@ -1169,10 +1211,14 @@ func (m *Master) forward(target int, p reqParams, deadline time.Time) error {
 // pooled frame connections (after the server stops, nothing can dial
 // new ones).
 func (m *Master) Shutdown() {
-	close(m.stop)
-	m.wg.Wait()
-	m.Node.Shutdown()
-	if m.frames != nil {
-		m.frames.close()
-	}
+	// Idempotent: churn harnesses kill individual masters mid-run and
+	// then tear the whole cluster down, hitting the dead one again.
+	m.stopOnce.Do(func() {
+		close(m.stop)
+		m.wg.Wait()
+		m.Node.Shutdown()
+		if m.frames != nil {
+			m.frames.close()
+		}
+	})
 }

@@ -59,12 +59,27 @@ type shardSumSlot struct {
 }
 
 // rebuildShardStamp refreshes the own-shard summary from a just-
-// published snapshot. Runs once per poll round (single writer: the poll
-// loop), off the request path, so the allocations here are irrelevant.
-func (m *Master) rebuildShardStamp(snap *loadSnapshot) {
-	members := m.shardMap.Members(m.shard)
-	core.BuildShardSummary(&m.ownSum, m.shard, snap.at, members, snap.view.Load, shardTopK)
-	wire := m.ownSum.AppendWire(make([]byte, 0, 64+48*len(m.ownSum.Top)))
+// published snapshot under the given memState. Runs once per poll round
+// plus once per membership apply — both off the request path, so the
+// allocations here are irrelevant; ownMu covers the shared build
+// scratch against exactly that pair of writers. The summary is stamped
+// with the memState's epoch, so receivers can order generations across
+// membership changes (epoch 0 — a never-rebalanced map — still emits
+// the byte-identical s1 form).
+func (m *Master) rebuildShardStamp(ms *memState, snap *loadSnapshot) {
+	m.ownMu.Lock()
+	defer m.ownMu.Unlock()
+	if ms.shard < 0 {
+		// Demoted (or launched as a standby): this node owns no shard, so
+		// it stops advertising one — /shard answers 404 and responses
+		// carry no summary until a membership re-promotes it.
+		m.shardWire.Store(nil)
+		return
+	}
+	members := ms.sm.Members(ms.shard)
+	core.BuildShardSummary(&m.ownSum, ms.shard, snap.at, members, snap.view.Load, shardTopK)
+	m.ownSum.Epoch = ms.sm.Epoch()
+	wire := m.ownSum.AppendWire(make([]byte, 0, 80+48*len(m.ownSum.Top)))
 	m.shardWire.Store(&shardStamp{
 		wire: wire,
 		hdr:  []string{string(wire[: len(wire)-1 : len(wire)-1])}, // header values cannot carry the trailing \n
@@ -88,7 +103,7 @@ func (m *Master) handleShard(rw http.ResponseWriter, _ *http.Request) {
 // any, into the mailbox for that shard. Cheap no-op for unsharded
 // masters and header-less responses.
 func (m *Master) storeShardHeader(h http.Header) {
-	if m.shardMap == nil {
+	if !m.sharded {
 		return
 	}
 	v := h[ShardHeader]
@@ -110,7 +125,7 @@ func (m *Master) storeShardHeader(h http.Header) {
 // storeShardSummaryWire parses an s1 summary line (e.g. a frame reply's
 // trailing block) and folds it in. No-op for unsharded masters.
 func (m *Master) storeShardSummaryWire(b []byte) {
-	if m.shardMap == nil {
+	if !m.sharded {
 		return
 	}
 	var sum core.ShardSummary
@@ -121,18 +136,34 @@ func (m *Master) storeShardSummaryWire(b []byte) {
 }
 
 // storeShardSummary records a remote shard's summary, newest-wins by
-// the owner's AtNs stamp (receipt order proves nothing: gossip and
-// piggybacked copies of the same generation race). The caller keeps
+// (epoch, AtNs) — epoch dominates so a pre-rebalance summary can never
+// overwrite a post-rebalance one, however fresh its owner clock looked;
+// within one epoch the owner's AtNs stamp orders generations (receipt
+// order proves nothing: gossip and piggybacked copies of the same
+// generation race). Summaries more than one epoch behind the local map
+// are dropped outright — the dual-epoch window admits the previous
+// owner's last words during a handoff, nothing older. The caller keeps
 // ownership of sum; the slot deep-copies the digest slice.
 func (m *Master) storeShardSummary(sum *core.ShardSummary) {
+	if !m.sharded {
+		return
+	}
+	ms := m.mem.Load()
 	s := sum.Shard
-	if m.shardMap == nil || s < 0 || s >= len(m.shardSums) || s == m.shard {
+	if s < 0 || s >= len(m.shardSums) || s == ms.shard {
+		return
+	}
+	var cur uint64
+	if ms.sm != nil {
+		cur = ms.sm.Epoch()
+	}
+	if sum.Epoch+1 < cur {
 		return
 	}
 	now := time.Now().UnixNano()
 	slot := &m.shardSums[s]
 	slot.mu.Lock()
-	if slot.at == 0 || sum.AtNs >= slot.sum.AtNs {
+	if slot.at == 0 || core.SummaryWins(sum.Epoch, sum.AtNs, slot.sum.Epoch, slot.sum.AtNs) {
 		top := append(slot.sum.Top[:0], sum.Top...)
 		slot.sum = *sum
 		slot.sum.Top = top
@@ -161,6 +192,11 @@ func (m *Master) gossipLoop(every time.Duration) {
 	}
 }
 
+// gossipOnce runs one gossip round: pull every peer owner's /shard
+// summary (counting consecutive misses — the failure-detection signal),
+// pull peer memberships (the convergence backstop that bounds how long
+// a master can lag an epoch move to one round), then let the failure
+// detector act on the accumulated silence.
 func (m *Master) gossipOnce(period time.Duration) {
 	deadline := period
 	if deadline < m.pollFloor {
@@ -168,9 +204,19 @@ func (m *Master) gossipOnce(period time.Duration) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
+	ms := m.mem.Load()
+	if e := ms.mb.Epoch; e != m.gossipEpochSeen {
+		// New membership: every peer gets a fresh detection window, so a
+		// rejoined master cannot be re-declared dead off counters it
+		// accumulated before it left.
+		m.gossipEpochSeen = e
+		for i := range m.gossipMiss {
+			m.gossipMiss[i] = 0
+		}
+	}
 	var sum core.ShardSummary
-	for s, owner := range m.shardOwners {
-		if s == m.shard {
+	for s, owner := range ms.owners {
+		if s == ms.shard || owner == m.ID {
 			continue
 		}
 		base := m.nodeURL(owner)
@@ -178,10 +224,21 @@ func (m *Master) gossipOnce(period time.Duration) {
 			continue
 		}
 		if err := m.fetchShard(ctx, base, &sum); err != nil {
+			if owner < len(m.gossipMiss) {
+				m.gossipMiss[owner]++
+			}
 			continue
+		}
+		if owner < len(m.gossipMiss) {
+			m.gossipMiss[owner] = 0
 		}
 		m.storeShardSummary(&sum)
 	}
+	m.pullMembership(ctx, ms)
+	// Detect against the generation this round actually fetched from; if
+	// the pull just advanced the epoch, the successor announce below is
+	// stale and ApplyMembership's newest-wins rule discards it.
+	m.detectDeadMasters(ms)
 }
 
 // fetchShard pulls one peer's /shard summary into dst.
@@ -216,7 +273,7 @@ func (m *Master) fetchShard(ctx context.Context, base string, dst *core.ShardSum
 // because every attempt goes through the same m.dispatch path
 // (breakers, hedging, deadline propagation and all).
 func (m *Master) spillRemote(p reqParams, reqID int64, deadline time.Time) (status int, attempted bool) {
-	if m.shardMap == nil {
+	if !m.sharded {
 		return 0, false
 	}
 	pl, ok := m.policy.(*core.Pipeline)
@@ -262,6 +319,11 @@ func (m *Master) spillRemote(p reqParams, reqID int64, deadline time.Time) (stat
 func (m *Master) pickSpill(pl *core.Pipeline, p reqParams, tried uint64) int {
 	now := time.Now().UnixNano()
 	maxAge := int64(m.summaryTTL)
+	ms := m.mem.Load()
+	var cur uint64
+	if ms.sm != nil {
+		cur = ms.sm.Epoch()
+	}
 	m.placeMu.Lock()
 	defer m.placeMu.Unlock()
 	if len(m.spillView.Load) < len(m.urls) {
@@ -269,7 +331,7 @@ func (m *Master) pickSpill(pl *core.Pipeline, p reqParams, tried uint64) int {
 	}
 	cands := m.spillCands[:0]
 	for s := range m.shardSums {
-		if s == m.shard {
+		if s == ms.shard {
 			continue
 		}
 		slot := &m.shardSums[s]
@@ -278,9 +340,20 @@ func (m *Master) pickSpill(pl *core.Pipeline, p reqParams, tried uint64) int {
 			slot.mu.Unlock()
 			continue
 		}
+		if slot.sum.Epoch+1 < cur {
+			// A membership adopted after this summary landed left it two
+			// epochs behind; its owner assignment is no longer meaningful.
+			slot.mu.Unlock()
+			continue
+		}
 		for _, d := range slot.sum.Top {
 			id := d.Node
 			if id < 0 || id >= len(m.urls) || bitOf(id)&tried != 0 {
+				continue
+			}
+			if ms.sm != nil && ms.sm.ShardOf(id) < 0 {
+				// The node left the fleet (failed, demoted out, scaled
+				// away) since the summary was stamped.
 				continue
 			}
 			if m.nodeURL(id) == "" || !m.brk.Allow(id, now) {
